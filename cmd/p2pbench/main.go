@@ -1,0 +1,54 @@
+// Command p2pbench regenerates every table and figure of the paper's
+// evaluation (experiments E1–E12; see DESIGN.md for the index).
+//
+// Usage:
+//
+//	p2pbench                 # run everything at the default scale
+//	p2pbench -e E3,E5        # run selected experiments
+//	p2pbench -records 1000   # paper-scale data (~1000 records per node)
+//	p2pbench -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		ids     = flag.String("e", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+		records = flag.Int("records", 50, "records per node (paper used ~1000)")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-experiment timeout")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{RecordsPerNode: *records, Seed: *seed, Timeout: *timeout}
+
+	var results []experiments.Result
+	var err error
+	if *ids == "all" {
+		results, err = experiments.All(cfg)
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			var r experiments.Result
+			r, err = experiments.Run(strings.TrimSpace(id), cfg)
+			if err != nil {
+				break
+			}
+			results = append(results, r)
+		}
+	}
+	for _, r := range results {
+		fmt.Printf("== %s — %s ==\n\n%s\n", r.ID, r.Title, r.Table)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+		os.Exit(1)
+	}
+}

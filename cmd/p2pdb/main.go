@@ -1,0 +1,281 @@
+// Command p2pdb runs P2P database networks from network-description files:
+// topology discovery, global updates, local and query-dependent queries,
+// execution traces, and a TCP demonstration where every peer talks over real
+// sockets.
+//
+// Usage:
+//
+//	p2pdb run <net-file>                # discover + update + stats
+//	p2pdb paths <net-file> [node]       # maximal dependency paths (Defs. 6–7)
+//	p2pdb query <net-file> <node> <q>   # update, then answer q locally
+//	p2pdb qdu <net-file> <node> <q>     # query-dependent update only
+//	p2pdb trace <net-file>              # message sequence chart (Figure 1)
+//	p2pdb tcp <net-file>                # run the update over TCP sockets
+//	p2pdb example                       # print the paper's running example
+//
+// Flags (before the subcommand): -delta, -sync, -seed, -timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/graph"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+var (
+	delta   = flag.Bool("delta", false, "enable the delta optimisation")
+	sync_   = flag.Bool("sync", false, "synchronous (BSP) rounds instead of async messaging")
+	staged  = flag.Bool("staged", false, "topology-aware staged update (SCC condensation, sources first)")
+	seed    = flag.Int64("seed", 1, "deterministic seed")
+	timeout = flag.Duration("timeout", 2*time.Minute, "run timeout")
+	saveDir = flag.String("save", "", "directory to write per-node database snapshots after a run")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "p2pdb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (run, paths, query, qdu, trace, tcp, analyze, example)")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "example":
+		fmt.Print(rules.PaperExampleSeeded().Format())
+		return nil
+	case "run":
+		return cmdRun(rest)
+	case "paths":
+		return cmdPaths(rest)
+	case "query":
+		return cmdQuery(rest, false)
+	case "qdu":
+		return cmdQuery(rest, true)
+	case "trace":
+		return cmdTrace(rest)
+	case "tcp":
+		return cmdTCP(rest)
+	case "analyze":
+		return cmdAnalyze(rest)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func loadNet(path string) (*rules.Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return rules.ParseNetwork(string(data))
+}
+
+func opts(rec *trace.Recorder) core.Options {
+	return core.Options{
+		Seed:        *seed,
+		Delta:       *delta,
+		Synchronous: *sync_,
+		Recorder:    rec,
+	}
+}
+
+func cmdRun(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: p2pdb run <net-file>")
+	}
+	def, err := loadNet(args[0])
+	if err != nil {
+		return err
+	}
+	n, err := core.Build(def, opts(nil))
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	t0 := time.Now()
+	if err := n.Discover(ctx); err != nil {
+		return err
+	}
+	tDisc := time.Since(t0)
+	t1 := time.Now()
+	var upErr error
+	if *staged {
+		upErr = n.UpdateStaged(ctx)
+	} else {
+		upErr = n.Update(ctx)
+	}
+	if upErr != nil {
+		return upErr
+	}
+	fmt.Printf("discovery: %v   update: %v   super-peer: %s\n\n", tDisc.Round(time.Microsecond), time.Since(t1).Round(time.Microsecond), n.Super())
+	fmt.Println(stats.Table(n.Stats()))
+	for _, id := range n.Nodes() {
+		p := n.Peer(id)
+		fmt.Printf("%s [%s] %d tuples\n", id, p.State(), p.DB().TotalTuples())
+	}
+	if *saveDir != "" {
+		if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+			return err
+		}
+		for _, id := range n.Nodes() {
+			path := filepath.Join(*saveDir, id+".snapshot")
+			if err := n.Peer(id).DB().SaveFile(path); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nsnapshots written to %s\n", *saveDir)
+	}
+	return nil
+}
+
+func cmdPaths(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: p2pdb paths <net-file> [node]")
+	}
+	def, err := loadNet(args[0])
+	if err != nil {
+		return err
+	}
+	g := graph.FromRules(def.Rules)
+	nodes := g.Nodes()
+	if len(args) == 2 {
+		nodes = []string{args[1]}
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		paths := g.MaximalPaths(node)
+		fmt.Printf("%s: %d maximal dependency paths\n", node, len(paths))
+		for _, p := range paths {
+			fmt.Printf("  %s\n", p)
+		}
+	}
+	return nil
+}
+
+func cmdQuery(args []string, scoped bool) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: p2pdb %s <net-file> <node> <query>", map[bool]string{false: "query", true: "qdu"}[scoped])
+	}
+	def, err := loadNet(args[0])
+	if err != nil {
+		return err
+	}
+	node, q := args[1], args[2]
+	conj, err := cq.ParseConjunction(q)
+	if err != nil {
+		return err
+	}
+	outVars := conj.Vars()
+	n, err := core.Build(def, opts(nil))
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	var rowsErr error
+	var rows []fmt.Stringer
+	if scoped {
+		ts, err := n.QueryDependentUpdate(ctx, node, q, outVars)
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			rows = append(rows, t)
+		}
+	} else {
+		if err := n.RunToFixpoint(ctx); err != nil {
+			return err
+		}
+		ts, err := n.LocalQuery(node, q, outVars)
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			rows = append(rows, t)
+		}
+	}
+	if rowsErr != nil {
+		return rowsErr
+	}
+	fmt.Printf("-- %s @ %s: %d rows over %v\n", q, node, len(rows), outVars)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: p2pdb trace <net-file>")
+	}
+	def, err := loadNet(args[0])
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(2000)
+	n, err := core.Build(def, opts(rec))
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := n.RunToFixpoint(ctx); err != nil {
+		return err
+	}
+	events := rec.Events()
+	limit := 60
+	if len(events) < limit {
+		limit = len(events)
+	}
+	fmt.Println(trace.Sequence(events[:limit], n.Nodes()))
+	fmt.Printf("(%d events total, %d dropped by the recorder cap)\n", len(events), rec.Dropped())
+	return nil
+}
+
+// cmdAnalyze prints advisory findings about a network description: redundant
+// coordination rules (conjunctive-query containment on aligned rule pairs)
+// and topology facts relevant to update cost.
+func cmdAnalyze(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: p2pdb analyze <net-file>")
+	}
+	def, err := loadNet(args[0])
+	if err != nil {
+		return err
+	}
+	g := graph.FromRules(def.Rules)
+	fmt.Printf("nodes: %d   rules: %d   dependency edges: %d   acyclic: %v\n",
+		len(def.Nodes), len(def.Rules), len(g.Edges()), g.IsAcyclic())
+	for _, scc := range g.SCCs() {
+		if len(scc) > 1 {
+			fmt.Printf("cyclic component: %v (update iterates to a fix-point here)\n", scc)
+		}
+	}
+	totalPaths := 0
+	for _, n := range g.Nodes() {
+		totalPaths += len(g.MaximalPaths(n))
+	}
+	fmt.Printf("maximal dependency paths (all nodes): %d\n\n", totalPaths)
+	fmt.Print(rules.AnalyzeNetwork(def))
+	return nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rules"
+)
+
+func writeExample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "example.net")
+	if err := os.WriteFile(path, []byte(rules.PaperExampleSeeded().Format()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSubcommands(t *testing.T) {
+	path := writeExample(t)
+	cases := [][]string{
+		{"example"},
+		{"run", path},
+		{"paths", path},
+		{"paths", path, "A"},
+		{"query", path, "A", "a(X,Y)"},
+		{"qdu", path, "C", "c(X,Y)"},
+		{"trace", path},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeExample(t)
+	cases := [][]string{
+		nil,                          // no subcommand
+		{"bogus"},                    // unknown subcommand
+		{"run"},                      // missing file
+		{"run", "/no/such/file.net"}, // unreadable
+		{"paths"},                    // missing file
+		{"query", path, "A"},         // missing query
+		{"query", path, "A", "broken("},
+		{"trace"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunStagedAndSnapshots(t *testing.T) {
+	path := writeExample(t)
+	dir := t.TempDir()
+	old := struct {
+		staged bool
+		save   string
+	}{*staged, *saveDir}
+	*staged = true
+	*saveDir = dir
+	defer func() { *staged = old.staged; *saveDir = old.save }()
+
+	if err := run([]string{"run", path}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("snapshots = %d", len(entries))
+	}
+}
+
+func TestRunTCPSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp subcommand skipped in -short mode")
+	}
+	path := writeExample(t)
+	if err := run([]string{"tcp", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeSubcommand(t *testing.T) {
+	path := writeExample(t)
+	if err := run([]string{"analyze", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"analyze"}); err == nil {
+		t.Error("missing file must fail")
+	}
+}

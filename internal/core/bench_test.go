@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+func benchDef(b *testing.B, topo workload.Topology, style workload.RuleStyle) *rules.Network {
+	b.Helper()
+	def, err := workload.Generate(topo, workload.DataSpec{
+		RecordsPerNode: 25, Seed: 1, Style: style,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return def
+}
+
+func benchRun(b *testing.B, def *rules.Network, opts Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n, err := Build(def, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		if err := n.RunToFixpoint(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+		_ = n.Close()
+	}
+}
+
+// BenchmarkUpdateTree measures the full protocol on a 15-node binary tree.
+func BenchmarkUpdateTree(b *testing.B) {
+	benchRun(b, benchDef(b, workload.Tree(3, 2), workload.StyleMixed), Options{})
+}
+
+// BenchmarkUpdateTreeDelta is the same workload with the delta optimisation.
+func BenchmarkUpdateTreeDelta(b *testing.B) {
+	benchRun(b, benchDef(b, workload.Tree(3, 2), workload.StyleMixed), Options{Delta: true})
+}
+
+// BenchmarkUpdateClique4 measures the cyclic stress case.
+func BenchmarkUpdateClique4(b *testing.B) {
+	benchRun(b, benchDef(b, workload.Clique(4), workload.StyleCopy), Options{})
+}
+
+// BenchmarkUpdateSynchronous measures the BSP alternative.
+func BenchmarkUpdateSynchronous(b *testing.B) {
+	benchRun(b, benchDef(b, workload.Tree(3, 2), workload.StyleMixed), Options{Synchronous: true})
+}
+
+// BenchmarkCentralizedBaseline measures the single-site fix-point on the
+// same workload, for the E11 comparison.
+func BenchmarkCentralizedBaseline(b *testing.B) {
+	def := benchDef(b, workload.Tree(3, 2), workload.StyleMixed)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Centralized(def, rules.ApplyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscovery measures topology discovery alone on the paper example.
+func BenchmarkDiscovery(b *testing.B) {
+	def := rules.PaperExample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n, err := Build(def, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := n.Discover(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+		_ = n.Close()
+	}
+}

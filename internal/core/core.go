@@ -1,0 +1,359 @@
+// Package core orchestrates a P2P database network: it builds peers from a
+// network description, runs the two phases of the distributed algorithm
+// (topology discovery, then the database update) to completion, answers
+// local and query-dependent-update queries, applies dynamic changes, and
+// collects statistics. It is the paper's primary contribution assembled into
+// a runnable system: the peers execute the protocol; core only starts
+// waves, waits for quiescence/closure, and exposes inspection.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/peer"
+	"repro/internal/relalg"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Options configures a network run.
+type Options struct {
+	// Seed drives deterministic delay injection.
+	Seed int64
+	// MaxDelay, when positive, delays message delivery pseudo-randomly (the
+	// asynchronous model's adversarial scheduling).
+	MaxDelay time.Duration
+	// Synchronous switches the transport to BSP rounds (the paper's
+	// "synchronous alternative").
+	Synchronous bool
+	// Delta enables the delta optimisation on all peers.
+	Delta bool
+	// InsertMode selects exact or core insertion.
+	InsertMode storage.InsertMode
+	// MaxNullDepth bounds existential invention (0 = default).
+	MaxNullDepth int
+	// Recorder, when set, records all protocol sends for sequence charts.
+	Recorder *trace.Recorder
+	// ClosureProbes bounds the closure-probe retries in Update (0 = default
+	// of 8). Probes re-issue queries at still-open peers when the network
+	// went quiescent before every node closed (a race swallowed a
+	// confirming cascade); each probe runs at fix-point cost.
+	ClosureProbes int
+}
+
+// Network is a running in-process P2P database network.
+type Network struct {
+	def   *rules.Network
+	tr    *transport.Mem
+	peers map[string]*peer.Peer
+	order []string
+	super string
+	opts  Options
+}
+
+// Build constructs peers, pipes and seed data from a network description.
+func Build(def *rules.Network, opts Options) (*Network, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	tr := transport.NewMem(transport.MemOptions{
+		Seed:        opts.Seed,
+		MaxDelay:    opts.MaxDelay,
+		Synchronous: opts.Synchronous,
+	})
+	n := &Network{def: def, tr: tr, peers: map[string]*peer.Peer{}, opts: opts}
+
+	byHead := map[string][]rules.Rule{}
+	for _, r := range def.Rules {
+		byHead[r.HeadNode] = append(byHead[r.HeadNode], r)
+	}
+	for _, decl := range def.Nodes {
+		p, err := peer.New(decl.Name, decl.Schemas, byHead[decl.Name], tr, peer.Options{
+			Delta:        opts.Delta,
+			InsertMode:   opts.InsertMode,
+			MaxNullDepth: opts.MaxNullDepth,
+			Maps:         def.MapSet(),
+			Recorder:     opts.Recorder,
+		})
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		n.peers[decl.Name] = p
+		n.order = append(n.order, decl.Name)
+	}
+	sort.Strings(n.order)
+
+	// Pipes exist in both rule directions (Section 5 of the paper).
+	for _, r := range def.Rules {
+		head := n.peers[r.HeadNode]
+		for _, src := range r.SourceNodes() {
+			head.AddNeighbor(src)
+			n.peers[src].AddNeighbor(r.HeadNode)
+		}
+	}
+	for _, f := range def.Facts {
+		if err := n.peers[f.Node].Seed(f.Rel, f.Tuple); err != nil {
+			tr.Close()
+			return nil, err
+		}
+	}
+	n.super = def.Super
+	if n.super == "" && len(n.order) > 0 {
+		n.super = n.order[0]
+	}
+	return n, nil
+}
+
+// Close shuts the network down.
+func (n *Network) Close() error { return n.tr.Close() }
+
+// Super returns the super-peer's node name.
+func (n *Network) Super() string { return n.super }
+
+// Peer returns a peer by name (nil if absent).
+func (n *Network) Peer(id string) *peer.Peer { return n.peers[id] }
+
+// Nodes returns all node names, sorted.
+func (n *Network) Nodes() []string { return append([]string(nil), n.order...) }
+
+// Transport exposes the in-memory transport (partitions, drop injection).
+func (n *Network) Transport() *transport.Mem { return n.tr }
+
+// Quiesce waits until no message is in flight (driving rounds in synchronous
+// mode).
+func (n *Network) Quiesce(ctx context.Context) error {
+	if n.opts.Synchronous {
+		n.tr.StepAll(1_000_000)
+		return nil
+	}
+	return n.tr.WaitQuiescent(ctx)
+}
+
+// Discover runs phase one: the super-peer starts topology discovery (every
+// participating node lazily discovers for itself too) and the call returns
+// at quiescence, when every reached node knows its maximal dependency paths.
+func (n *Network) Discover(ctx context.Context) error {
+	sp, ok := n.peers[n.super]
+	if !ok {
+		return fmt.Errorf("core: super-peer %q not in network", n.super)
+	}
+	sp.StartDiscovery()
+	return n.Quiesce(ctx)
+}
+
+// Update runs phase two to completion: the super-peer floods the update
+// kick-off; the call returns once the network is quiescent and every node
+// reports state_u = closed. If quiescence is reached with open nodes (an
+// asynchronous race swallowed a confirming cascade), closure probes re-issue
+// queries at the open nodes, each probe running at fix-point cost.
+func (n *Network) Update(ctx context.Context) error {
+	sp, ok := n.peers[n.super]
+	if !ok {
+		return fmt.Errorf("core: super-peer %q not in network", n.super)
+	}
+	sp.StartUpdateWave()
+	probes := n.opts.ClosureProbes
+	if probes <= 0 {
+		probes = 8
+	}
+	for attempt := 0; ; attempt++ {
+		if err := n.Quiesce(ctx); err != nil {
+			return err
+		}
+		open := n.OpenPeers()
+		if len(open) == 0 {
+			return nil
+		}
+		if attempt >= probes {
+			return fmt.Errorf("core: %d node(s) still open after %d closure probes: %v",
+				len(open), probes, open)
+		}
+		for _, id := range open {
+			n.peers[id].Probe()
+		}
+	}
+}
+
+// OpenPeers returns the activated nodes that have not reached state closed,
+// sorted. Nodes the kick-off flood never reached (other weakly connected
+// components) are not counted: the wave covers its own component, as in the
+// paper.
+func (n *Network) OpenPeers() []string {
+	var out []string
+	for _, id := range n.order {
+		p := n.peers[id]
+		if p.Activated() && p.State() != peer.Closed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AllClosed reports whether every activated node reached its fix-point.
+func (n *Network) AllClosed() bool { return len(n.OpenPeers()) == 0 }
+
+// LocalQuery evaluates a query body at a node against its local database
+// only (Definition 4; sound and complete globally once Update finished).
+func (n *Network) LocalQuery(node, body string, outVars []string) ([]relalg.Tuple, error) {
+	p, ok := n.peers[node]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", node)
+	}
+	return p.LocalQuery(body, outVars)
+}
+
+// QueryDependentUpdate runs a scoped update wave materialising only the data
+// relevant to the query, waits for quiescence, and evaluates locally
+// (Section 5's query-dependent updates / distributed query answering).
+func (n *Network) QueryDependentUpdate(ctx context.Context, node, body string, outVars []string) ([]relalg.Tuple, error) {
+	p, ok := n.peers[node]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", node)
+	}
+	if err := p.QueryDependentUpdate(body); err != nil {
+		return nil, err
+	}
+	if err := n.Quiesce(ctx); err != nil {
+		return nil, err
+	}
+	return p.LocalQuery(body, outVars)
+}
+
+// AddLink applies the addLink(i,j,rule,id) atomic change: the head node is
+// notified (Section 4). The rule text carries all four components.
+func (n *Network) AddLink(ruleText string) error {
+	r, err := rules.ParseRule(ruleText)
+	if err != nil {
+		return err
+	}
+	p, ok := n.peers[r.HeadNode]
+	if !ok {
+		return fmt.Errorf("core: addLink targets unknown node %q", r.HeadNode)
+	}
+	for _, src := range r.SourceNodes() {
+		if _, ok := n.peers[src]; !ok {
+			return fmt.Errorf("core: addLink reads unknown node %q", src)
+		}
+	}
+	return p.AddRuleLocal(ruleText)
+}
+
+// DeleteLink applies the deleteLink(i,j,id) atomic change at the head node.
+func (n *Network) DeleteLink(headNode, ruleID string) error {
+	p, ok := n.peers[headNode]
+	if !ok {
+		return fmt.Errorf("core: deleteLink at unknown node %q", headNode)
+	}
+	p.DeleteRuleLocal(ruleID)
+	return nil
+}
+
+// Stats snapshots every node's counters.
+func (n *Network) Stats() []stats.Snapshot {
+	out := make([]stats.Snapshot, 0, len(n.order))
+	for _, id := range n.order {
+		out = append(out, n.peers[id].Counters().Snapshot())
+	}
+	return out
+}
+
+// ResetStats zeroes every node's counters.
+func (n *Network) ResetStats() {
+	for _, id := range n.order {
+		n.peers[id].Counters().Reset()
+	}
+}
+
+// Snapshot deep-copies every node's database (for validation).
+func (n *Network) Snapshot() map[string]*storage.DB {
+	out := make(map[string]*storage.DB, len(n.peers))
+	for id, p := range n.peers {
+		out[id] = p.DB().Clone()
+	}
+	return out
+}
+
+// ValidateAgainstCentralized compares the network's databases with the
+// centralised fix-point of the same definition, returning an error naming
+// the first differing node.
+func (n *Network) ValidateAgainstCentralized() error {
+	want, err := baseline.Centralized(n.def, rules.ApplyOptions{
+		Mode:         n.opts.InsertMode,
+		MaxNullDepth: n.opts.MaxNullDepth,
+	})
+	if err != nil {
+		return err
+	}
+	got := n.Snapshot()
+	if ok, node := baseline.Equal(got, want.DBs); !ok {
+		return fmt.Errorf("core: node %s diverges from the centralised fix-point:\n got: %s\nwant: %s",
+			node, got[node].Dump(), want.DBs[node].Dump())
+	}
+	return nil
+}
+
+// RunToFixpoint is the end-to-end convenience used by examples and
+// benchmarks: discovery, then update, then validation hooks are up to the
+// caller.
+func (n *Network) RunToFixpoint(ctx context.Context) error {
+	if err := n.Discover(ctx); err != nil {
+		return err
+	}
+	return n.Update(ctx)
+}
+
+// Broadcast sends a network-description file from the super-peer to every
+// peer (Section 5: the super-peer "can read coordination rules for all peers
+// from a file and broadcast this file to all peers on the network", changing
+// the topology at runtime). Peers adopt the rules and schemas relevant to
+// them and re-discover; seed facts in the broadcast text are ignored by
+// running peers (their databases persist). The network definition used by
+// ValidateAgainstCentralized and UpdateStaged is replaced accordingly, with
+// the original seed facts retained.
+func (n *Network) Broadcast(text string) error {
+	def, err := rules.ParseNetwork(text)
+	if err != nil {
+		return err
+	}
+	def.Facts = n.def.Facts // databases are not reseeded; keep the originals
+	n.def = def
+	for _, id := range n.order {
+		if err := n.tr.Send(n.super, id, wire.SetNetwork{Text: text}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectStats gathers every peer's statistics snapshot through the wire
+// (StatsRequest/StatsReport, the super-peer verbs of Section 5) and returns
+// them keyed by node, including the super-peer's own.
+func (n *Network) CollectStats(ctx context.Context) (map[string]stats.Snapshot, error) {
+	sp, ok := n.peers[n.super]
+	if !ok {
+		return nil, fmt.Errorf("core: super-peer %q not in network", n.super)
+	}
+	for _, id := range n.order {
+		if id == n.super {
+			continue
+		}
+		if err := n.tr.Send(n.super, id, wire.StatsRequest{}); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Quiesce(ctx); err != nil {
+		return nil, err
+	}
+	out := sp.StatsReports()
+	out[n.super] = sp.Counters().Snapshot()
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/peer"
+)
+
+// UpdateStaged runs the topology-aware update strategy the paper's §3 hints
+// at ("optimizations … exploit the knowledge of specific topological
+// structures"): the dependency graph's strongly connected components are
+// processed in reverse topological order (data sources first), so by the
+// time a component pulls, all its external sources are final — their answers
+// arrive complete on the first exchange, eliminating the intermediate change
+// waves and re-pulls of the flood strategy. Cyclic components still iterate
+// internally, but only among themselves.
+//
+// The result is the same fix-point as Update (validated by the test suite);
+// the saving is in messages and bytes, largest on deep chains and trees.
+func (n *Network) UpdateStaged(ctx context.Context) error {
+	// One shared epoch, adopted quietly by every peer so that queries do
+	// not trigger activation floods.
+	var epoch uint64
+	for _, id := range n.order {
+		if e := n.peers[id].Epoch(); e > epoch {
+			epoch = e
+		}
+	}
+	epoch++
+	for _, id := range n.order {
+		n.peers[id].ActivateQuiet(epoch)
+	}
+	if err := n.Quiesce(ctx); err != nil { // discovery waves from activation
+		return err
+	}
+
+	g := graph.FromRules(n.def.Rules)
+	for _, id := range n.order {
+		g.AddNode(id)
+	}
+	sccs := g.SCCs() // Tarjan emits components children-first on this graph
+	order := topoOrderSCCs(g, sccs)
+
+	// Sources first: reverse topological order of the condensation
+	// (dependency edges point head -> source, so sources are sinks).
+	for i := len(order) - 1; i >= 0; i-- {
+		comp := order[i]
+		for _, id := range comp {
+			n.peers[id].ForcePull()
+		}
+		if err := n.Quiesce(ctx); err != nil {
+			return err
+		}
+		// Cyclic components may need confirmation probes to flag their
+		// internal paths; run them before moving up-stage.
+		for probe := 0; probe < 4; probe++ {
+			open := false
+			for _, id := range comp {
+				p := n.peers[id]
+				if p.Activated() && p.State() != peer.Closed {
+					open = true
+					p.Probe()
+				}
+			}
+			if !open {
+				break
+			}
+			if err := n.Quiesce(ctx); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Final safety net, identical to Update's closure probes.
+	probes := n.opts.ClosureProbes
+	if probes <= 0 {
+		probes = 8
+	}
+	for attempt := 0; ; attempt++ {
+		if err := n.Quiesce(ctx); err != nil {
+			return err
+		}
+		open := n.OpenPeers()
+		if len(open) == 0 {
+			return nil
+		}
+		if attempt >= probes {
+			return fmt.Errorf("core: staged update left %d node(s) open: %v", len(open), open)
+		}
+		for _, id := range open {
+			n.peers[id].Probe()
+		}
+	}
+}
+
+// topoOrderSCCs orders the components so that every dependency edge goes
+// from an earlier component to a later one (heads before sources).
+func topoOrderSCCs(g *graph.Graph, sccs [][]string) [][]string {
+	compOf := map[string]int{}
+	for i, c := range sccs {
+		for _, node := range c {
+			compOf[node] = i
+		}
+	}
+	// Build the condensation and Kahn-sort it.
+	succ := make(map[int]map[int]bool, len(sccs))
+	indeg := make([]int, len(sccs))
+	for _, e := range g.Edges() {
+		a, b := compOf[e.From], compOf[e.To]
+		if a == b {
+			continue
+		}
+		if succ[a] == nil {
+			succ[a] = map[int]bool{}
+		}
+		if !succ[a][b] {
+			succ[a][b] = true
+			indeg[b]++
+		}
+	}
+	var ready []int
+	for i := range sccs {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var order [][]string
+	for len(ready) > 0 {
+		c := ready[0]
+		ready = ready[1:]
+		order = append(order, sccs[c])
+		for s := range succ[c] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,67 @@
+package cq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+func benchRelation(name string, arity, rows int) *relalg.Relation {
+	r := relalg.NewRelation(relalg.MakeSchema(name, arity))
+	for i := 0; i < rows; i++ {
+		t := make(relalg.Tuple, arity)
+		for j := 0; j < arity; j++ {
+			t[j] = relalg.S(fmt.Sprintf("v%d", (i+j*37)%rows))
+		}
+		_, _ = r.Insert(t)
+	}
+	return r
+}
+
+// BenchmarkEvalSingleAtom measures a full scan with projection.
+func BenchmarkEvalSingleAtom(b *testing.B) {
+	src := MapSource{"e": benchRelation("e", 2, 1000)}
+	c, _ := ParseConjunction("e(X,Y)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(src, c, []string{"X"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalTwoWayJoin measures the pipelined hash join on a self-join.
+func BenchmarkEvalTwoWayJoin(b *testing.B) {
+	src := MapSource{"e": benchRelation("e", 2, 1000)}
+	c, _ := ParseConjunction("e(X,Y), e(Y,Z)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(src, c, []string{"X", "Z"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalJoinWithBuiltin adds a comparison filter to the join.
+func BenchmarkEvalJoinWithBuiltin(b *testing.B) {
+	src := MapSource{"e": benchRelation("e", 2, 1000)}
+	c, _ := ParseConjunction("e(X,Y), e(Y,Z), X <> Z")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(src, c, []string{"X", "Z"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseConjunction measures the parser.
+func BenchmarkParseConjunction(b *testing.B) {
+	const src = "B:b(X,Y), B:b(Y,Z), C:c(Z, 'lit', 42), X <> Z, Y >= 1999"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseConjunction(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

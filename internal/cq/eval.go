@@ -1,0 +1,264 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relalg"
+)
+
+func sval(s string) relalg.Value { return relalg.S(s) }
+func ival(n int64) relalg.Value  { return relalg.I(n) }
+
+// Source supplies relation extents to the evaluator. A nil *relalg.Relation
+// (or absence) is treated as the empty relation.
+type Source interface {
+	Rel(name string) *relalg.Relation
+}
+
+// MapSource is a trivial Source backed by a map, used by tests and by the
+// local join step for multi-source rules.
+type MapSource map[string]*relalg.Relation
+
+// Rel implements Source.
+func (m MapSource) Rel(name string) *relalg.Relation { return m[name] }
+
+// Eval evaluates the conjunction against src and returns the distinct
+// projections of all satisfying bindings onto outVars, in a deterministic
+// order. Every variable in outVars must occur in some atom of the
+// conjunction (range restriction); otherwise an error is returned.
+//
+// Node qualifiers on atoms are ignored: the caller is responsible for
+// evaluating a conjunction against the right node's database (rules are
+// restricted per node before evaluation).
+func Eval(src Source, c Conjunction, outVars []string) ([]relalg.Tuple, error) {
+	bindings, err := EvalBindings(src, c)
+	if err != nil {
+		return nil, err
+	}
+	atomVars := c.AtomVars()
+	for _, v := range outVars {
+		if !atomVars[v] {
+			return nil, fmt.Errorf("cq: output variable %s not range-restricted in %q", v, c.String())
+		}
+	}
+	seen := make(map[string]bool, len(bindings))
+	out := make([]relalg.Tuple, 0, len(bindings))
+	for _, b := range bindings {
+		t, err := b.Project(outVars)
+		if err != nil {
+			return nil, err
+		}
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// EvalBindings evaluates the conjunction and returns all satisfying bindings
+// over the conjunction's atom variables. The evaluation is a pipelined join:
+// atoms are ordered greedily (most already-bound variables first, then
+// smallest extent), each step probes a hash index built on the bound
+// positions, and built-ins fire as soon as their variables are in scope.
+func EvalBindings(src Source, c Conjunction) ([]Binding, error) {
+	if len(c.Atoms) == 0 {
+		// A body with no atoms: satisfied by the empty binding iff all
+		// constant built-ins hold.
+		b := Binding{}
+		for _, bl := range c.Builtins {
+			holds, ok := bl.Eval(b)
+			if !ok || !holds {
+				return nil, nil
+			}
+		}
+		return []Binding{b}, nil
+	}
+
+	remainingAtoms := append([]Atom(nil), c.Atoms...)
+	remainingBuiltins := append([]Builtin(nil), c.Builtins...)
+	bound := map[string]bool{}
+	bindings := []Binding{{}}
+
+	for len(remainingAtoms) > 0 {
+		idx := pickNextAtom(src, remainingAtoms, bound)
+		atom := remainingAtoms[idx]
+		remainingAtoms = append(remainingAtoms[:idx], remainingAtoms[idx+1:]...)
+
+		bindings = expand(src, bindings, atom, bound)
+		for _, v := range atom.Vars() {
+			bound[v] = true
+		}
+		remainingBuiltins = applyReadyBuiltins(remainingBuiltins, bound, &bindings)
+		if len(bindings) == 0 {
+			return nil, nil
+		}
+	}
+	// Any leftover builtin references an unbound variable: reject (the rule
+	// validator should have caught this, but user queries reach here too).
+	if len(remainingBuiltins) > 0 {
+		var names []string
+		for _, b := range remainingBuiltins {
+			names = append(names, b.String())
+		}
+		return nil, fmt.Errorf("cq: builtins with unbound variables: %s", strings.Join(names, "; "))
+	}
+	return bindings, nil
+}
+
+// pickNextAtom chooses the next atom to join: maximise the number of bound
+// positions (variables already in scope plus constants); break ties by
+// smaller relation extent, then by original order.
+func pickNextAtom(src Source, atoms []Atom, bound map[string]bool) int {
+	best, bestScore, bestSize := 0, -1, -1
+	for i, a := range atoms {
+		score := 0
+		for _, t := range a.Terms {
+			if !t.IsVar || bound[t.Var] {
+				score++
+			}
+		}
+		size := 0
+		if r := src.Rel(a.Rel); r != nil {
+			size = r.Len()
+		}
+		if score > bestScore || (score == bestScore && size < bestSize) {
+			best, bestScore, bestSize = i, score, size
+		}
+	}
+	return best
+}
+
+// expand joins the current binding set with one atom using a hash index on
+// the atom's bound positions.
+func expand(src Source, bindings []Binding, atom Atom, bound map[string]bool) []Binding {
+	rel := src.Rel(atom.Rel)
+	if rel == nil || rel.Len() == 0 {
+		return nil
+	}
+	// Positions bound before this atom: constants, repeated vars inside the
+	// atom are handled during matching; vars already in scope use the index.
+	var idxPos []int
+	for i, t := range atom.Terms {
+		if !t.IsVar || bound[t.Var] {
+			idxPos = append(idxPos, i)
+		}
+	}
+	index := buildIndex(rel, idxPos)
+
+	var out []Binding
+	for _, b := range bindings {
+		key, ok := probeKey(atom, idxPos, b)
+		if !ok {
+			continue
+		}
+		for _, tuple := range index[key] {
+			nb, ok := match(atom, tuple, b)
+			if ok {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+// buildIndex groups the relation's tuples by the projection onto positions.
+// With no bound positions, everything lands under the empty key (full scan).
+func buildIndex(rel *relalg.Relation, positions []int) map[string][]relalg.Tuple {
+	index := make(map[string][]relalg.Tuple, rel.Len())
+	for _, t := range rel.All() {
+		k := projKey(t, positions)
+		index[k] = append(index[k], t)
+	}
+	return index
+}
+
+func projKey(t relalg.Tuple, positions []int) string {
+	if len(positions) == 0 {
+		return ""
+	}
+	proj := make(relalg.Tuple, len(positions))
+	for i, p := range positions {
+		proj[i] = t[p]
+	}
+	return proj.Key()
+}
+
+// probeKey computes the index key for a binding; ok=false when the binding
+// cannot produce a key (cannot happen for positions chosen from bound vars).
+func probeKey(atom Atom, positions []int, b Binding) (string, bool) {
+	if len(positions) == 0 {
+		return "", true
+	}
+	proj := make(relalg.Tuple, len(positions))
+	for i, p := range positions {
+		t := atom.Terms[p]
+		if !t.IsVar {
+			proj[i] = t.Val
+			continue
+		}
+		v, ok := b[t.Var]
+		if !ok {
+			return "", false
+		}
+		proj[i] = v
+	}
+	return proj.Key(), true
+}
+
+// match unifies the atom with a tuple under binding b, returning the extended
+// binding. Handles repeated variables within the atom.
+func match(atom Atom, tuple relalg.Tuple, b Binding) (Binding, bool) {
+	if len(tuple) != len(atom.Terms) {
+		return nil, false
+	}
+	nb := b.Clone()
+	for i, t := range atom.Terms {
+		if !t.IsVar {
+			if !t.Val.Equal(tuple[i]) {
+				return nil, false
+			}
+			continue
+		}
+		if v, ok := nb[t.Var]; ok {
+			if !v.Equal(tuple[i]) {
+				return nil, false
+			}
+			continue
+		}
+		nb[t.Var] = tuple[i]
+	}
+	return nb, true
+}
+
+// applyReadyBuiltins filters bindings through every builtin whose variables
+// are now all bound, returning the still-pending builtins.
+func applyReadyBuiltins(builtins []Builtin, bound map[string]bool, bindings *[]Binding) []Builtin {
+	var pending []Builtin
+	for _, bl := range builtins {
+		ready := true
+		for _, t := range []Term{bl.L, bl.R} {
+			if t.IsVar && !bound[t.Var] {
+				ready = false
+			}
+		}
+		if !ready {
+			pending = append(pending, bl)
+			continue
+		}
+		kept := (*bindings)[:0]
+		for _, b := range *bindings {
+			holds, ok := bl.Eval(b)
+			if ok && holds {
+				kept = append(kept, b)
+			}
+		}
+		*bindings = kept
+	}
+	return pending
+}

@@ -1,0 +1,276 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseConjunction parses the surface syntax of a conjunctive query body:
+// a comma-separated list of atoms and built-in comparisons. Atoms may be
+// node-qualified ("B:b(X,Y)").
+func ParseConjunction(src string) (Conjunction, error) {
+	p := &parser{src: src}
+	c, err := p.conjunction()
+	if err != nil {
+		return Conjunction{}, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return Conjunction{}, p.errf("trailing input %q", p.rest())
+	}
+	return c, nil
+}
+
+// ParseAtom parses a single (possibly node-qualified) atom.
+func ParseAtom(src string) (Atom, error) {
+	p := &parser{src: src}
+	a, err := p.atom()
+	if err != nil {
+		return Atom{}, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return Atom{}, p.errf("trailing input %q", p.rest())
+	}
+	return a, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cq: parse error at offset %d of %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) rest() string { return p.src[p.pos:] }
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) consume(prefix string) bool {
+	if strings.HasPrefix(p.src[p.pos:], prefix) {
+		p.pos += len(prefix)
+		return true
+	}
+	return false
+}
+
+// conjunction := item (',' item)*
+func (p *parser) conjunction() (Conjunction, error) {
+	var out Conjunction
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return out, p.errf("expected atom or builtin")
+		}
+		save := p.pos
+		// Try an atom first; if the item continues with a comparison
+		// operator it is a built-in instead.
+		a, aerr := p.atom()
+		if aerr == nil {
+			out.Atoms = append(out.Atoms, a)
+		} else {
+			p.pos = save
+			b, berr := p.builtin()
+			if berr != nil {
+				return out, berr
+			}
+			out.Builtins = append(out.Builtins, b)
+		}
+		p.skipSpace()
+		if !p.consume(",") {
+			return out, nil
+		}
+	}
+}
+
+// atom := [ident ':'] ident '(' term (',' term)* ')'
+// The second identifier is required immediately (an atom must have parens).
+func (p *parser) atom() (Atom, error) {
+	p.skipSpace()
+	name, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	var a Atom
+	p.skipSpace()
+	if p.peek() == ':' && !strings.HasPrefix(p.rest(), ":=") {
+		p.pos++
+		p.skipSpace()
+		rel, err := p.ident()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Node, a.Rel = name, rel
+	} else {
+		a.Rel = name
+	}
+	p.skipSpace()
+	if !p.consume("(") {
+		return Atom{}, p.errf("expected '(' after relation name %q", a.Rel)
+	}
+	p.skipSpace()
+	if p.consume(")") {
+		return Atom{}, p.errf("empty atom %q()", a.Rel)
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Terms = append(a.Terms, t)
+		p.skipSpace()
+		if p.consume(",") {
+			p.skipSpace()
+			continue
+		}
+		if p.consume(")") {
+			return a, nil
+		}
+		return Atom{}, p.errf("expected ',' or ')' in atom %s", a.Rel)
+	}
+}
+
+// builtin := term op term
+func (p *parser) builtin() (Builtin, error) {
+	l, err := p.term()
+	if err != nil {
+		return Builtin{}, err
+	}
+	p.skipSpace()
+	var op Op
+	switch {
+	case p.consume("<>"), p.consume("!="):
+		op = OpNEQ
+	case p.consume("<="):
+		op = OpLE
+	case p.consume(">="):
+		op = OpGE
+	case p.consume("<"):
+		op = OpLT
+	case p.consume(">"):
+		op = OpGT
+	case p.consume("="):
+		op = OpEQ
+	default:
+		return Builtin{}, p.errf("expected comparison operator")
+	}
+	p.skipSpace()
+	r, err := p.term()
+	if err != nil {
+		return Builtin{}, err
+	}
+	return Builtin{Op: op, L: l, R: r}, nil
+}
+
+// term := variable | constant
+// Upper-case-initial identifiers are variables; lower-case identifiers are
+// string constants; quoted strings and integers are constants.
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	if p.eof() {
+		return Term{}, p.errf("expected term")
+	}
+	c := p.peek()
+	switch {
+	case c == '\'':
+		s, err := p.quoted()
+		if err != nil {
+			return Term{}, err
+		}
+		return C(sval(s)), nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	case isIdentStart(rune(c)):
+		name, err := p.ident()
+		if err != nil {
+			return Term{}, err
+		}
+		if unicode.IsUpper(rune(name[0])) || name[0] == '_' {
+			return V(name), nil
+		}
+		return C(sval(name)), nil
+	default:
+		return Term{}, p.errf("unexpected character %q", string(c))
+	}
+}
+
+func (p *parser) number() (Term, error) {
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		p.pos++
+	}
+	text := p.src[start:p.pos]
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Term{}, p.errf("bad integer %q", text)
+	}
+	return C(ival(n)), nil
+}
+
+func (p *parser) quoted() (string, error) {
+	if !p.consume("'") {
+		return "", p.errf("expected quote")
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated string literal")
+		}
+		c := p.src[p.pos]
+		p.pos++
+		if c == '\'' {
+			if p.peek() == '\'' { // doubled quote = literal quote
+				b.WriteByte('\'')
+				p.pos++
+				continue
+			}
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.eof() || !isIdentStart(rune(p.peek())) {
+		return "", p.errf("expected identifier")
+	}
+	for !p.eof() && isIdentPart(rune(p.peek())) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || r == '/' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

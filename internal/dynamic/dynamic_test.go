@@ -1,0 +1,261 @@
+package dynamic
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/peer"
+	"repro/internal/rules"
+)
+
+const baseNet = `
+node A { rel a(x,y) }
+node B { rel b(x,y) }
+node C { rel c(x,y) }
+node D { rel d(x,y) }
+rule rb: C:c(X,Y) -> B:b(X,Y)
+rule ra: B:b(X,Y) -> A:a(X,Y)
+fact C:c('1','2')
+fact C:c('3','4')
+fact D:d('9','9')
+super A
+`
+
+func parse(t *testing.T, src string) *rules.Network {
+	t.Helper()
+	net, err := rules.ParseNetwork(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestRuleSetAfter(t *testing.T) {
+	base := parse(t, baseNet)
+	ch := Change{
+		AddLink{RuleText: "rd: D:d(X,Y) -> A:a(X,Y)"},
+		DeleteLink{HeadNode: "B", RuleID: "rb"},
+	}
+	lower, err := ruleSetAfter(base, ch, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lower.Rules) != 1 || lower.Rules[0].ID != "ra" {
+		t.Fatalf("lower rules = %v", lower.Rules)
+	}
+	upper, err := ruleSetAfter(base, ch, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(upper.Rules) != 3 {
+		t.Fatalf("upper rules = %v", upper.Rules)
+	}
+}
+
+func TestBoundsAndCheckDef9Static(t *testing.T) {
+	base := parse(t, baseNet)
+	ch := Change{
+		AddLink{RuleText: "rd: D:d(X,Y) -> A:a(X,Y)"},
+		DeleteLink{HeadNode: "B", RuleID: "rb"},
+	}
+	lower, upper, err := Bounds(base, ch, rules.ApplyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower: only ra lives, so nothing flows into B; A stays empty too
+	// (B has no data beyond seeds... B has no seeds). Upper: both c-pairs
+	// reach A plus the d-pair via rd.
+	if lower["A"].Count("a") != 0 {
+		t.Errorf("lower A.a = %d", lower["A"].Count("a"))
+	}
+	if upper["A"].Count("a") != 3 {
+		t.Errorf("upper A.a = %d", upper["A"].Count("a"))
+	}
+	// The lower bound itself must satisfy Def 9 against the pair.
+	if err := CheckDef9(lower, lower, upper); err != nil {
+		t.Errorf("lower not within bounds: %v", err)
+	}
+	if err := CheckDef9(upper, lower, upper); err != nil {
+		t.Errorf("upper not within bounds: %v", err)
+	}
+	// And a fabricated violation must be caught.
+	if err := CheckDef9(lower, upper, upper); err == nil {
+		t.Error("lower cannot contain upper; CheckDef9 must fail")
+	}
+}
+
+// TestE8FiniteChangeDuringRun is the Definition 9 experiment: apply a finite
+// change while the update runs; the final state must land between the
+// deletes-first and adds-first fix-points, and the network must terminate.
+func TestE8FiniteChangeDuringRun(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		base := parse(t, baseNet)
+		ch := Change{
+			AddLink{RuleText: "rd: D:d(X,Y) -> A:a(X,Y)"},
+			DeleteLink{HeadNode: "B", RuleID: "rb"},
+		}
+		n, err := core.Build(base, core.Options{Seed: seed, MaxDelay: 500 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := testCtx(t)
+		if err := n.Discover(ctx); err != nil {
+			t.Fatal(err)
+		}
+		// Fire the update and inject the change concurrently.
+		done := make(chan error, 1)
+		go func() { done <- n.Update(ctx) }()
+		for _, op := range ch {
+			time.Sleep(time.Duration(seed) * 200 * time.Microsecond)
+			if err := Apply(n, op); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("seed %d: update did not terminate: %v", seed, err)
+		}
+		// Let any change-triggered traffic settle, then re-probe closure.
+		if err := n.Update(ctx); err != nil {
+			t.Fatalf("seed %d: re-update: %v", seed, err)
+		}
+		lower, upper, err := Bounds(base, ch, rules.ApplyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckDef9(n.Snapshot(), lower, upper); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		_ = n.Close()
+	}
+}
+
+func TestSeparatedUnderChange(t *testing.T) {
+	base := parse(t, baseNet)
+	// A,B,C never reach D in the base network.
+	ok, err := SeparatedUnderChange(base, nil, []string{"A", "B", "C"}, []string{"D"})
+	if err != nil || !ok {
+		t.Fatalf("base separation: %v %v", ok, err)
+	}
+	// A change adding a rule that makes A read D breaks separation.
+	ch := Change{AddLink{RuleText: "rd: D:d(X,Y) -> A:a(X,Y)"}}
+	ok, err = SeparatedUnderChange(base, ch, []string{"A", "B", "C"}, []string{"D"})
+	if err != nil || ok {
+		t.Fatalf("separation should break: %v %v", ok, err)
+	}
+	// A change entirely inside D's region keeps A separated.
+	ch = Change{
+		AddLink{RuleText: "rdd: D:d(X,Y) -> D:d(Y,X)"},
+	}
+	// Note: rdd reads and writes D; Definition 2 forbids self-rules, so use
+	// a second region node instead.
+	base2 := parse(t, baseNet+"node E { rel e(x,y) }\n")
+	ch = Change{AddLink{RuleText: "rde: E:e(X,Y) -> D:d(X,Y)"}}
+	ok, err = SeparatedUnderChange(base2, ch, []string{"A", "B", "C"}, []string{"D", "E"})
+	if err != nil || !ok {
+		t.Fatalf("region-internal change must preserve separation: %v %v", ok, err)
+	}
+}
+
+// TestE12SeparationUnderChurn is the Theorem 3 experiment: region {A,B,C}
+// is separated from churning region {D,E}; despite endless add/delete churn
+// on a D<-E rule, the separated region reaches closed with correct data.
+func TestE12SeparationUnderChurn(t *testing.T) {
+	src := baseNet + `
+node E { rel e(x,y) }
+fact E:e('7','8')
+`
+	base := parse(t, src)
+	n, err := core.Build(base, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	ctx := testCtx(t)
+	if err := n.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	churned := make(chan int, 1)
+	go func() {
+		churned <- Churn(n, "rde: E:e(X,Y) -> D:d(X,Y)", "D", "rde", 200*time.Microsecond, stop)
+	}()
+
+	if err := n.Update(ctx); err != nil {
+		t.Fatalf("separated region did not close under churn: %v", err)
+	}
+	for _, node := range []string{"A", "B", "C"} {
+		if n.Peer(node).State() != peer.Closed {
+			t.Errorf("%s not closed", node)
+		}
+	}
+	// The separated region's data matches the static fix-point of the base
+	// network restricted to it.
+	got, err := n.LocalQuery("A", "a(X,Y)", []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("A.a = %v", got)
+	}
+	close(stop)
+	if ops := <-churned; ops == 0 {
+		t.Log("note: churn applied no ops (slow machine); separation still validated")
+	}
+}
+
+func TestApplyUnknownTargets(t *testing.T) {
+	base := parse(t, baseNet)
+	n, err := core.Build(base, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	if err := Apply(n, AddLink{RuleText: "rx: Z:z(X) -> A:a(X,X)"}); err == nil {
+		t.Error("addLink reading unknown node must error")
+	}
+	if err := Apply(n, DeleteLink{HeadNode: "Z", RuleID: "r"}); err == nil {
+		t.Error("deleteLink at unknown node must error")
+	}
+	if err := Apply(n, AddLink{RuleText: "not a rule"}); err == nil {
+		t.Error("malformed rule must error")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if (AddLink{RuleText: "r: A:a(X) -> B:b(X)"}).String() == "" {
+		t.Error("AddLink.String empty")
+	}
+	if (DeleteLink{HeadNode: "B", RuleID: "r"}).String() != "deleteLink(B, r)" {
+		t.Error("DeleteLink.String wrong")
+	}
+}
+
+func TestRunSchedule(t *testing.T) {
+	base := parse(t, baseNet)
+	n, err := core.Build(base, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	errs := RunSchedule(n, []Scheduled{
+		{After: 0, Op: AddLink{RuleText: "rd: D:d(X,Y) -> A:a(X,Y)"}},
+		{After: time.Millisecond, Op: DeleteLink{HeadNode: "A", RuleID: "rd"}},
+	})
+	if len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+	errs = RunSchedule(n, []Scheduled{{Op: AddLink{RuleText: "broken"}}})
+	if len(errs) != 1 {
+		t.Fatalf("expected 1 error, got %v", errs)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+var quick = Config{RecordsPerNode: 12, Seed: 1, Timeout: 60 * time.Second}
+
+func TestE1TableMatchesPaper(t *testing.T) {
+	r, err := E1PathsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Table, "\tNO\n") {
+		t.Fatalf("computed paths disagree with the §2 table:\n%s", r.Table)
+	}
+	for _, path := range []string{"ABCDA", "BCDAB", "CDABE", "DABCD"} {
+		if !strings.Contains(r.Table, path) {
+			t.Errorf("path %s missing from table:\n%s", path, r.Table)
+		}
+	}
+}
+
+func TestE2TraceHasBothPhases(t *testing.T) {
+	r, err := E2Figure1Trace(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"requestNodes", "query", "answer"} {
+		if !strings.Contains(r.Table, kind) {
+			t.Errorf("chart missing %s:\n%s", kind, r.Table)
+		}
+	}
+	if !strings.HasPrefix(r.Table, ":A") {
+		t.Errorf("chart header wrong:\n%s", r.Table)
+	}
+}
+
+func TestE3TreeRowsPresent(t *testing.T) {
+	r, err := E3TreeDepth(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(r.Table, "\n"); got < 6 {
+		t.Fatalf("expected 5 depth rows:\n%s", r.Table)
+	}
+}
+
+func TestE5CliqueDuplicatesCounted(t *testing.T) {
+	r, err := E5Clique(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Table, "dup_answers") {
+		t.Fatalf("table:\n%s", r.Table)
+	}
+}
+
+func TestE8AllSeedsHold(t *testing.T) {
+	r, err := E8DynamicFinite(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Table, "VIOLATED") {
+		t.Fatalf("Definition 9 violated:\n%s", r.Table)
+	}
+}
+
+func TestE10DeltaSaves(t *testing.T) {
+	r, err := E10Delta(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Table, "bytes saved") {
+		t.Fatalf("table:\n%s", r.Table)
+	}
+	// The saving figure must be positive.
+	if strings.Contains(r.Table, "saved by delta:\t-") {
+		t.Fatalf("delta increased bytes:\n%s", r.Table)
+	}
+}
+
+func TestE11FixpointsAgree(t *testing.T) {
+	r, err := E11Baseline(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Table, "false") {
+		t.Fatalf("a baseline disagreed:\n%s", r.Table)
+	}
+}
+
+func TestE12SeparationHolds(t *testing.T) {
+	r, err := E12Separation(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tabwriter expands tabs to spaces: match the row loosely.
+	closed := false
+	for _, line := range strings.Split(r.Table, "\n") {
+		if strings.Contains(line, "closed") && strings.Contains(line, "true") {
+			closed = true
+		}
+	}
+	if !closed {
+		t.Fatalf("region did not close:\n%s", r.Table)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99", quick); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep skipped in -short mode")
+	}
+	results, err := All(Config{RecordsPerNode: 8, Seed: 2, Timeout: 120 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 13 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Table == "" || r.Title == "" {
+			t.Errorf("%s: empty output", r.ID)
+		}
+	}
+}
+
+func TestE13StagedWinsOnChain(t *testing.T) {
+	r, err := E13Staged(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract the chain rows and compare message counts.
+	var flood, staged uint64
+	for _, line := range strings.Split(r.Table, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && strings.HasPrefix(fields[0], "chain") {
+			var v uint64
+			if _, err := fmt.Sscanf(fields[2], "%d", &v); err != nil {
+				continue
+			}
+			if fields[1] == "flood" {
+				flood = v
+			} else {
+				staged = v
+			}
+		}
+	}
+	if flood == 0 || staged == 0 || staged >= flood {
+		t.Fatalf("staged should beat flood on a chain: flood=%d staged=%d\n%s", flood, staged, r.Table)
+	}
+}

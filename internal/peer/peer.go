@@ -1,0 +1,476 @@
+// Package peer implements the peer runtime of the distributed algorithm: the
+// topology-discovery state machine (algorithms A1–A3 of the paper), the
+// database-update state machine (A4–A6), local query answering, and the
+// control verbs of Sections 4 and 5 (dynamic rule changes, super-peer rule
+// broadcast, statistics collection).
+//
+// A Peer corresponds to one node of the P2P system: a local database with a
+// shared schema, the set of coordination rules of which the node is the
+// target, and the protocol state. Transports invoke Handle from a single
+// goroutine per peer (actor discipline); the internal mutex additionally
+// protects the public inspection API used by orchestration and tests.
+package peer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/graph"
+	"repro/internal/relalg"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// UpdateState is the paper's state_u: open until the node reaches its
+// fix-point, then closed (it may re-open when new data or changes arrive).
+type UpdateState uint8
+
+// Update states.
+const (
+	Open UpdateState = iota
+	Closed
+)
+
+// String renders the state.
+func (s UpdateState) String() string {
+	if s == Closed {
+		return "closed"
+	}
+	return "open"
+}
+
+// Options tunes a peer's behaviour.
+type Options struct {
+	// Delta enables the paper's delta optimisation ("minimize data transfer
+	// and duplication"): answers and pushes carry only tuples not
+	// previously sent on that subscription, and a node forwards its own
+	// queries once per epoch instead of once per incoming query (the
+	// faithful A4 re-forwards every time, enumerating every dependency
+	// path — measurably exponential on diamond-rich DAGs and cliques).
+	// Fresh pulls triggered by news, probes or topology changes are always
+	// sent; cyclic closure liveness is unaffected.
+	Delta bool
+	// InsertMode selects exact or core (subsumption) redundancy checking.
+	InsertMode storage.InsertMode
+	// MaxNullDepth bounds existential-null invention (0 = default).
+	MaxNullDepth int
+	// Maps holds the domain relations translating incoming values (the
+	// future-work extension of §2); only entries with To == this peer
+	// matter.
+	Maps rules.MapSet
+	// Recorder, when set, records protocol events for sequence charts.
+	Recorder *trace.Recorder
+}
+
+// subscription is the source-side registration created by a Query: the
+// paper's owner relation. The source re-answers its subscribers whenever its
+// data changes (A5).
+type subscription struct {
+	dependent string
+	ruleID    string
+	epoch     uint64
+	conj      cq.Conjunction
+	cols      []string
+	sent      map[string]bool // tuple keys already shipped (delta mode)
+}
+
+// partResult accumulates the result set received for one body part of a
+// rule (multi-source rules join their parts at the head node).
+type partResult struct {
+	cols   []string
+	tuples map[string]relalg.Tuple
+}
+
+// discWave is the per-wave discovery state (A2–A3): the spanning-tree echo
+// bookkeeping for one origin's discovery run.
+type discWave struct {
+	parent     string          // "" when this peer is the wave origin
+	requesters map[string]bool // everyone awaiting answers for this wave
+	pendingSrc map[string]bool // rule sources whose branch has not finished
+	finished   bool
+}
+
+// Peer is one node of the P2P database network.
+type Peer struct {
+	id string
+	db *storage.DB
+	tr transport.Transport
+	ct *stats.Counters
+
+	mu   sync.Mutex
+	opts Options
+
+	// Static-ish configuration.
+	rules     map[string]rules.Rule // rules of which this node is the target
+	neighbors map[string]bool       // pipe-level acquaintances (both directions)
+
+	// Topology knowledge: per asserting node, its versioned edge targets.
+	knowledge   map[string]wire.NodeEdges
+	ownVersion  uint64
+	waves       map[string]*discWave
+	waveSeq     uint64
+	selfWave    string // id of this peer's own discovery wave ("" = none yet)
+	pathsReady  bool
+	paths       map[string]bool // maximal dependency path key -> flagged stable
+	discStarted time.Time
+
+	// Update state.
+	epoch        uint64
+	activated    bool
+	forwarded    bool // own queries sent this epoch (delta-mode dedup)
+	stateU       UpdateState
+	ruleComplete map[string]map[string]bool // ruleID -> part -> sender complete
+	parts        map[string]map[string]*partResult
+	subs         map[string]*subscription // key dependent+"\x00"+ruleID
+	started      time.Time
+	cyclic       bool // some maximal path returns to this node
+
+	// Dynamic-change bookkeeping.
+	seenChanges  map[string]bool
+	statsReports map[string]stats.Snapshot // super-peer: collected reports
+}
+
+// New creates a peer with its schemas and the rules targeting it.
+func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.Transport, opts Options) (*Peer, error) {
+	p := &Peer{
+		id:           id,
+		db:           storage.New(schemas...),
+		tr:           tr,
+		ct:           stats.NewCounters(id),
+		opts:         opts,
+		rules:        map[string]rules.Rule{},
+		neighbors:    map[string]bool{},
+		knowledge:    map[string]wire.NodeEdges{},
+		waves:        map[string]*discWave{},
+		paths:        map[string]bool{},
+		ruleComplete: map[string]map[string]bool{},
+		parts:        map[string]map[string]*partResult{},
+		subs:         map[string]*subscription{},
+		seenChanges:  map[string]bool{},
+		statsReports: map[string]stats.Snapshot{},
+	}
+	for _, r := range ruleSet {
+		if r.HeadNode != id {
+			return nil, fmt.Errorf("peer %s: rule %s targets %s", id, r.ID, r.HeadNode)
+		}
+		p.rules[r.ID] = r
+	}
+	p.refreshOwnEdges()
+	if err := tr.Register(id, p.Handle); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ID returns the node identifier.
+func (p *Peer) ID() string { return p.id }
+
+// DB exposes the local database (reads are safe; writes must go through the
+// protocol or seeding helpers).
+func (p *Peer) DB() *storage.DB { return p.db }
+
+// Counters exposes the statistics module.
+func (p *Peer) Counters() *stats.Counters { return p.ct }
+
+// AddNeighbor records a pipe-level acquaintance (used by the StartUpdate
+// flood; the paper's prototype opens pipes in both rule directions).
+func (p *Peer) AddNeighbor(n string) {
+	p.mu.Lock()
+	if n != p.id {
+		p.neighbors[n] = true
+	}
+	p.mu.Unlock()
+}
+
+// Seed inserts ground facts into the local database (initial data loading;
+// not part of the protocol).
+func (p *Peer) Seed(rel string, tuples ...relalg.Tuple) error {
+	for _, t := range tuples {
+		if _, err := p.db.Insert(rel, t, p.opts.InsertMode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// State returns the current update state.
+func (p *Peer) State() UpdateState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stateU
+}
+
+// Activated reports whether the peer has joined the current update epoch.
+func (p *Peer) Activated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.activated
+}
+
+// Epoch returns the current update epoch.
+func (p *Peer) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// PathsReady reports whether the peer's own discovery wave has completed.
+func (p *Peer) PathsReady() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pathsReady
+}
+
+// AllMaximalPaths returns the complete set of maximal dependency paths from
+// this node (Definitions 6–7) computed over current knowledge, including the
+// unconfirmable inner-repeat paths excluded from the closure flag set.
+func (p *Peer) AllMaximalPaths() []graph.Path {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.knowledgeGraph().MaximalPaths(p.id)
+}
+
+// Paths returns the peer's closure-tracked maximal dependency paths (the
+// confirmable subset; see recomputePaths) and their stability flags.
+func (p *Peer) Paths() map[string]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]bool, len(p.paths))
+	for k, v := range p.paths {
+		out[k] = v
+	}
+	return out
+}
+
+// KnownEdges returns the currently known dependency edges, sorted.
+func (p *Peer) KnownEdges() []graph.Edge {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []graph.Edge
+	for _, ne := range p.knowledge {
+		for _, t := range ne.Targets {
+			out = append(out, graph.Edge{From: ne.Node, To: t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Rules returns the ids of the rules targeting this node, sorted.
+func (p *Peer) Rules() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.rules))
+	for id := range p.rules {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LocalQuery evaluates a conjunctive query against the local database only
+// (Definition 4: after a completed update, local answers are global
+// answers).
+func (p *Peer) LocalQuery(body string, outVars []string) ([]relalg.Tuple, error) {
+	conj, err := cq.ParseConjunction(body)
+	if err != nil {
+		return nil, err
+	}
+	p.ct.AddQueries(1)
+	return cq.Eval(p.db, conj, outVars)
+}
+
+// StatsReports returns the per-node snapshots a super-peer has collected.
+func (p *Peer) StatsReports() map[string]stats.Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]stats.Snapshot, len(p.statsReports))
+	for k, v := range p.statsReports {
+		out[k] = v
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Messaging helpers
+
+// send dispatches a message, recording statistics and trace events.
+func (p *Peer) send(to string, m wire.Message) {
+	p.ct.Sent(m.Kind(), m.Size())
+	if p.opts.Recorder != nil {
+		note := ""
+		switch msg := m.(type) {
+		case wire.Query:
+			note = msg.RuleID
+		case wire.Answer:
+			note = fmt.Sprintf("%s (%d tuples)", msg.RuleID, len(msg.Tuples))
+		case wire.RequestNodes:
+			note = msg.Wave
+		case wire.DiscoveryAnswer:
+			note = msg.Wave
+		}
+		p.opts.Recorder.Record(p.id, to, m.Kind(), note)
+	}
+	if err := p.tr.Send(p.id, to, m); err != nil {
+		// Unknown or unreachable peers are a dynamic-network fact of life;
+		// the protocol tolerates lost links (Section 4).
+		return
+	}
+}
+
+// Handle processes one incoming envelope; transports call it serially.
+func (p *Peer) Handle(env wire.Envelope) {
+	p.ct.Received(env.Msg.Kind(), env.Msg.Size())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch m := env.Msg.(type) {
+	case wire.RequestNodes:
+		p.handleRequestNodes(env.From, m)
+	case wire.DiscoveryAnswer:
+		p.handleDiscoveryAnswer(env.From, m)
+	case wire.StartUpdate:
+		p.handleStartUpdate(env.From, m)
+	case wire.Query:
+		p.handleQuery(env.From, m)
+	case wire.Answer:
+		p.handleAnswer(env.From, m)
+	case wire.Unsubscribe:
+		delete(p.subs, subKey(env.From, m.RuleID))
+	case wire.AddRuleNotice:
+		p.handleAddRule(m)
+	case wire.DeleteRuleNotice:
+		p.handleDeleteRule(m)
+	case wire.TopoChanged:
+		p.handleTopoChanged(m)
+	case wire.SetNetwork:
+		p.handleSetNetwork(m)
+	case wire.StatsRequest:
+		snap := p.ct.Snapshot()
+		p.send(env.From, wire.StatsReport{Snapshot: snap})
+	case wire.StatsReport:
+		p.statsReports[m.Snapshot.Node] = m.Snapshot
+	case wire.StatsReset:
+		p.ct.Reset()
+	}
+}
+
+func subKey(dependent, ruleID string) string { return dependent + "\x00" + ruleID }
+
+// refreshOwnEdges recomputes this node's self-asserted dependency edges from
+// its rule set and bumps the version.
+func (p *Peer) refreshOwnEdges() {
+	targets := map[string]bool{}
+	for _, r := range p.rules {
+		for _, src := range r.SourceNodes() {
+			targets[src] = true
+		}
+	}
+	list := make([]string, 0, len(targets))
+	for t := range targets {
+		list = append(list, t)
+	}
+	sort.Strings(list)
+	p.ownVersion++
+	p.knowledge[p.id] = wire.NodeEdges{Node: p.id, Version: p.ownVersion, Targets: list}
+}
+
+// mergeKnowledge folds received edge assertions in, replacing stale versions.
+// It reports whether anything changed.
+func (p *Peer) mergeKnowledge(in []wire.NodeEdges) bool {
+	changed := false
+	for _, ne := range in {
+		cur, ok := p.knowledge[ne.Node]
+		if ok && cur.Version >= ne.Version {
+			continue
+		}
+		p.knowledge[ne.Node] = ne
+		changed = true
+	}
+	return changed
+}
+
+// knowledgeList snapshots the knowledge map in deterministic order.
+func (p *Peer) knowledgeList() []wire.NodeEdges {
+	out := make([]wire.NodeEdges, 0, len(p.knowledge))
+	for _, ne := range p.knowledge {
+		out = append(out, ne)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// knowledgeGraph materialises the known edges as a graph.
+func (p *Peer) knowledgeGraph() *graph.Graph {
+	g := graph.New()
+	g.AddNode(p.id)
+	for _, ne := range p.knowledge {
+		g.AddNode(ne.Node)
+		for _, t := range ne.Targets {
+			g.AddEdge(ne.Node, t)
+		}
+	}
+	return g
+}
+
+// recomputePaths re-derives the maximal dependency paths from current
+// knowledge, preserving stability flags of surviving paths. Callers hold mu.
+//
+// Only *confirmable* maximal paths enter the closure flag set: those ending
+// at a dead-end node or cycling back to this node. A maximal path ending at
+// an inner repeat (say X→Y→Z→Y seen from X) can never be traversed by a
+// no-news cascade — the paper's own stop rule halts the result set at the
+// repeated node (Y), so the confirmation can never reach X. The stability of
+// such inner cycles is certified at their own nodes (Y's path Y→Z→Y), whose
+// closure propagates through rule-completeness; keeping the unconfirmable
+// paths in the flag set would block closure forever on any clique of three
+// or more nodes.
+func (p *Peer) recomputePaths() {
+	g := p.knowledgeGraph()
+	fresh := map[string]bool{}
+	cyclic := false
+	for _, path := range g.MaximalPaths(p.id) {
+		last := path[len(path)-1]
+		if last == p.id {
+			cyclic = true
+		} else if len(g.Succ(last)) > 0 {
+			continue // inner-repeat ending: unconfirmable by construction
+		}
+		k := path.Key()
+		fresh[k] = p.paths[k] // unknown paths start unflagged (false)
+	}
+	p.paths = fresh
+	p.cyclic = cyclic
+}
+
+// pathKeyOf converts a route (oldest node first) arriving at this peer into
+// the dependency-path key it confirms: reverse(route) prefixed with this id.
+func (p *Peer) pathKeyOf(route []string) string {
+	parts := make([]string, 0, len(route)+1)
+	parts = append(parts, p.id)
+	for i := len(route) - 1; i >= 0; i-- {
+		parts = append(parts, route[i])
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func routeContains(route []string, id string) bool {
+	for _, n := range route {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package peer
+
+import (
+	"time"
+)
+
+// Support for the topology-aware update strategy (the paper's §3 note that
+// optimisations can "exploit the knowledge of specific topological
+// structures"). The orchestrator activates every peer quietly, then drives
+// pulls SCC by SCC in dependency order, so each stage reads already-final
+// sources: no intermediate change waves, no redundant re-pulls.
+
+// ActivateQuiet joins the update epoch without flooding the kick-off and
+// without pulling: the orchestrator controls when this peer pulls. A peer
+// with no rules closes immediately, as in the normal activation.
+func (p *Peer) ActivateQuiet(epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.activated && p.epoch >= epoch {
+		return
+	}
+	p.epoch = epoch
+	p.activated = true
+	p.started = time.Now()
+	p.ruleComplete = map[string]map[string]bool{}
+	p.parts = map[string]map[string]*partResult{}
+	p.forwarded = false
+	for k := range p.paths {
+		p.paths[k] = false
+	}
+	if len(p.rules) == 0 {
+		p.stateU = Closed
+		p.ct.SetUpdateClosed(0)
+		p.notifySubsLocked(true)
+		return
+	}
+	p.stateU = Open
+	if p.selfWave == "" {
+		p.startDiscoveryLocked()
+	}
+}
+
+// ForcePull issues this peer's own queries unconditionally (fresh requester
+// chain), regardless of state or forwarding dedup. Used by the staged update
+// strategy and by operators.
+func (p *Peer) ForcePull() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.activated || len(p.rules) == 0 {
+		return
+	}
+	p.sendQueriesLocked(nil, false, nil)
+}
+
+// ReopenForEpoch is used by orchestration when staging discovers that a
+// closed node must incorporate more data (defensive; the protocol's own
+// self-stabilisation normally handles it).
+func (p *Peer) ReopenForEpoch(epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epoch != epoch || len(p.rules) == 0 {
+		return
+	}
+	if p.stateU == Closed {
+		p.stateU = Open
+		p.notifySubsLocked(false)
+	}
+}

@@ -1,0 +1,146 @@
+package peer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestPaperExampleOverTCP runs the complete two-phase protocol on the
+// paper's running example with every peer behind a real TCP socket: the
+// algorithm only ever needed reliable point-to-point messages, so the
+// fix-point must be byte-identical to the in-memory run.
+func TestPaperExampleOverTCP(t *testing.T) {
+	def := rules.PaperExampleSeeded()
+
+	transports := map[string]*transport.TCP{}
+	defer func() {
+		for _, tr := range transports {
+			_ = tr.Close()
+		}
+	}()
+	for _, decl := range def.Nodes {
+		tr, err := transport.NewTCP("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[decl.Name] = tr
+	}
+	for _, tr := range transports {
+		for name, other := range transports {
+			tr.SetPeerAddr(name, other.Addr())
+		}
+	}
+
+	byHead := map[string][]rules.Rule{}
+	for _, r := range def.Rules {
+		byHead[r.HeadNode] = append(byHead[r.HeadNode], r)
+	}
+	peers := map[string]*Peer{}
+	for _, decl := range def.Nodes {
+		p, err := New(decl.Name, decl.Schemas, byHead[decl.Name], transports[decl.Name], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[decl.Name] = p
+	}
+	for _, r := range def.Rules {
+		for _, src := range r.SourceNodes() {
+			peers[r.HeadNode].AddNeighbor(src)
+			peers[src].AddNeighbor(r.HeadNode)
+		}
+	}
+	for _, f := range def.Facts {
+		if err := peers[f.Node].Seed(f.Rel, f.Tuple); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	peers["A"].StartDiscovery()
+	waitFor(t, 20*time.Second, func() bool {
+		for _, p := range peers {
+			if len(p.Rules()) > 0 && !p.PathsReady() {
+				return false
+			}
+		}
+		return true
+	}, "discovery")
+
+	peers["A"].StartUpdateWave()
+	closed := func() bool {
+		for _, p := range peers {
+			if p.Activated() && p.State() != Closed {
+				return false
+			}
+		}
+		return true
+	}
+	// Poll with probe recovery, as a real deployment would.
+	deadline := time.Now().Add(30 * time.Second)
+	for !closed() {
+		if time.Now().After(deadline) {
+			t.Fatalf("update did not close over TCP")
+		}
+		time.Sleep(50 * time.Millisecond)
+		if !closed() {
+			for _, p := range peers {
+				p.Probe()
+			}
+		}
+	}
+
+	// Same fix-point counts as the in-memory/centralised run of the
+	// seeded example (established by the core test suite).
+	want := map[string]int{"A": 4, "B": 4, "C": 8, "D": 6, "E": 3}
+	for node, count := range want {
+		if got := peers[node].DB().TotalTuples(); got != count {
+			t.Errorf("%s holds %d tuples over TCP, want %d", node, got, count)
+		}
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s did not complete within %v", what, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDuplicateAnswerDeliveryIsIdempotent re-delivers the same Answer
+// message several times: the chase step must deduplicate (deterministic
+// Skolemisation) and the node must not oscillate.
+func TestDuplicateAnswerDeliveryIsIdempotent(t *testing.T) {
+	hs := newHarness(t, Options{})
+	hs.h.StartUpdateWave()
+	hs.quiesce(t)
+	before := hs.h.DB().Count("h")
+	if before != 1 {
+		t.Fatalf("h = %d", before)
+	}
+	// Replay the source's direct answer three times.
+	msg := wire.Answer{
+		Epoch:   hs.h.Epoch(),
+		RuleID:  "r",
+		Part:    "S",
+		Columns: []string{"X", "Y"},
+		Tuples:  hs.s.DB().Rel("s").All(),
+		Route:   []string{"S"},
+	}
+	for i := 0; i < 3; i++ {
+		hs.h.Handle(wire.Envelope{From: "S", To: "H", Msg: msg})
+	}
+	hs.quiesce(t)
+	if got := hs.h.DB().Count("h"); got != before {
+		t.Fatalf("duplicate deliveries changed the database: %d -> %d", before, got)
+	}
+	if dup := hs.h.Counters().Snapshot().TuplesDuplicate; dup < 3 {
+		t.Errorf("duplicate answers not counted: %d", dup)
+	}
+}

@@ -1,0 +1,488 @@
+package peer
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/relalg"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+// Database update (algorithms A4–A6 of the paper).
+//
+// The global update is a pull-push fix-point: Query messages travel up
+// dependency edges carrying the requester chain SN (loop control: a node
+// forwards its own queries only while open and absent from SN — this is what
+// enumerates the dependency paths), every query is answered immediately with
+// the current evaluation of the rule body part, and every applied answer
+// that changes the database triggers re-answers to all subscribers (the
+// owner relation). An Answer carries the route the result set has travelled;
+// the paper's fix-point rule — stop propagating iff the receiver is on the
+// route and the answer brings no new data — terminates cycles, and a no-news
+// answer whose reversed route matches one of the receiver's maximal
+// dependency paths flags that path stable. A node closes when either all its
+// rules' parts are complete (acyclic closure) or all its maximal dependency
+// paths are flagged stable (cyclic closure); new data re-opens it, making
+// the protocol self-stabilising under races and dynamic change.
+
+// StartUpdateWave makes this peer the update super-node: it bumps the epoch,
+// activates itself and floods StartUpdate over acquaintance links. It
+// returns the new epoch.
+func (p *Peer) StartUpdateWave() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	epoch := p.epoch + 1
+	p.activateLocked(epoch, "")
+	return epoch
+}
+
+// handleStartUpdate implements the kick-off flood. Callers hold mu.
+func (p *Peer) handleStartUpdate(from string, m wire.StartUpdate) {
+	if p.activated && m.Epoch <= p.epoch {
+		return
+	}
+	p.activateLocked(m.Epoch, from)
+}
+
+// activateLocked (re)enters the update epoch: reset per-epoch state, flood
+// the kick-off onward, lazily self-discover, and pull from all rule sources.
+func (p *Peer) activateLocked(epoch uint64, from string) {
+	p.epoch = epoch
+	p.activated = true
+	p.started = time.Now()
+	p.ruleComplete = map[string]map[string]bool{}
+	p.parts = map[string]map[string]*partResult{}
+	p.forwarded = false
+	for k := range p.paths {
+		p.paths[k] = false
+	}
+	p.stateU = Open
+
+	// Flood over acquaintances (both rule directions) except the sender.
+	for n := range p.neighbors {
+		if n != from {
+			p.send(n, wire.StartUpdate{Epoch: epoch, Origin: p.id})
+		}
+	}
+	if len(p.rules) == 0 {
+		// A node with no incoming rules holds final data from the start.
+		p.stateU = Closed
+		p.ct.SetUpdateClosed(0)
+		p.notifySubsLocked(true)
+		return
+	}
+	if p.selfWave == "" {
+		p.startDiscoveryLocked()
+	}
+	p.sendQueriesLocked(nil, false, nil)
+}
+
+// sendQueriesLocked sends this node's own queries for every rule part, with
+// requester chain [self]+basePath (A4's ID+SN). Scoped pulls restrict to
+// rules whose head relations intersect needRels.
+func (p *Peer) sendQueriesLocked(basePath []string, scoped bool, needRels map[string]bool) {
+	p.forwarded = true
+	path := make([]string, 0, len(basePath)+1)
+	path = append(path, p.id)
+	path = append(path, basePath...)
+
+	ids := make([]string, 0, len(p.rules))
+	for id := range p.rules {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r := p.rules[id]
+		if scoped && !ruleTargets(r, needRels) {
+			continue
+		}
+		for _, src := range r.SourceNodes() {
+			part, cols := r.BodyPart(src)
+			if len(part.Atoms) == 0 {
+				continue
+			}
+			p.send(src, wire.Query{
+				Epoch:  p.epoch,
+				RuleID: r.ID,
+				Conj:   part.String(),
+				Cols:   cols,
+				Path:   path,
+				Scoped: scoped,
+			})
+		}
+	}
+}
+
+// ruleTargets reports whether any head atom of r writes a relation in rels.
+func ruleTargets(r rules.Rule, rels map[string]bool) bool {
+	if rels == nil {
+		return true
+	}
+	for _, a := range r.Head {
+		if rels[a.Rel] {
+			return true
+		}
+	}
+	return false
+}
+
+// handleQuery implements A4 (source side). Callers hold mu.
+func (p *Peer) handleQuery(from string, m wire.Query) {
+	if m.Epoch > p.epoch {
+		// A query from a newer epoch activates this node for it. Full
+		// activation matters: the node must also forward the kick-off
+		// flood, otherwise a query racing ahead of the StartUpdate message
+		// would swallow the wave and leave parts of the component asleep.
+		p.activateLocked(m.Epoch, "")
+	}
+
+	conj, err := cq.ParseConjunction(m.Conj)
+	if err != nil {
+		// Malformed query: answer empty so the requester does not hang.
+		p.send(from, wire.Answer{Epoch: m.Epoch, RuleID: m.RuleID, Part: p.id,
+			Complete: p.stateU == Closed, Route: []string{p.id}})
+		return
+	}
+
+	key := subKey(from, m.RuleID)
+	if prev, ok := p.subs[key]; ok && prev.epoch == m.Epoch {
+		p.ct.AddDuplicateQueries(1)
+	}
+	sub := &subscription{
+		dependent: from,
+		ruleID:    m.RuleID,
+		epoch:     m.Epoch,
+		conj:      conj,
+		cols:      m.Cols,
+	}
+	if p.opts.Delta {
+		if prev, ok := p.subs[key]; ok && prev.sent != nil && sameCols(prev.cols, m.Cols) {
+			sub.sent = prev.sent // keep the high-water set across re-queries
+		} else {
+			sub.sent = map[string]bool{}
+		}
+	}
+	p.subs[key] = sub
+
+	// Immediate answer with the current evaluation (A4's first step).
+	tuples := p.evalForSub(sub)
+	p.send(from, wire.Answer{
+		Epoch:    m.Epoch,
+		RuleID:   m.RuleID,
+		Part:     p.id,
+		Columns:  sub.cols,
+		Tuples:   tuples,
+		Complete: p.stateU == Closed,
+		Delta:    p.opts.Delta,
+		Route:    []string{p.id},
+	})
+
+	// Forward own queries while open and not already on the chain (A4).
+	// In delta mode the forwarding is deduplicated per epoch: re-forwarding
+	// on every incoming query (the faithful behaviour) enumerates every
+	// dependency path, which is the message blow-up the paper's delta
+	// optimisation exists to avoid.
+	if p.opts.Delta && p.forwarded {
+		return
+	}
+	if p.stateU == Open && !routeContains(m.Path, p.id) {
+		var need map[string]bool
+		if m.Scoped {
+			need = map[string]bool{}
+			for _, a := range conj.Atoms {
+				need[a.Rel] = true
+			}
+		}
+		p.sendQueriesLocked(m.Path, m.Scoped, need)
+	}
+}
+
+func sameCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalForSub evaluates a subscription's conjunction, returning the payload
+// to ship (full result, or unsent tuples in delta mode). Callers hold mu.
+func (p *Peer) evalForSub(sub *subscription) []relalg.Tuple {
+	p.ct.AddQueries(1)
+	result, err := cq.Eval(p.db, sub.conj, sub.cols)
+	if err != nil {
+		return nil
+	}
+	if sub.sent == nil {
+		return result
+	}
+	out := result[:0:0]
+	for _, t := range result {
+		k := t.Key()
+		if !sub.sent[k] {
+			sub.sent[k] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// handleAnswer implements A5 + A6. Callers hold mu.
+func (p *Peer) handleAnswer(from string, m wire.Answer) {
+	if m.Epoch != p.epoch {
+		if m.Epoch < p.epoch {
+			return // stale epoch
+		}
+		// Future epoch: full activation (see handleQuery).
+		p.activateLocked(m.Epoch, "")
+	}
+	r, ok := p.rules[m.RuleID]
+	if !ok {
+		// The rule was deleted while the answer was in flight.
+		p.send(from, wire.Unsubscribe{RuleID: m.RuleID})
+		return
+	}
+
+	// Accumulate the part result (monotone union; no retraction in the
+	// model, so delta and full answers merge identically).
+	byPart := p.parts[m.RuleID]
+	if byPart == nil {
+		byPart = map[string]*partResult{}
+		p.parts[m.RuleID] = byPart
+	}
+	pr := byPart[m.Part]
+	if pr == nil {
+		pr = &partResult{cols: m.Columns, tuples: map[string]relalg.Tuple{}}
+		byPart[m.Part] = pr
+	}
+	dm := p.opts.Maps.For(m.Part, p.id)
+	for _, t := range m.Tuples {
+		t = dm.TranslateTuple(t)
+		pr.tuples[t.Key()] = t
+	}
+
+	// A6: chase the rule with the joined parts.
+	bindings := p.joinPartsLocked(r)
+	res, err := rules.Apply(p.db, r, bindings, rules.ApplyOptions{
+		Mode:         p.opts.InsertMode,
+		MaxNullDepth: p.opts.MaxNullDepth,
+	})
+	if err != nil {
+		return
+	}
+	news := res.Added > 0
+	p.ct.AddInserted(uint64(res.Added))
+	p.ct.AddTruncated(uint64(res.Truncated))
+	if news {
+		p.ct.AddUpdates(1)
+	} else {
+		p.ct.AddDuplicate(1)
+	}
+
+	// Rule-part completeness (acyclic closure input).
+	rc := p.ruleComplete[m.RuleID]
+	if rc == nil {
+		rc = map[string]bool{}
+		p.ruleComplete[m.RuleID] = rc
+	}
+	rc[m.Part] = m.Complete
+
+	if news {
+		// New data invalidates path stability and may re-open the node.
+		for k := range p.paths {
+			p.paths[k] = false
+		}
+	} else {
+		// The fix-point rule's positive side: a no-news round trip along a
+		// maximal dependency path flags it stable.
+		if k := p.pathKeyOf(m.Route); len(m.Route) > 0 {
+			if _, exists := p.paths[k]; exists {
+				p.paths[k] = true
+			}
+		}
+	}
+
+	// Propagation (A5): stop iff on the route with no news. A push that
+	// carries newly derived data is a fresh result set originating here, so
+	// its route restarts at this node; a no-news push relays a confirmation
+	// of an earlier result set and extends its route — these extending
+	// no-news cascades are what eventually traverse (and flag) every
+	// maximal dependency path.
+	if news {
+		p.pushToSubsLocked([]string{p.id})
+	} else if !routeContains(m.Route, p.id) {
+		route := make([]string, 0, len(m.Route)+1)
+		route = append(route, m.Route...)
+		route = append(route, p.id)
+		p.pushToSubsLocked(route)
+	}
+
+	p.checkClosureLocked()
+
+	// Closure liveness in cycles: new data must trigger fresh confirming
+	// cascades along this node's dependency paths.
+	if news && p.cyclic && p.pathsReady && p.stateU == Open {
+		p.sendQueriesLocked(nil, false, nil)
+	}
+}
+
+// joinPartsLocked joins the accumulated part results of a rule into bindings
+// over the rule's export variables (in ExportVars order). Callers hold mu.
+func (p *Peer) joinPartsLocked(r rules.Rule) []relalg.Tuple {
+	byPart := p.parts[r.ID]
+	parts := make(map[string]rules.PartTuples, len(byPart))
+	for src, pr := range byPart {
+		pt := rules.PartTuples{Cols: pr.cols, Tuples: make([]relalg.Tuple, 0, len(pr.tuples))}
+		keys := make([]string, 0, len(pr.tuples))
+		for k := range pr.tuples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pt.Tuples = append(pt.Tuples, pr.tuples[k])
+		}
+		parts[src] = pt
+	}
+	return rules.JoinParts(r, parts)
+}
+
+// pushToSubsLocked re-answers every subscriber with the current evaluation
+// (A5's owner push), extending the route. Callers hold mu.
+func (p *Peer) pushToSubsLocked(route []string) {
+	keys := make([]string, 0, len(p.subs))
+	for k := range p.subs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sub := p.subs[k]
+		tuples := p.evalForSub(sub)
+		epoch := sub.epoch
+		if p.epoch > epoch {
+			epoch = p.epoch
+		}
+		p.send(sub.dependent, wire.Answer{
+			Epoch:    epoch,
+			RuleID:   sub.ruleID,
+			Part:     p.id,
+			Columns:  sub.cols,
+			Tuples:   tuples,
+			Complete: p.stateU == Closed,
+			Delta:    p.opts.Delta,
+			Route:    route,
+		})
+	}
+}
+
+// notifySubsLocked ships empty state-change notifications (closure or
+// re-opening) to all subscribers. Callers hold mu.
+func (p *Peer) notifySubsLocked(complete bool) {
+	keys := make([]string, 0, len(p.subs))
+	for k := range p.subs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sub := p.subs[k]
+		epoch := sub.epoch
+		if p.epoch > epoch {
+			epoch = p.epoch
+		}
+		p.send(sub.dependent, wire.Answer{
+			Epoch:    epoch,
+			RuleID:   sub.ruleID,
+			Part:     p.id,
+			Columns:  sub.cols,
+			Complete: complete,
+			Delta:    true, // empty delta: a pure flag carrier
+			Route:    []string{p.id},
+		})
+	}
+}
+
+// checkClosureLocked recomputes state_u from the closure conditions and
+// performs the open↔closed transition with subscriber notification. Callers
+// hold mu.
+func (p *Peer) checkClosureLocked() {
+	if !p.activated {
+		return
+	}
+	closed := p.closureHoldsLocked()
+	switch {
+	case closed && p.stateU == Open:
+		p.stateU = Closed
+		p.ct.SetUpdateClosed(time.Since(p.started))
+		p.notifySubsLocked(true)
+	case !closed && p.stateU == Closed:
+		p.stateU = Open
+		p.notifySubsLocked(false)
+	}
+}
+
+// closureHoldsLocked evaluates Lemma 1's fix-point condition per rule part:
+// for every source either the source declared itself complete (acyclic
+// closure: its data is final and incorporated) or every cyclic dependency
+// path through that source — the paths whose confirming cascades this node
+// itself regenerates by re-querying — is flagged stable. Dead-end paths
+// through a source are subsumed by that source's own completeness; mixing
+// the two conditions globally would deadlock two open cycle partners whose
+// other branches lead into already-closed regions (closed nodes never
+// re-query, so those branch confirmations could not regenerate).
+func (p *Peer) closureHoldsLocked() bool {
+	if len(p.rules) == 0 {
+		return true
+	}
+	for id, r := range p.rules {
+		rc := p.ruleComplete[id]
+		for _, src := range r.SourceNodes() {
+			if rc != nil && rc[src] {
+				continue
+			}
+			// Source not complete: fall back to cyclic confirmation.
+			if !p.pathsReady {
+				return false
+			}
+			confirmed := false
+			for key, stable := range p.paths {
+				parts := strings.Split(key, "\x00")
+				if len(parts) < 3 || parts[1] != src || parts[len(parts)-1] != p.id {
+					continue // not a cyclic path through this source
+				}
+				if !stable {
+					return false
+				}
+				confirmed = true
+			}
+			if !confirmed {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// QueryDependentUpdate starts a scoped pull wave that materialises only the
+// data relevant to the given local query body (Section 5's query-dependent
+// updates). The caller should wait for network quiescence and then evaluate
+// the query locally.
+func (p *Peer) QueryDependentUpdate(body string) error {
+	conj, err := cq.ParseConjunction(body)
+	if err != nil {
+		return err
+	}
+	need := map[string]bool{}
+	for _, a := range conj.Atoms {
+		need[a.Rel] = true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sendQueriesLocked(nil, true, need)
+	return nil
+}

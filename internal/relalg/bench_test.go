@@ -1,0 +1,75 @@
+package relalg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRelationInsert measures duplicate-free insertion throughput.
+func BenchmarkRelationInsert(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRelation(MakeSchema("bench", 2))
+	for i := 0; i < b.N; i++ {
+		t := Tuple{S(fmt.Sprintf("k%d", i)), I(int64(i))}
+		if _, err := r.Insert(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelationInsertDuplicates measures the dedup fast path.
+func BenchmarkRelationInsertDuplicates(b *testing.B) {
+	r := NewRelation(MakeSchema("bench", 2))
+	t := Tuple{S("same"), S("tuple")}
+	if _, err := r.Insert(t); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Insert(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTupleKey measures the canonical key encoding.
+func BenchmarkTupleKey(b *testing.B) {
+	t := Tuple{S("conf/edbt/franconi04-1-2"), S("enrico_franconi"), I(2004), Null("d1|r|V|k")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = t.Key()
+	}
+}
+
+// BenchmarkSubsumedByExisting measures the core-mode redundancy scan.
+func BenchmarkSubsumedByExisting(b *testing.B) {
+	r := NewRelation(MakeSchema("bench", 3))
+	for i := 0; i < 1000; i++ {
+		_, _ = r.Insert(Tuple{S(fmt.Sprintf("k%d", i)), S("a"), I(int64(i))})
+	}
+	probe := Tuple{S("k500"), Null("n"), I(500)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.SubsumedByExisting(probe) {
+			b.Fatal("probe should be subsumed")
+		}
+	}
+}
+
+// BenchmarkValueEncode measures the binary codec used by the TCP transport.
+func BenchmarkValueEncode(b *testing.B) {
+	v := S("conf/edbt/franconi04")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back Value
+		if err := back.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package relalg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler so that Values (and
+// therefore Tuples) can travel inside gob-encoded protocol messages. The
+// format is one kind byte followed by the payload (varint for ints, raw
+// bytes for strings and null labels).
+func (v Value) MarshalBinary() ([]byte, error) {
+	switch v.kind {
+	case KindInt:
+		buf := make([]byte, 1+binary.MaxVarintLen64)
+		buf[0] = byte(KindInt)
+		n := binary.PutVarint(buf[1:], v.num)
+		return buf[:1+n], nil
+	case KindNull:
+		return append([]byte{byte(KindNull)}, v.str...), nil
+	default:
+		return append([]byte{byte(KindString)}, v.str...), nil
+	}
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *Value) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("relalg: empty value encoding")
+	}
+	switch Kind(data[0]) {
+	case KindInt:
+		n, read := binary.Varint(data[1:])
+		if read <= 0 {
+			return fmt.Errorf("relalg: bad varint in value encoding")
+		}
+		*v = I(n)
+	case KindNull:
+		*v = Null(string(data[1:]))
+	case KindString:
+		*v = S(string(data[1:]))
+	default:
+		return fmt.Errorf("relalg: unknown value kind %d", data[0])
+	}
+	return nil
+}
+
+// EncodedSize returns the length of MarshalBinary's output without
+// allocating, used for message-size accounting on the in-memory transport.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case KindInt:
+		buf := make([]byte, binary.MaxVarintLen64)
+		return 1 + binary.PutVarint(buf, v.num)
+	default:
+		return 1 + len(v.str)
+	}
+}

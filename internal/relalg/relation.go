@@ -1,0 +1,141 @@
+package relalg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a duplicate-free multiset of tuples of fixed arity with an
+// append log. The log assigns every inserted tuple a monotonically increasing
+// sequence number, which subscribers use as a high-water mark to extract
+// deltas (the "delta optimization" of the paper). Relations are not safe for
+// concurrent use; the owning storage.DB serialises access.
+type Relation struct {
+	schema Schema
+	index  map[string]int // tuple key -> position in log
+	log    []Tuple        // insertion order; seq number = position + 1
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(schema Schema) *Relation {
+	return &Relation{
+		schema: schema,
+		index:  make(map[string]int),
+	}
+}
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len returns the number of (distinct) tuples.
+func (r *Relation) Len() int { return len(r.log) }
+
+// Seq returns the current high-water mark: the sequence number of the most
+// recently inserted tuple (0 when empty).
+func (r *Relation) Seq() uint64 { return uint64(len(r.log)) }
+
+// Contains reports whether the exact tuple is present.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Insert adds t if not already present, returning true when the relation
+// changed. The tuple's arity must match the schema.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if len(t) != r.schema.Arity() {
+		return false, fmt.Errorf("relalg: arity mismatch inserting %d-tuple into %s", len(t), r.schema)
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return false, nil
+	}
+	r.index[k] = len(r.log)
+	r.log = append(r.log, t.Clone())
+	return true, nil
+}
+
+// SubsumedByExisting reports whether t is subsumed by some stored tuple
+// (core-mode redundancy check for tuples carrying nulls). Constant-only
+// tuples reduce to Contains.
+func (r *Relation) SubsumedByExisting(t Tuple) bool {
+	if !t.HasNull() {
+		return r.Contains(t)
+	}
+	for _, u := range r.log {
+		if t.SubsumedBy(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the tuples in insertion order. The returned slice aliases the
+// log; callers must not modify it or the tuples.
+func (r *Relation) All() []Tuple { return r.log }
+
+// Since returns the tuples inserted after the given high-water mark, in
+// insertion order, along with the new mark.
+func (r *Relation) Since(mark uint64) ([]Tuple, uint64) {
+	if mark > uint64(len(r.log)) {
+		mark = uint64(len(r.log))
+	}
+	return r.log[mark:], uint64(len(r.log))
+}
+
+// Sorted returns the tuples in canonical (Tuple.Compare) order; a fresh
+// slice, safe to retain.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.log))
+	copy(out, r.log)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone deep-copies the relation (schema shared, tuples copied).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.schema)
+	c.log = make([]Tuple, len(r.log))
+	for i, t := range r.log {
+		c.log[i] = t.Clone()
+		c.index[t.Key()] = i
+	}
+	return c
+}
+
+// Equal reports whether two relations hold exactly the same tuple sets
+// (schemas must share the arity; names are not compared).
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	for k := range r.index {
+		if _, ok := o.index[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as name{(..),(..)} in canonical order, capped
+// for readability.
+func (r *Relation) String() string {
+	const cap = 16
+	ts := r.Sorted()
+	var b strings.Builder
+	b.WriteString(r.schema.Name)
+	b.WriteString("{")
+	for i, t := range ts {
+		if i == cap {
+			fmt.Fprintf(&b, " …+%d", len(ts)-cap)
+			break
+		}
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package relalg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleKeyInjective(t *testing.T) {
+	a := Tuple{S("x"), S("y")}
+	b := Tuple{S("x" + string(rune(0x1f)) + "sy")} // attempt a separator collision
+	if a.Key() == b.Key() && a.Compare(b) != 0 {
+		t.Errorf("tuple key collision: %v vs %v", a, b)
+	}
+	c := Tuple{S("a"), S("b")}
+	d := Tuple{S("a"), S("b")}
+	if c.Key() != d.Key() {
+		t.Error("equal tuples must share keys")
+	}
+}
+
+func TestTupleSubsumedBy(t *testing.T) {
+	cases := []struct {
+		t, u Tuple
+		want bool
+	}{
+		{Tuple{S("a"), Null("n")}, Tuple{S("a"), S("b")}, true},
+		{Tuple{S("a"), Null("n")}, Tuple{S("c"), S("b")}, false},
+		{Tuple{Null("n"), Null("n")}, Tuple{S("a"), S("a")}, true},
+		{Tuple{Null("n"), Null("n")}, Tuple{S("a"), S("b")}, false}, // same null must map consistently
+		{Tuple{Null("n"), Null("m")}, Tuple{S("a"), S("b")}, true},
+		{Tuple{S("a")}, Tuple{S("a"), S("b")}, false}, // arity mismatch
+		{Tuple{S("a"), S("b")}, Tuple{S("a"), S("b")}, true},
+		{Tuple{Null("n")}, Tuple{Null("m")}, true}, // null may map to another null
+	}
+	for i, c := range cases {
+		if got := c.t.SubsumedBy(c.u); got != c.want {
+			t.Errorf("case %d: SubsumedBy(%v, %v) = %v, want %v", i, c.t, c.u, got, c.want)
+		}
+	}
+}
+
+func TestRelationInsertDedup(t *testing.T) {
+	r := NewRelation(MakeSchema("e", 2))
+	added, err := r.Insert(Tuple{S("a"), S("b")})
+	if err != nil || !added {
+		t.Fatalf("first insert: added=%v err=%v", added, err)
+	}
+	added, err = r.Insert(Tuple{S("a"), S("b")})
+	if err != nil || added {
+		t.Fatalf("duplicate insert must be a no-op: added=%v err=%v", added, err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1", r.Len())
+	}
+	if _, err := r.Insert(Tuple{S("a")}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}
+
+func TestRelationDeltaHighWaterMarks(t *testing.T) {
+	r := NewRelation(MakeSchema("e", 1))
+	mustInsert(t, r, Tuple{S("1")})
+	mustInsert(t, r, Tuple{S("2")})
+	delta, mark := r.Since(0)
+	if len(delta) != 2 || mark != 2 {
+		t.Fatalf("Since(0) = %v tuples, mark %d", len(delta), mark)
+	}
+	mustInsert(t, r, Tuple{S("3")})
+	delta, mark = r.Since(mark)
+	if len(delta) != 1 || delta[0][0] != S("3") || mark != 3 {
+		t.Fatalf("Since(2) = %v, mark %d", delta, mark)
+	}
+	// A stale over-large mark must clamp rather than panic.
+	delta, mark = r.Since(99)
+	if len(delta) != 0 || mark != 3 {
+		t.Fatalf("Since(99) = %v, mark %d", delta, mark)
+	}
+}
+
+func TestRelationSubsumedByExisting(t *testing.T) {
+	r := NewRelation(MakeSchema("e", 2))
+	mustInsert(t, r, Tuple{S("a"), S("b")})
+	if !r.SubsumedByExisting(Tuple{S("a"), Null("x")}) {
+		t.Error("null tuple subsumed by constant tuple should be detected")
+	}
+	if r.SubsumedByExisting(Tuple{S("z"), Null("x")}) {
+		t.Error("non-subsumed tuple misreported")
+	}
+	if !r.SubsumedByExisting(Tuple{S("a"), S("b")}) {
+		t.Error("constant tuple present should be subsumed")
+	}
+	if r.SubsumedByExisting(Tuple{S("a"), S("c")}) {
+		t.Error("absent constant tuple should not be subsumed")
+	}
+}
+
+func TestRelationCloneIsDeep(t *testing.T) {
+	r := NewRelation(MakeSchema("e", 1))
+	mustInsert(t, r, Tuple{S("1")})
+	c := r.Clone()
+	mustInsert(t, c, Tuple{S("2")})
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: r=%d c=%d", r.Len(), c.Len())
+	}
+	if !r.Equal(r.Clone()) {
+		t.Error("relation must Equal its clone")
+	}
+	if r.Equal(c) {
+		t.Error("different relations must not be Equal")
+	}
+}
+
+func TestRelationStringCapped(t *testing.T) {
+	r := NewRelation(MakeSchema("big", 1))
+	for i := 0; i < 40; i++ {
+		mustInsert(t, r, Tuple{I(int64(i))})
+	}
+	s := r.String()
+	if !strings.Contains(s, "…+24") {
+		t.Errorf("expected capped rendering, got %q", s)
+	}
+}
+
+func TestRelationInsertPropertyIdempotent(t *testing.T) {
+	// Property: inserting any sequence of tuples twice yields the same
+	// relation as inserting it once, and Len equals the number of distinct
+	// keys.
+	f := func(raw [][2]int8) bool {
+		r1 := NewRelation(MakeSchema("p", 2))
+		r2 := NewRelation(MakeSchema("p", 2))
+		distinct := map[string]bool{}
+		for _, p := range raw {
+			tp := Tuple{I(int64(p[0])), I(int64(p[1]))}
+			distinct[tp.Key()] = true
+			if _, err := r1.Insert(tp); err != nil {
+				return false
+			}
+			if _, err := r2.Insert(tp); err != nil {
+				return false
+			}
+			if _, err := r2.Insert(tp); err != nil {
+				return false
+			}
+		}
+		return r1.Equal(r2) && r1.Len() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedIsCanonical(t *testing.T) {
+	r := NewRelation(MakeSchema("e", 1))
+	mustInsert(t, r, Tuple{S("b")})
+	mustInsert(t, r, Tuple{S("a")})
+	s := r.Sorted()
+	if s[0][0] != S("a") || s[1][0] != S("b") {
+		t.Errorf("sorted order wrong: %v", s)
+	}
+	// All() preserves insertion order.
+	a := r.All()
+	if a[0][0] != S("b") {
+		t.Errorf("insertion order lost: %v", a)
+	}
+}
+
+func mustInsert(t *testing.T, r *Relation, tp Tuple) {
+	t.Helper()
+	if _, err := r.Insert(tp); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package relalg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tuple is an ordered list of values; its arity is fixed by the relation
+// schema it belongs to. Tuples are value types: callers must not mutate a
+// Tuple after handing it to a Relation.
+type Tuple []Value
+
+// Key returns a canonical injective encoding of the tuple, usable as a map
+// key. Each component key is length-prefixed, so arbitrary payload bytes
+// (including separators) cannot cause collisions.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		k := v.Key()
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a fresh copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// HasNull reports whether any component is a labelled null.
+func (t Tuple) HasNull() bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare orders tuples lexicographically by Value.Compare; shorter tuples
+// sort first on ties.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	return len(t) - len(u)
+}
+
+// SubsumedBy reports whether t is subsumed by u: there is a homomorphism
+// h fixing constants with h(t) = u, i.e. every constant of t equals the
+// corresponding component of u and every null of t maps consistently to the
+// corresponding component of u. A tuple subsumed by an existing tuple adds no
+// information to the certain answers, so "core mode" insertion may skip it.
+func (t Tuple) SubsumedBy(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	var m map[string]Value
+	for i, v := range t {
+		if v.IsConst() {
+			if v != u[i] {
+				return false
+			}
+			continue
+		}
+		if m == nil {
+			m = make(map[string]Value, 2)
+		}
+		if prev, ok := m[v.NullLabel()]; ok {
+			if prev != u[i] {
+				return false
+			}
+			continue
+		}
+		m[v.NullLabel()] = u[i]
+	}
+	return true
+}
+
+// Schema describes one relation: a name and named attributes. Attribute
+// names are informational (used by the surface syntax and pretty printers);
+// positions carry the semantics.
+type Schema struct {
+	Name  string
+	Attrs []string
+}
+
+// Arity returns the number of attributes.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// String renders name(attr1, attr2, ...).
+func (s Schema) String() string {
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(s.Attrs, ", "))
+}
+
+// MakeSchema builds a Schema with synthesised attribute names a1..aN when
+// only an arity is known.
+func MakeSchema(name string, arity int) Schema {
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("a%d", i+1)
+	}
+	return Schema{Name: name, Attrs: attrs}
+}

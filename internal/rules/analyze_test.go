@@ -1,0 +1,125 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func rulesOf(t *testing.T, texts ...string) []Rule {
+	t.Helper()
+	out := make([]Rule, len(texts))
+	for i, src := range texts {
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestRedundantRulesDuplicate(t *testing.T) {
+	rs := rulesOf(t,
+		"r1: B:b(X,Y) -> A:a(X,Y)",
+		"r2: B:b(U,V) -> A:a(U,V)", // identical up to renaming
+	)
+	red := RedundantRules(rs)
+	if len(red) != 1 {
+		t.Fatalf("findings = %v", red)
+	}
+	// Equivalent pair: exactly one is reported (the lexicographically
+	// larger id is subsumed by the smaller).
+	if red[0].Subsumed != "r2" || red[0].By != "r1" {
+		t.Errorf("finding = %v", red[0])
+	}
+}
+
+func TestRedundantRulesStrictSubsumption(t *testing.T) {
+	rs := rulesOf(t,
+		"wide: B:b(X,Y) -> A:a(X,Y)",
+		"narrow: B:b(X,Y), B:b(Y,X) -> A:a(X,Y)", // needs the symmetric pair too
+	)
+	red := RedundantRules(rs)
+	if len(red) != 1 || red[0].Subsumed != "narrow" || red[0].By != "wide" {
+		t.Fatalf("findings = %v", red)
+	}
+}
+
+func TestRedundantRulesNonFindings(t *testing.T) {
+	cases := [][]string{
+		// Different head nodes.
+		{"r1: B:b(X,Y) -> A:a(X,Y)", "r2: B:b(X,Y) -> C:c(X,Y)"},
+		// Different head relations.
+		{"r1: B:b(X,Y) -> A:a(X,Y)", "r2: B:b(X,Y) -> A:a2(X,Y)"},
+		// Different sources feeding the same head: neither covers the other.
+		{"r1: B:b(X,Y) -> A:a(X,Y)", "r2: C:c(X,Y) -> A:a(X,Y)"},
+		// Projections differ.
+		{"r1: B:b(X,Y) -> A:a(X,Y)", "r2: B:b(X,Y) -> A:a(Y,X)"},
+		// Existential heads: nulls differ per rule, never redundant.
+		{"r1: B:b(X,Y) -> A:a(X,Z)", "r2: B:b(X,Y) -> A:a(X,Z)"},
+		// The wide rule must never be flagged as subsumed by the narrow one.
+		{"wide: B:b(X,Y) -> A:a(X,Y)"},
+	}
+	for _, texts := range cases {
+		red := RedundantRules(rulesOf(t, texts...))
+		for _, f := range red {
+			if f.Subsumed == "wide" || f.Subsumed == "r1" {
+				t.Errorf("%v flagged in %v", f, texts)
+			}
+		}
+		if len(texts) == 2 && strings.HasPrefix(texts[0], "r1") && len(red) != 0 {
+			t.Errorf("unexpected findings %v for %v", red, texts)
+		}
+	}
+}
+
+func TestRedundantRulesWithBuiltins(t *testing.T) {
+	rs := rulesOf(t,
+		"plain: B:b(X,Y) -> A:a(X,Y)",
+		"filtered: B:b(X,Y), X <> Y -> A:a(X,Y)",
+	)
+	red := RedundantRules(rs)
+	if len(red) != 1 || red[0].Subsumed != "filtered" || red[0].By != "plain" {
+		t.Fatalf("findings = %v", red)
+	}
+}
+
+func TestRedundantRulesConstantHeads(t *testing.T) {
+	rs := rulesOf(t,
+		"tagged: B:b(X,Y) -> A:a(X, marker)",
+		"tagged2: B:b(U,V) -> A:a(U, marker)",
+	)
+	red := RedundantRules(rs)
+	if len(red) != 1 {
+		t.Fatalf("findings = %v", red)
+	}
+	// Mixed constant/variable head positions stay unflagged.
+	rs = rulesOf(t,
+		"cvar: B:b(X,Y) -> A:a(X, Y)",
+		"cconst: B:b(X,Y) -> A:a(X, marker)",
+	)
+	if red := RedundantRules(rs); len(red) != 0 {
+		t.Fatalf("conservative case flagged: %v", red)
+	}
+}
+
+func TestAnalyzeNetwork(t *testing.T) {
+	net := PaperExample()
+	out := AnalyzeNetwork(net)
+	if !strings.Contains(out, "no redundant") {
+		t.Errorf("paper example has no redundant rules: %q", out)
+	}
+	dup, err := ParseNetwork(`
+node A { rel a(x,y) }
+node B { rel b(x,y) }
+rule r1: B:b(X,Y) -> A:a(X,Y)
+rule r2: B:b(U,V) -> A:a(U,V)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = AnalyzeNetwork(dup)
+	if !strings.Contains(out, "subsumed") {
+		t.Errorf("duplicate rule not reported: %q", out)
+	}
+}

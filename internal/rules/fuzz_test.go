@@ -1,0 +1,83 @@
+package rules
+
+import (
+	"testing"
+)
+
+// FuzzParseNetwork exercises the network-file parser with its seed corpus on
+// every `go test` run (and supports `go test -fuzz=FuzzParseNetwork` for
+// deeper exploration): the parser must never panic and every accepted input
+// must survive a Format/ParseNetwork round trip.
+func FuzzParseNetwork(f *testing.F) {
+	seeds := []string{
+		PaperExampleText,
+		"node A { rel a(x) }",
+		"node A { rel a(x) }\nrule r: B:b(X) -> A:a(X)",
+		"node A { rel a(x) }\nfact A:a('v')",
+		"node A { rel a(x) }\nnode B { rel b(x) }\nmap B -> A { 'x' => 'y' }",
+		"node A {\n rel a(x)\n rel b(x,y)\n}",
+		"# only a comment",
+		"",
+		"node",
+		"node A {",
+		"rule r: ->",
+		"fact A:a(⊥null)",
+		"map A -> { }",
+		"super",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := ParseNetwork(src)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		text := net.Format()
+		again, err := ParseNetwork(text)
+		if err != nil {
+			t.Fatalf("Format output failed to re-parse: %v\ninput: %q\nformat: %q", err, src, text)
+		}
+		if again.Format() != text {
+			t.Fatalf("Format not stable:\nfirst:  %q\nsecond: %q", text, again.Format())
+		}
+	})
+}
+
+// FuzzParseRule covers the rule parser.
+func FuzzParseRule(f *testing.F) {
+	seeds := []string{
+		"r1: E:e(X,Y) -> B:b(X,Y)",
+		"r4: B:b(X,Y), B:b(X,Z), X <> Z -> A:a(X,Y)",
+		"r: B:b(X,Y), C:c(Y,Z) -> A:a(X,Z), A:seen(X)",
+		"r: B:b(X, 'quo''ted', 42) -> A:a(X)",
+		"bad",
+		": ->",
+		"r: -> A:a(X)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ParseRule(src)
+		if err != nil {
+			return
+		}
+		// Accepted rules render and re-parse stably.
+		again, err := ParseRule(trimRulePrefix(r.String()))
+		if err != nil {
+			t.Fatalf("String output failed to re-parse: %v\nrule: %q", err, r.String())
+		}
+		if again.String() != r.String() {
+			t.Fatalf("unstable rendering: %q vs %q", r.String(), again.String())
+		}
+	})
+}
+
+func trimRulePrefix(s string) string {
+	const prefix = "rule "
+	if len(s) > len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):]
+	}
+	return s
+}

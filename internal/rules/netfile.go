@@ -1,0 +1,369 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/relalg"
+)
+
+// NodeDecl declares one node and its shared schema (the "DBS" of Figure 2).
+type NodeDecl struct {
+	Name    string
+	Schemas []relalg.Schema
+}
+
+// Fact is one ground tuple seeded into a node's local database.
+type Fact struct {
+	Node  string
+	Rel   string
+	Tuple relalg.Tuple
+}
+
+// Network is the parsed form of a network-description file: the artefact a
+// super-peer reads and broadcasts so "one peer can change the network
+// topology at runtime" (Section 5).
+type Network struct {
+	Nodes []NodeDecl
+	Rules []Rule
+	Facts []Fact
+	Maps  []*DomainMap // domain relations (future-work extension of §2)
+	Super string       // optional designated super-peer
+}
+
+// Node returns the declaration for the named node, if any.
+func (n *Network) Node(name string) (NodeDecl, bool) {
+	for _, d := range n.Nodes {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return NodeDecl{}, false
+}
+
+// Lookup returns a SchemaLookup over the declared nodes.
+func (n *Network) Lookup() SchemaLookup {
+	arity := make(map[string]int)
+	for _, d := range n.Nodes {
+		for _, s := range d.Schemas {
+			arity[d.Name+"\x00"+s.Name] = s.Arity()
+		}
+	}
+	return func(node, rel string) int {
+		if a, ok := arity[node+"\x00"+rel]; ok {
+			return a
+		}
+		return -1
+	}
+}
+
+// Validate checks the whole network: unique node names, unique rule ids,
+// rules referencing declared nodes, arity agreement, facts matching schemas.
+func (n *Network) Validate() error {
+	names := map[string]bool{}
+	for _, d := range n.Nodes {
+		if d.Name == "" {
+			return fmt.Errorf("rules: node with empty name")
+		}
+		if names[d.Name] {
+			return fmt.Errorf("rules: duplicate node %q", d.Name)
+		}
+		names[d.Name] = true
+	}
+	lookup := n.Lookup()
+	ids := map[string]bool{}
+	for _, r := range n.Rules {
+		if ids[r.ID] {
+			return fmt.Errorf("rules: duplicate rule id %q", r.ID)
+		}
+		ids[r.ID] = true
+		if !names[r.HeadNode] {
+			return fmt.Errorf("rules: rule %s targets undeclared node %q", r.ID, r.HeadNode)
+		}
+		for _, src := range r.SourceNodes() {
+			if !names[src] {
+				return fmt.Errorf("rules: rule %s reads undeclared node %q", r.ID, src)
+			}
+		}
+		if err := r.Validate(lookup); err != nil {
+			return err
+		}
+	}
+	for _, f := range n.Facts {
+		if !names[f.Node] {
+			return fmt.Errorf("rules: fact at undeclared node %q", f.Node)
+		}
+		if a := lookup(f.Node, f.Rel); a == -1 {
+			return fmt.Errorf("rules: fact %s:%s uses undeclared relation", f.Node, f.Rel)
+		} else if a != len(f.Tuple) {
+			return fmt.Errorf("rules: fact %s:%s has arity %d, schema says %d", f.Node, f.Rel, len(f.Tuple), a)
+		}
+	}
+	for _, m := range n.Maps {
+		if !names[m.From] || !names[m.To] {
+			return fmt.Errorf("rules: map %s -> %s references undeclared node", m.From, m.To)
+		}
+		if m.From == m.To {
+			return fmt.Errorf("rules: map %s -> %s must relate distinct nodes", m.From, m.To)
+		}
+	}
+	if n.Super != "" && !names[n.Super] {
+		return fmt.Errorf("rules: super-peer %q undeclared", n.Super)
+	}
+	return nil
+}
+
+// MapSet indexes this network's domain maps.
+func (n *Network) MapSet() MapSet { return BuildMapSet(n.Maps) }
+
+// Format renders the network back into the file syntax (stable order).
+func (n *Network) Format() string {
+	var b strings.Builder
+	for _, d := range n.Nodes {
+		fmt.Fprintf(&b, "node %s {\n", d.Name)
+		for _, s := range d.Schemas {
+			fmt.Fprintf(&b, "  rel %s\n", s)
+		}
+		b.WriteString("}\n")
+	}
+	for _, r := range n.Rules {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	facts := append([]Fact(nil), n.Facts...)
+	sort.SliceStable(facts, func(i, j int) bool {
+		if facts[i].Node != facts[j].Node {
+			return facts[i].Node < facts[j].Node
+		}
+		return facts[i].Rel < facts[j].Rel
+	})
+	for _, f := range facts {
+		parts := make([]string, len(f.Tuple))
+		for i, v := range f.Tuple {
+			parts[i] = v.Quoted()
+		}
+		fmt.Fprintf(&b, "fact %s:%s(%s)\n", f.Node, f.Rel, strings.Join(parts, ", "))
+	}
+	for _, m := range n.Maps {
+		b.WriteString(m.Format())
+		b.WriteString("\n")
+	}
+	if n.Super != "" {
+		fmt.Fprintf(&b, "super %s\n", n.Super)
+	}
+	return b.String()
+}
+
+// ParseNetwork parses the network-description syntax:
+//
+//	# comment
+//	node A {
+//	  rel a(x, y)
+//	}
+//	rule r1: E:e(X,Y) -> B:b(X,Y)
+//	fact A:a('k1', 'v1')
+//	super A
+//
+// Rule heads may be conjunctions of atoms at one node; head atoms may be
+// written with or without the node qualifier ("-> C:c(X), C:f(X)" or the
+// qualifier on the first atom only).
+func ParseNetwork(src string) (*Network, error) {
+	net := &Network{}
+	lines := strings.Split(src, "\n")
+	i := 0
+	for i < len(lines) {
+		line := stripComment(lines[i])
+		i++
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "node "):
+			decl, next, err := parseNodeDecl(lines, i-1)
+			if err != nil {
+				return nil, err
+			}
+			net.Nodes = append(net.Nodes, decl)
+			i = next
+		case strings.HasPrefix(line, "rule "):
+			r, err := ParseRule(strings.TrimPrefix(line, "rule "))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", i, err)
+			}
+			net.Rules = append(net.Rules, r)
+		case strings.HasPrefix(line, "fact "):
+			f, err := parseFact(strings.TrimPrefix(line, "fact "))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", i, err)
+			}
+			net.Facts = append(net.Facts, f)
+		case strings.HasPrefix(line, "map "):
+			m, err := parseDomainMap(strings.TrimPrefix(line, "map "))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", i, err)
+			}
+			net.Maps = append(net.Maps, m)
+		case strings.HasPrefix(line, "super "):
+			net.Super = strings.TrimSpace(strings.TrimPrefix(line, "super "))
+		default:
+			return nil, fmt.Errorf("line %d: unrecognised directive %q", i, line)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		// A # inside a quoted string is rare in practice; keep the format
+		// simple and require facts with # to avoid inline comments.
+		if !strings.Contains(line[:i], "'") {
+			line = line[:i]
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+func parseNodeDecl(lines []string, start int) (NodeDecl, int, error) {
+	header := stripComment(lines[start])
+	rest := strings.TrimSpace(strings.TrimPrefix(header, "node "))
+	var decl NodeDecl
+	inline := false
+	if j := strings.IndexByte(rest, '{'); j >= 0 {
+		decl.Name = strings.TrimSpace(rest[:j])
+		rest = strings.TrimSpace(rest[j+1:])
+		inline = true
+	} else {
+		decl.Name = rest
+	}
+	if decl.Name == "" {
+		return decl, start, fmt.Errorf("line %d: node declaration without a name", start+1)
+	}
+
+	// Inline body: node A { rel a(x,y)  rel b(x) }
+	body := []string{}
+	i := start + 1
+	if inline {
+		if k := strings.IndexByte(rest, '}'); k >= 0 {
+			body = append(body, strings.TrimSpace(rest[:k]))
+		} else {
+			if rest != "" {
+				body = append(body, rest)
+			}
+			for i < len(lines) {
+				line := stripComment(lines[i])
+				i++
+				if k := strings.IndexByte(line, '}'); k >= 0 {
+					body = append(body, strings.TrimSpace(line[:k]))
+					break
+				}
+				body = append(body, line)
+			}
+		}
+	}
+	for _, segment := range body {
+		for _, part := range splitRelDecls(segment) {
+			if part == "" {
+				continue
+			}
+			s, err := parseRelDecl(part)
+			if err != nil {
+				return decl, i, fmt.Errorf("node %s: %w", decl.Name, err)
+			}
+			decl.Schemas = append(decl.Schemas, s)
+		}
+	}
+	return decl, i, nil
+}
+
+// splitRelDecls splits "rel a(x,y) rel b(z)" on the rel keyword.
+func splitRelDecls(s string) []string {
+	fields := strings.Split(s, "rel ")
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseRelDecl(s string) (relalg.Schema, error) {
+	a, err := cq.ParseAtom(s)
+	if err != nil {
+		return relalg.Schema{}, err
+	}
+	attrs := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		if t.IsVar {
+			attrs[i] = t.Var
+		} else {
+			attrs[i] = t.Val.String()
+		}
+	}
+	return relalg.Schema{Name: a.Rel, Attrs: attrs}, nil
+}
+
+// ParseRule parses "id: body -> head" (without the leading "rule" keyword).
+func ParseRule(src string) (Rule, error) {
+	colon := strings.IndexByte(src, ':')
+	if colon < 0 {
+		return Rule{}, fmt.Errorf("rules: rule missing 'id:' prefix in %q", src)
+	}
+	id := strings.TrimSpace(src[:colon])
+	rest := src[colon+1:]
+	arrow := strings.Index(rest, "->")
+	if arrow < 0 {
+		return Rule{}, fmt.Errorf("rules: rule %s missing '->'", id)
+	}
+	body, err := cq.ParseConjunction(strings.TrimSpace(rest[:arrow]))
+	if err != nil {
+		return Rule{}, fmt.Errorf("rules: rule %s body: %w", id, err)
+	}
+	head, err := cq.ParseConjunction(strings.TrimSpace(rest[arrow+2:]))
+	if err != nil {
+		return Rule{}, fmt.Errorf("rules: rule %s head: %w", id, err)
+	}
+	if len(head.Builtins) > 0 {
+		return Rule{}, fmt.Errorf("rules: rule %s has built-ins in the head", id)
+	}
+	if len(head.Atoms) == 0 {
+		return Rule{}, fmt.Errorf("rules: rule %s has an empty head", id)
+	}
+	headNode := head.Atoms[0].Node
+	if headNode == "" {
+		return Rule{}, fmt.Errorf("rules: rule %s head atom lacks a node qualifier", id)
+	}
+	atoms := make([]cq.Atom, len(head.Atoms))
+	for i, a := range head.Atoms {
+		if a.Node != "" && a.Node != headNode {
+			return Rule{}, fmt.Errorf("rules: rule %s head spans nodes %s and %s", id, headNode, a.Node)
+		}
+		a.Node = ""
+		atoms[i] = a
+	}
+	return Rule{ID: id, HeadNode: headNode, Head: atoms, Body: body}, nil
+}
+
+func parseFact(src string) (Fact, error) {
+	a, err := cq.ParseAtom(strings.TrimSpace(src))
+	if err != nil {
+		return Fact{}, err
+	}
+	if a.Node == "" {
+		return Fact{}, fmt.Errorf("rules: fact %q lacks a node qualifier", src)
+	}
+	tuple := make(relalg.Tuple, len(a.Terms))
+	for i, t := range a.Terms {
+		if t.IsVar {
+			return Fact{}, fmt.Errorf("rules: fact %q contains variable %s", src, t.Var)
+		}
+		tuple[i] = t.Val
+	}
+	return Fact{Node: a.Node, Rel: a.Rel, Tuple: tuple}, nil
+}

@@ -1,0 +1,117 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+func TestParseNetworkPaperExample(t *testing.T) {
+	net := PaperExample()
+	if len(net.Nodes) != 5 {
+		t.Fatalf("nodes = %d", len(net.Nodes))
+	}
+	if len(net.Rules) != 7 {
+		t.Fatalf("rules = %d", len(net.Rules))
+	}
+	if net.Super != "A" {
+		t.Errorf("super = %q", net.Super)
+	}
+	c, ok := net.Node("C")
+	if !ok || len(c.Schemas) != 2 {
+		t.Fatalf("node C schemas = %+v", c)
+	}
+	lookup := net.Lookup()
+	if lookup("C", "f") != 1 || lookup("C", "c") != 2 || lookup("C", "zzz") != -1 {
+		t.Error("lookup wrong")
+	}
+}
+
+func TestParseNetworkSeededFacts(t *testing.T) {
+	net := PaperExampleSeeded()
+	if len(net.Facts) != 6 {
+		t.Fatalf("facts = %d", len(net.Facts))
+	}
+	for _, f := range net.Facts {
+		if f.Tuple.HasNull() {
+			t.Errorf("seed fact with null: %+v", f)
+		}
+	}
+}
+
+func TestParseNetworkMultilineNode(t *testing.T) {
+	src := `
+node X {
+  rel p(k, v)
+  rel q(k)
+}
+node Y { rel r(a, b) }
+rule r1: X:p(K,V) -> Y:r(K,V)
+fact X:p('a', 1)
+`
+	net, err := ParseNetwork(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := net.Node("X")
+	if len(x.Schemas) != 2 || x.Schemas[0].Name != "p" || x.Schemas[1].Name != "q" {
+		t.Fatalf("schemas = %+v", x.Schemas)
+	}
+	if len(net.Facts) != 1 || net.Facts[0].Tuple[1] != relalg.I(1) {
+		t.Fatalf("facts = %+v", net.Facts)
+	}
+}
+
+func TestParseNetworkValidationErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"node A { rel a(x) }\nnode A { rel b(x) }", "duplicate node"},
+		{"node A { rel a(x) }\nrule r: B:b(X) -> A:a(X)", "undeclared"},
+		{"node A { rel a(x) }\nnode B { rel b(x) }\nrule r: B:b(X) -> A:a(X)\nrule r: B:b(X) -> A:a(X)", "duplicate rule"},
+		{"node A { rel a(x) }\nfact A:zzz('v')", "undeclared relation"},
+		{"node A { rel a(x) }\nfact A:a('v','w')", "arity"},
+		{"node A { rel a(x) }\nsuper Z", "super-peer"},
+		{"bogus directive", "unrecognised"},
+		{"node A { rel a(x) }\nfact A:a(X)", "variable"},
+	}
+	for _, c := range cases {
+		_, err := ParseNetwork(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseNetwork(%.40q...) err = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestNetworkFormatRoundTrip(t *testing.T) {
+	net := PaperExampleSeeded()
+	text := net.Format()
+	again, err := ParseNetwork(text)
+	if err != nil {
+		t.Fatalf("re-parse of Format output: %v\n%s", err, text)
+	}
+	if again.Format() != text {
+		t.Error("Format not stable under round trip")
+	}
+	if len(again.Rules) != len(net.Rules) || len(again.Facts) != len(net.Facts) {
+		t.Error("round trip lost declarations")
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	src := `
+# full-line comment
+node A { rel a(x) }   # trailing comment
+rule r1: B:b(X) -> A:a(X)  # rule comment
+node B { rel b(x) }
+fact B:b('has # inside')
+`
+	net, err := ParseNetwork(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Facts) != 1 || net.Facts[0].Tuple[0] != relalg.S("has # inside") {
+		t.Fatalf("quoted # mangled: %+v", net.Facts)
+	}
+}

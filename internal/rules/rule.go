@@ -1,0 +1,315 @@
+// Package rules models coordination rules (Definition 2 of the paper):
+// expressions j1:b1(x1,y1) ∧ … ∧ jk:bk(xk,yk) ⇒ i:h(x) whose bodies are
+// conjunctive queries with built-ins at one or more source nodes and whose
+// heads are conjunctions of atoms at the target node, possibly with
+// existential variables. The package provides validation, deterministic
+// Skolemisation of existentials, the local-update (chase) step A6, and the
+// network-description file format a super-peer broadcasts (Section 5).
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/relalg"
+	"repro/internal/storage"
+)
+
+// Rule is one coordination rule. Body atoms carry node qualifiers naming the
+// source nodes; head atoms live at HeadNode (their qualifiers, if present,
+// must match it).
+type Rule struct {
+	ID       string
+	HeadNode string
+	Head     []cq.Atom
+	Body     cq.Conjunction
+}
+
+// String renders the rule in surface syntax.
+func (r Rule) String() string {
+	heads := make([]string, len(r.Head))
+	for i, a := range r.Head {
+		qualified := a
+		qualified.Node = r.HeadNode
+		heads[i] = qualified.String()
+	}
+	return fmt.Sprintf("rule %s: %s -> %s", r.ID, r.Body.String(), strings.Join(heads, ", "))
+}
+
+// SourceNodes returns the distinct source (body) nodes, sorted.
+func (r Rule) SourceNodes() []string { return r.Body.Nodes() }
+
+// HeadVars returns the variables occurring in the head, in first-occurrence
+// order.
+func (r Rule) HeadVars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range r.Head {
+		for _, t := range a.Terms {
+			if t.IsVar && !seen[t.Var] {
+				seen[t.Var] = true
+				out = append(out, t.Var)
+			}
+		}
+	}
+	return out
+}
+
+// ExportVars returns the universally quantified head variables: head
+// variables bound by body atoms. These are the columns of the result sets
+// shipped in Answer messages.
+func (r Rule) ExportVars() []string {
+	atomVars := r.Body.AtomVars()
+	var out []string
+	for _, v := range r.HeadVars() {
+		if atomVars[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ExistentialVars returns head variables not bound by the body — fresh
+// labelled nulls are invented for them (data-exchange style).
+func (r Rule) ExistentialVars() []string {
+	atomVars := r.Body.AtomVars()
+	var out []string
+	for _, v := range r.HeadVars() {
+		if !atomVars[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BodyPart returns the sub-conjunction of the body at the given source node
+// together with the variables that part must export: variables used by the
+// head plus variables shared with other body parts or cross-part built-ins
+// (the head node joins the parts locally).
+func (r Rule) BodyPart(node string) (part cq.Conjunction, exportVars []string) {
+	part = r.Body.Restrict(node)
+	partVars := part.AtomVars()
+
+	needed := map[string]bool{}
+	for _, v := range r.ExportVars() {
+		needed[v] = true
+	}
+	// Variables shared with atoms at other nodes (join columns).
+	for _, a := range r.Body.Atoms {
+		if a.Node == node {
+			continue
+		}
+		for _, t := range a.Terms {
+			if t.IsVar && partVars[t.Var] {
+				needed[t.Var] = true
+			}
+		}
+	}
+	// Variables used by built-ins that are not fully local to this part.
+	for _, b := range r.Body.Builtins {
+		local := true
+		uses := false
+		for _, t := range []cq.Term{b.L, b.R} {
+			if t.IsVar {
+				if partVars[t.Var] {
+					uses = true
+				} else {
+					local = false
+				}
+			}
+		}
+		if uses && !local {
+			for _, t := range []cq.Term{b.L, b.R} {
+				if t.IsVar && partVars[t.Var] {
+					needed[t.Var] = true
+				}
+			}
+		}
+	}
+	for v := range needed {
+		if partVars[v] {
+			exportVars = append(exportVars, v)
+		}
+	}
+	sort.Strings(exportVars)
+	return part, exportVars
+}
+
+// SchemaLookup resolves relation arities per node; -1 means undeclared.
+type SchemaLookup func(node, rel string) int
+
+// Validate checks structural well-formedness: non-empty ID/head/body, head
+// node distinct from source nodes (Definition 2 requires distinct indices),
+// every body atom node-qualified, arities consistent with the schemas, head
+// universal variables range-restricted, and built-in variables bound by body
+// atoms.
+func (r Rule) Validate(lookup SchemaLookup) error {
+	if r.ID == "" {
+		return fmt.Errorf("rules: rule without id")
+	}
+	if r.HeadNode == "" || len(r.Head) == 0 {
+		return fmt.Errorf("rules: rule %s has no head", r.ID)
+	}
+	if len(r.Body.Atoms) == 0 {
+		return fmt.Errorf("rules: rule %s has an empty body", r.ID)
+	}
+	for _, a := range r.Head {
+		if a.Node != "" && a.Node != r.HeadNode {
+			return fmt.Errorf("rules: rule %s head atom %s not at head node %s", r.ID, a, r.HeadNode)
+		}
+		if len(a.Terms) == 0 {
+			return fmt.Errorf("rules: rule %s has a nullary head atom", r.ID)
+		}
+	}
+	for _, a := range r.Body.Atoms {
+		if a.Node == "" {
+			return fmt.Errorf("rules: rule %s body atom %s lacks a node qualifier", r.ID, a)
+		}
+		if a.Node == r.HeadNode {
+			return fmt.Errorf("rules: rule %s reads its own head node %s (indices must be distinct)", r.ID, r.HeadNode)
+		}
+	}
+	if lookup != nil {
+		for _, a := range r.Body.Atoms {
+			if got := lookup(a.Node, a.Rel); got != -1 && got != len(a.Terms) {
+				return fmt.Errorf("rules: rule %s body atom %s has arity %d, schema says %d",
+					r.ID, a, len(a.Terms), got)
+			}
+		}
+		for _, a := range r.Head {
+			if got := lookup(r.HeadNode, a.Rel); got != -1 && got != len(a.Terms) {
+				return fmt.Errorf("rules: rule %s head atom %s has arity %d, schema says %d",
+					r.ID, a, len(a.Terms), got)
+			}
+		}
+	}
+	atomVars := r.Body.AtomVars()
+	for _, b := range r.Body.Builtins {
+		for _, t := range []cq.Term{b.L, b.R} {
+			if t.IsVar && !atomVars[t.Var] {
+				return fmt.Errorf("rules: rule %s builtin %s uses variable %s unbound by body atoms", r.ID, b, t.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// NullDepth extracts the invention depth encoded in a labelled null created
+// by Skolemize; constants have depth 0, foreign nulls depth 1.
+func NullDepth(v relalg.Value) int {
+	if !v.IsNull() {
+		return 0
+	}
+	label := v.NullLabel()
+	if rest, ok := strings.CutPrefix(label, "d"); ok {
+		if i := strings.IndexByte(rest, '|'); i > 0 {
+			if d, err := strconv.Atoi(rest[:i]); err == nil {
+				return d
+			}
+		}
+	}
+	return 1
+}
+
+// Skolemize invents the labelled null for an existential head variable under
+// a binding of the export variables. The label is a deterministic function of
+// (rule id, variable, binding), so re-derivations re-create the identical
+// null and exact-mode insertion deduplicates them. The label additionally
+// encodes the invention depth (1 + max depth of the binding values), which
+// ApplyResult uses to cut off pathological cyclic invention.
+func Skolemize(ruleID, variable string, exportVars []string, binding relalg.Tuple) relalg.Value {
+	depth := 1
+	for _, v := range binding {
+		if d := NullDepth(v) + 1; d > depth {
+			depth = d
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "d%d|%s|%s|", depth, ruleID, variable)
+	b.WriteString(binding.Key())
+	_ = exportVars // part of the contract: binding is ordered by exportVars
+	return relalg.Null(b.String())
+}
+
+// ApplyOptions tunes the chase step.
+type ApplyOptions struct {
+	// Mode selects exact-duplicate or core (subsumption) redundancy checks.
+	Mode storage.InsertMode
+	// MaxNullDepth bounds the invention depth of labelled nulls; bindings
+	// that would invent deeper nulls are skipped (counted in Truncated).
+	// Zero means the default of 4.
+	MaxNullDepth int
+}
+
+// DefaultMaxNullDepth bounds cyclic null invention when ApplyOptions leaves
+// MaxNullDepth zero.
+const DefaultMaxNullDepth = 4
+
+// ApplyResult reports the effect of one chase step.
+type ApplyResult struct {
+	Added     int // tuples newly inserted
+	Truncated int // bindings skipped by the null-depth bound
+}
+
+// Apply performs the local-update step A6: given the rule and the result set
+// of its body (bindings over ExportVars, in that column order), instantiate
+// every head atom — inventing deterministic nulls for existential variables —
+// and insert the tuples that are not already present.
+func Apply(db *storage.DB, r Rule, bindings []relalg.Tuple, opts ApplyOptions) (ApplyResult, error) {
+	var res ApplyResult
+	exportVars := r.ExportVars()
+	maxDepth := opts.MaxNullDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxNullDepth
+	}
+	existential := r.ExistentialVars()
+
+	for _, binding := range bindings {
+		if len(binding) != len(exportVars) {
+			return res, fmt.Errorf("rules: rule %s expects %d-column bindings over %v, got %d columns",
+				r.ID, len(exportVars), exportVars, len(binding))
+		}
+		env := make(cq.Binding, len(exportVars)+len(existential))
+		for i, v := range exportVars {
+			env[v] = binding[i]
+		}
+		if len(existential) > 0 {
+			// Depth bound: inventing from a binding at depth >= max would
+			// create a null of depth max+1; skip and count.
+			depth := 0
+			for _, v := range binding {
+				if d := NullDepth(v); d > depth {
+					depth = d
+				}
+			}
+			if depth >= maxDepth {
+				res.Truncated++
+				continue
+			}
+			for _, ev := range existential {
+				env[ev] = Skolemize(r.ID, ev, exportVars, binding)
+			}
+		}
+		for _, atom := range r.Head {
+			tuple := make(relalg.Tuple, len(atom.Terms))
+			for i, t := range atom.Terms {
+				if t.IsVar {
+					tuple[i] = env[t.Var]
+				} else {
+					tuple[i] = t.Val
+				}
+			}
+			added, err := db.Insert(atom.Rel, tuple, opts.Mode)
+			if err != nil {
+				return res, err
+			}
+			if added {
+				res.Added++
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters("A")
+	c.Sent("query", 100)
+	c.Sent("query", 50)
+	c.Sent("answer", 10)
+	c.Received("answer", 30)
+	c.AddQueries(2)
+	c.AddInserted(5)
+	c.AddDuplicate(1)
+	c.AddDuplicateQueries(3)
+	c.AddTruncated(1)
+	c.SetUpdateClosed(5 * time.Millisecond)
+
+	s := c.Snapshot()
+	if s.Node != "A" {
+		t.Errorf("node = %q", s.Node)
+	}
+	if s.MsgsSent["query"] != 2 || s.MsgsSent["answer"] != 1 {
+		t.Errorf("sent = %v", s.MsgsSent)
+	}
+	if s.TotalSent() != 3 || s.TotalReceived() != 1 {
+		t.Errorf("totals = %d/%d", s.TotalSent(), s.TotalReceived())
+	}
+	if s.BytesSent != 160 || s.BytesRecv != 30 {
+		t.Errorf("bytes = %d/%d", s.BytesSent, s.BytesRecv)
+	}
+	if s.QueriesExecuted != 2 || s.TuplesInserted != 5 || s.TuplesDuplicate != 1 ||
+		s.DuplicateQueries != 3 || s.Truncated != 1 {
+		t.Errorf("counters = %+v", s)
+	}
+	if s.UpdateClosed != 5*time.Millisecond {
+		t.Errorf("update closed = %v", s.UpdateClosed)
+	}
+}
+
+func TestDiscoveryClosedFirstWins(t *testing.T) {
+	c := NewCounters("A")
+	c.SetDiscoveryClosed(2 * time.Millisecond)
+	c.SetDiscoveryClosed(9 * time.Millisecond)
+	if got := c.Snapshot().DiscoveryClosed; got != 2*time.Millisecond {
+		t.Errorf("discovery closed = %v", got)
+	}
+	// Update closure: last wins (re-opening extends it).
+	c.SetUpdateClosed(2 * time.Millisecond)
+	c.SetUpdateClosed(9 * time.Millisecond)
+	if got := c.Snapshot().UpdateClosed; got != 9*time.Millisecond {
+		t.Errorf("update closed = %v", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := NewCounters("A")
+	c.Sent("q", 1)
+	s := c.Snapshot()
+	c.Sent("q", 1)
+	if s.MsgsSent["q"] != 1 {
+		t.Error("snapshot must not see later sends")
+	}
+	s.MsgsSent["q"] = 99
+	if c.Snapshot().MsgsSent["q"] != 2 {
+		t.Error("mutating a snapshot must not affect the counters")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCounters("A")
+	c.Sent("q", 10)
+	c.AddInserted(4)
+	c.Reset()
+	s := c.Snapshot()
+	if s.TotalSent() != 0 || s.TuplesInserted != 0 || s.Node != "A" {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewCounters("A")
+	a.Sent("query", 10)
+	a.AddInserted(1)
+	b := NewCounters("B")
+	b.Sent("query", 5)
+	b.Sent("answer", 7)
+	b.AddInserted(2)
+	b.SetUpdateClosed(3 * time.Millisecond)
+
+	m := Merge([]Snapshot{a.Snapshot(), b.Snapshot()})
+	if m.Node != "*" {
+		t.Errorf("merged node = %q", m.Node)
+	}
+	if m.MsgsSent["query"] != 2 || m.MsgsSent["answer"] != 1 {
+		t.Errorf("merged sends = %v", m.MsgsSent)
+	}
+	if m.BytesSent != 22 || m.TuplesInserted != 3 {
+		t.Errorf("merged = %+v", m)
+	}
+	if m.UpdateClosed != 3*time.Millisecond {
+		t.Errorf("merged closure = %v", m.UpdateClosed)
+	}
+}
+
+func TestTableRendersAllNodes(t *testing.T) {
+	a := NewCounters("A")
+	a.Sent("q", 1)
+	b := NewCounters("B")
+	b.Sent("q", 2)
+	out := Table([]Snapshot{b.Snapshot(), a.Snapshot()})
+	if !strings.Contains(out, "node") || !strings.Contains(out, "\nA") {
+		t.Errorf("table missing header or node A:\n%s", out)
+	}
+	// Sorted: A row must come before B row; merged * row last.
+	ai, bi, star := strings.Index(out, "\nA"), strings.Index(out, "\nB"), strings.Index(out, "\n*")
+	if !(ai < bi && bi < star) {
+		t.Errorf("row order wrong:\n%s", out)
+	}
+}
+
+func TestCountersConcurrentUse(t *testing.T) {
+	c := NewCounters("A")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Sent("q", 1)
+				c.Received("q", 1)
+				c.AddInserted(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.TotalSent() != 8000 || s.TuplesInserted != 8000 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}

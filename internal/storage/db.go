@@ -1,0 +1,282 @@
+// Package storage implements the local database of a peer (the "LDB" of the
+// paper's Figure 2 architecture): a schema registry plus in-memory relations
+// with duplicate-free insertion, labelled-null support, delta extraction via
+// per-subscriber high-water marks, and snapshots for validation. A DB is safe
+// for concurrent use; the peer runtime serialises writes but statistics and
+// validators read concurrently.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/relalg"
+)
+
+// DB is one node's local database.
+type DB struct {
+	mu        sync.RWMutex
+	relations map[string]*relalg.Relation
+	schemas   []relalg.Schema // declaration order
+	inserts   uint64          // total successful inserts (stat)
+	rejected  uint64          // duplicate / subsumed insert attempts (stat)
+}
+
+// New creates an empty database with the given schemas.
+func New(schemas ...relalg.Schema) *DB {
+	db := &DB{relations: make(map[string]*relalg.Relation)}
+	for _, s := range schemas {
+		db.MustAddSchema(s)
+	}
+	return db
+}
+
+// AddSchema registers a relation schema; it errors if the name is taken with
+// a different arity and is a no-op for an identical redeclaration.
+func (db *DB) AddSchema(s relalg.Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if existing, ok := db.relations[s.Name]; ok {
+		if existing.Schema().Arity() != s.Arity() {
+			return fmt.Errorf("storage: relation %s redeclared with arity %d (was %d)",
+				s.Name, s.Arity(), existing.Schema().Arity())
+		}
+		return nil
+	}
+	db.relations[s.Name] = relalg.NewRelation(s)
+	db.schemas = append(db.schemas, s)
+	return nil
+}
+
+// MustAddSchema is AddSchema that panics on error, for construction sites
+// with statically known schemas.
+func (db *DB) MustAddSchema(s relalg.Schema) {
+	if err := db.AddSchema(s); err != nil {
+		panic(err)
+	}
+}
+
+// Schemas returns the declared schemas in declaration order.
+func (db *DB) Schemas() []relalg.Schema {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]relalg.Schema, len(db.schemas))
+	copy(out, db.schemas)
+	return out
+}
+
+// HasRelation reports whether a relation with the name is declared.
+func (db *DB) HasRelation(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.relations[name]
+	return ok
+}
+
+// Arity returns the arity of the named relation, or -1 if undeclared.
+func (db *DB) Arity(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if r, ok := db.relations[name]; ok {
+		return r.Schema().Arity()
+	}
+	return -1
+}
+
+// Rel implements cq.Source: it returns the named relation or nil. The
+// returned relation must be treated as read-only by callers; insertion goes
+// through DB.Insert so counters and marks stay consistent.
+func (db *DB) Rel(name string) *relalg.Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.relations[name]
+}
+
+var _ cq.Source = (*DB)(nil)
+
+// InsertMode selects the redundancy check applied on insertion.
+type InsertMode uint8
+
+const (
+	// InsertExact skips a tuple only when the identical tuple is present
+	// (the paper's "if π_R(t) ∉ R" check; deterministic Skolemisation makes
+	// re-derivations identical, so this terminates).
+	InsertExact InsertMode = iota
+	// InsertCore additionally skips tuples subsumed by an existing tuple
+	// (nulls map homomorphically), yielding smaller materialisations.
+	InsertCore
+)
+
+// Insert adds one tuple to the named relation, returning whether the database
+// changed. Undeclared relations are an error.
+func (db *DB) Insert(rel string, t relalg.Tuple, mode InsertMode) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.relations[rel]
+	if !ok {
+		return false, fmt.Errorf("storage: insert into undeclared relation %q", rel)
+	}
+	if mode == InsertCore && t.HasNull() && r.SubsumedByExisting(t) {
+		db.rejected++
+		return false, nil
+	}
+	added, err := r.Insert(t)
+	if err != nil {
+		return false, err
+	}
+	if added {
+		db.inserts++
+	} else {
+		db.rejected++
+	}
+	return added, nil
+}
+
+// InsertAll inserts a batch, returning how many tuples were new.
+func (db *DB) InsertAll(rel string, ts []relalg.Tuple, mode InsertMode) (int, error) {
+	added := 0
+	for _, t := range ts {
+		ok, err := db.Insert(rel, t, mode)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// Count returns the number of tuples in the named relation (0 if absent).
+func (db *DB) Count(rel string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if r, ok := db.relations[rel]; ok {
+		return r.Len()
+	}
+	return 0
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (db *DB) TotalTuples() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, r := range db.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// Stats reports cumulative insert/reject counters.
+func (db *DB) Stats() (inserts, rejected uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.inserts, db.rejected
+}
+
+// Marks is a high-water-mark vector over relations, used to extract deltas
+// for a particular subscriber ("delta optimization").
+type Marks map[string]uint64
+
+// DeltaSince returns, for each named relation, the tuples inserted after the
+// marks, and the advanced marks. Pass nil marks for "everything".
+func (db *DB) DeltaSince(marks Marks, rels []string) (map[string][]relalg.Tuple, Marks) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string][]relalg.Tuple)
+	next := make(Marks, len(rels))
+	for _, name := range rels {
+		r, ok := db.relations[name]
+		if !ok {
+			continue
+		}
+		var mark uint64
+		if marks != nil {
+			mark = marks[name]
+		}
+		delta, newMark := r.Since(mark)
+		if len(delta) > 0 {
+			cp := make([]relalg.Tuple, len(delta))
+			copy(cp, delta)
+			out[name] = cp
+		}
+		next[name] = newMark
+	}
+	return out, next
+}
+
+// Snapshot deep-copies the database contents (used by validators and the
+// centralised baseline).
+func (db *DB) Snapshot() map[string]*relalg.Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]*relalg.Relation, len(db.relations))
+	for name, r := range db.relations {
+		out[name] = r.Clone()
+	}
+	return out
+}
+
+// Clone returns an independent copy of the whole database.
+func (db *DB) Clone() *DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c := &DB{relations: make(map[string]*relalg.Relation, len(db.relations))}
+	c.schemas = append(c.schemas, db.schemas...)
+	for name, r := range db.relations {
+		c.relations[name] = r.Clone()
+	}
+	c.inserts, c.rejected = db.inserts, db.rejected
+	return c
+}
+
+// Equal reports whether two databases hold exactly the same extents for the
+// union of their declared relations.
+func (db *DB) Equal(o *DB) bool {
+	names := map[string]bool{}
+	for _, s := range db.Schemas() {
+		names[s.Name] = true
+	}
+	for _, s := range o.Schemas() {
+		names[s.Name] = true
+	}
+	for name := range names {
+		a, b := db.Rel(name), o.Rel(name)
+		switch {
+		case a == nil && b == nil:
+		case a == nil:
+			if b.Len() != 0 {
+				return false
+			}
+		case b == nil:
+			if a.Len() != 0 {
+				return false
+			}
+		default:
+			if !a.Equal(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Dump renders the database deterministically, for debugging and golden
+// tests.
+func (db *DB) Dump() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += db.relations[n].String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+func TestAddSchemaConflicts(t *testing.T) {
+	db := New(relalg.MakeSchema("a", 2))
+	if err := db.AddSchema(relalg.MakeSchema("a", 2)); err != nil {
+		t.Errorf("identical redeclaration should be a no-op: %v", err)
+	}
+	if err := db.AddSchema(relalg.MakeSchema("a", 3)); err == nil {
+		t.Error("conflicting arity must error")
+	}
+	if db.Arity("a") != 2 {
+		t.Errorf("arity = %d", db.Arity("a"))
+	}
+	if db.Arity("zzz") != -1 {
+		t.Error("undeclared arity should be -1")
+	}
+}
+
+func TestInsertModes(t *testing.T) {
+	db := New(relalg.MakeSchema("p", 2))
+	added, err := db.Insert("p", relalg.Tuple{relalg.S("k"), relalg.S("v")}, InsertExact)
+	if err != nil || !added {
+		t.Fatalf("insert: %v %v", added, err)
+	}
+	// Exact mode: a null tuple subsumed by an existing constant tuple is
+	// still inserted.
+	nullTup := relalg.Tuple{relalg.S("k"), relalg.Null("n")}
+	added, err = db.Insert("p", nullTup, InsertExact)
+	if err != nil || !added {
+		t.Fatalf("exact-mode insert of subsumed null tuple: %v %v", added, err)
+	}
+
+	db2 := New(relalg.MakeSchema("p", 2))
+	if _, err := db2.Insert("p", relalg.Tuple{relalg.S("k"), relalg.S("v")}, InsertExact); err != nil {
+		t.Fatal(err)
+	}
+	added, err = db2.Insert("p", nullTup, InsertCore)
+	if err != nil || added {
+		t.Fatalf("core-mode insert of subsumed null tuple must be skipped: %v %v", added, err)
+	}
+	ins, rej := db2.Stats()
+	if ins != 1 || rej != 1 {
+		t.Errorf("stats = %d inserted, %d rejected", ins, rej)
+	}
+}
+
+func TestInsertUndeclared(t *testing.T) {
+	db := New()
+	if _, err := db.Insert("q", relalg.Tuple{relalg.S("x")}, InsertExact); err == nil {
+		t.Error("insert into undeclared relation must error")
+	}
+}
+
+func TestDeltaSince(t *testing.T) {
+	db := New(relalg.MakeSchema("p", 1), relalg.MakeSchema("q", 1))
+	ins := func(rel, v string) {
+		t.Helper()
+		if _, err := db.Insert(rel, relalg.Tuple{relalg.S(v)}, InsertExact); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("p", "1")
+	ins("q", "a")
+
+	delta, marks := db.DeltaSince(nil, []string{"p", "q"})
+	if len(delta["p"]) != 1 || len(delta["q"]) != 1 {
+		t.Fatalf("initial delta = %v", delta)
+	}
+
+	ins("p", "2")
+	delta, marks = db.DeltaSince(marks, []string{"p", "q"})
+	if len(delta["p"]) != 1 || delta["p"][0][0] != relalg.S("2") {
+		t.Fatalf("delta p = %v", delta["p"])
+	}
+	if _, ok := delta["q"]; ok {
+		t.Fatalf("q should have no delta: %v", delta["q"])
+	}
+
+	// No changes: empty delta, marks stable.
+	delta, marks2 := db.DeltaSince(marks, []string{"p", "q"})
+	if len(delta) != 0 {
+		t.Fatalf("idle delta = %v", delta)
+	}
+	if marks2["p"] != marks["p"] || marks2["q"] != marks["q"] {
+		t.Error("marks moved without inserts")
+	}
+}
+
+func TestSnapshotAndEqual(t *testing.T) {
+	db := New(relalg.MakeSchema("p", 1))
+	if _, err := db.Insert("p", relalg.Tuple{relalg.S("1")}, InsertExact); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	other := db.Clone()
+	if !db.Equal(other) {
+		t.Fatal("clone must equal original")
+	}
+	if _, err := other.Insert("p", relalg.Tuple{relalg.S("2")}, InsertExact); err != nil {
+		t.Fatal(err)
+	}
+	if db.Equal(other) {
+		t.Fatal("diverged clone must not be equal")
+	}
+	if snap["p"].Len() != 1 {
+		t.Fatal("snapshot must be isolated from later inserts")
+	}
+	// Equality must tolerate one side lacking a relation when it is empty
+	// on the other.
+	a := New(relalg.MakeSchema("p", 1), relalg.MakeSchema("extra", 1))
+	b := New(relalg.MakeSchema("p", 1))
+	if !a.Equal(b) {
+		t.Error("empty extra relation should not break equality")
+	}
+}
+
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	db := New(relalg.MakeSchema("p", 1))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			_, _ = db.Insert("p", relalg.Tuple{relalg.I(int64(i))}, InsertExact)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		_ = db.Count("p")
+		_ = db.TotalTuples()
+		_, _ = db.DeltaSince(nil, []string{"p"})
+	}
+	<-done
+	if db.Count("p") != 500 {
+		t.Fatalf("count = %d", db.Count("p"))
+	}
+}

@@ -1,0 +1,125 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/relalg"
+)
+
+// Persistence: a node's local database can be saved to and loaded from disk
+// (the paper's peers sit on a local RDBMS; our in-memory engine offers a
+// snapshot-file equivalent so a peer can stop and rejoin the network without
+// re-importing). The format is a gob stream: a header, then per relation its
+// schema and tuples in insertion order, so delta high-water marks survive a
+// round trip.
+
+// persistHeader identifies the snapshot format.
+type persistHeader struct {
+	Magic   string
+	Version int
+	Rels    int
+}
+
+// persistRelation is one relation's serialised form.
+type persistRelation struct {
+	Name   string
+	Attrs  []string
+	Tuples []relalg.Tuple
+}
+
+const (
+	persistMagic   = "p2pdb-snapshot"
+	persistVersion = 1
+)
+
+// Save writes the database to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(persistHeader{Magic: persistMagic, Version: persistVersion, Rels: len(db.schemas)}); err != nil {
+		return fmt.Errorf("storage: save header: %w", err)
+	}
+	for _, schema := range db.schemas {
+		rel := db.relations[schema.Name]
+		pr := persistRelation{
+			Name:   schema.Name,
+			Attrs:  schema.Attrs,
+			Tuples: rel.All(),
+		}
+		if err := enc.Encode(pr); err != nil {
+			return fmt.Errorf("storage: save relation %s: %w", schema.Name, err)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the database to a file (atomic: tmp + rename).
+func (db *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := db.Save(bw); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a snapshot produced by Save into a fresh database.
+func Load(r io.Reader) (*DB, error) {
+	dec := gob.NewDecoder(r)
+	var h persistHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("storage: load header: %w", err)
+	}
+	if h.Magic != persistMagic {
+		return nil, fmt.Errorf("storage: not a p2pdb snapshot (magic %q)", h.Magic)
+	}
+	if h.Version != persistVersion {
+		return nil, fmt.Errorf("storage: unsupported snapshot version %d", h.Version)
+	}
+	db := New()
+	for i := 0; i < h.Rels; i++ {
+		var pr persistRelation
+		if err := dec.Decode(&pr); err != nil {
+			return nil, fmt.Errorf("storage: load relation %d: %w", i, err)
+		}
+		if err := db.AddSchema(relalg.Schema{Name: pr.Name, Attrs: pr.Attrs}); err != nil {
+			return nil, err
+		}
+		for _, t := range pr.Tuples {
+			if _, err := db.Insert(pr.Name, t, InsertExact); err != nil {
+				return nil, fmt.Errorf("storage: load %s: %w", pr.Name, err)
+			}
+		}
+	}
+	return db, nil
+}
+
+// LoadFile reads a snapshot file.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+func seededDB(t *testing.T) *DB {
+	t.Helper()
+	db := New(
+		relalg.Schema{Name: "pub", Attrs: []string{"key", "title", "year"}},
+		relalg.MakeSchema("wrote", 2),
+	)
+	rows := []struct {
+		rel string
+		t   relalg.Tuple
+	}{
+		{"pub", relalg.Tuple{relalg.S("k1"), relalg.S("title one"), relalg.I(2003)}},
+		{"pub", relalg.Tuple{relalg.S("k2"), relalg.S("it's quoted"), relalg.I(2004)}},
+		{"pub", relalg.Tuple{relalg.S("k3"), relalg.Null("d1|r|T|2:sk3"), relalg.I(1999)}},
+		{"wrote", relalg.Tuple{relalg.S("alice"), relalg.S("k1")}},
+	}
+	for _, r := range rows {
+		if _, err := db.Insert(r.rel, r.t, InsertExact); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := seededDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(back) {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", db.Dump(), back.Dump())
+	}
+	// Attribute names survive.
+	var pub relalg.Schema
+	for _, s := range back.Schemas() {
+		if s.Name == "pub" {
+			pub = s
+		}
+	}
+	if len(pub.Attrs) != 3 || pub.Attrs[1] != "title" {
+		t.Errorf("schema attrs lost: %+v", pub)
+	}
+	// Insertion order (delta marks) survives.
+	origFirst := db.Rel("pub").All()[0]
+	loadFirst := back.Rel("pub").All()[0]
+	if !origFirst.Equal(loadFirst) {
+		t.Error("insertion order lost across round trip")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := seededDB(t)
+	path := filepath.Join(t.TempDir(), "node.snapshot")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(back) {
+		t.Fatal("file round trip diverged")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage must fail")
+	}
+	var buf bytes.Buffer
+	db := New()
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic by re-encoding a different header... simplest:
+	// truncate the stream mid-way after seeding one relation.
+	db2 := seededDB(t)
+	var buf2 bytes.Buffer
+	if err := db2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf2.Bytes()[:buf2.Len()/2]
+	if _, err := Load(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated snapshot must fail")
+	}
+}
+
+func TestLoadEmptyDB(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalTuples() != 0 || len(back.Schemas()) != 0 {
+		t.Error("empty round trip not empty")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TCP is a transport running each peer over real sockets: frames are
+// 4-byte big-endian length prefixes followed by a gob-encoded wire.Envelope.
+// One TCP value serves one process, which may host one or many local peers
+// (Register). Remote peers are reached through a static address book; dials
+// are lazy, connections are cached and re-dialled on failure.
+type TCP struct {
+	mu       sync.Mutex
+	self     string // listen address
+	listener net.Listener
+	book     map[string]string // node -> address
+	local    map[string]Handler
+	conns    map[string]net.Conn
+	accepted map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	// DialTimeout bounds connection attempts (default 2s).
+	DialTimeout time.Duration
+}
+
+// NewTCP starts listening on listenAddr and routes to remote peers using the
+// address book (node name -> host:port). Local peers are added by Register.
+func NewTCP(listenAddr string, book map[string]string) (*TCP, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	t := &TCP{
+		self:        ln.Addr().String(),
+		listener:    ln,
+		book:        map[string]string{},
+		local:       map[string]Handler{},
+		conns:       map[string]net.Conn{},
+		accepted:    map[net.Conn]bool{},
+		DialTimeout: 2 * time.Second,
+	}
+	for k, v := range book {
+		t.book[k] = v
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCP) Addr() string { return t.self }
+
+// SetPeerAddr adds or updates an address book entry.
+func (t *TCP) SetPeerAddr(node, addr string) {
+	t.mu.Lock()
+	t.book[node] = addr
+	t.mu.Unlock()
+}
+
+// Register implements Transport for peers hosted in this process.
+func (t *TCP) Register(node string, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.local[node]; ok {
+		return addressError("re-register", node)
+	}
+	t.local[node] = h
+	return nil
+}
+
+// Send implements Transport: local peers short-circuit in process (still
+// asynchronously, preserving the actor discipline); remote peers get a
+// framed envelope.
+func (t *TCP) Send(from, to string, msg wire.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if h, ok := t.local[to]; ok {
+		t.mu.Unlock()
+		// In-process delivery: spawn to keep Send non-blocking. Ordering
+		// between two local peers is preserved well enough for the
+		// protocol, which tolerates reordering by design.
+		env := wire.Envelope{From: from, To: to, Msg: msg}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			h(env)
+		}()
+		return nil
+	}
+	addr, ok := t.book[to]
+	t.mu.Unlock()
+	if !ok {
+		return addressError("send to", to)
+	}
+	data, err := wire.Encode(wire.Envelope{From: from, To: to, Msg: msg})
+	if err != nil {
+		return err
+	}
+	return t.write(to, addr, data)
+}
+
+func (t *TCP) write(node, addr string, data []byte) error {
+	conn, err := t.conn(node, addr)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+	if _, err := conn.Write(frame); err != nil {
+		// Drop the cached connection and retry once with a fresh dial.
+		t.dropConn(node)
+		conn, derr := t.conn(node, addr)
+		if derr != nil {
+			return derr
+		}
+		if _, werr := conn.Write(frame); werr != nil {
+			t.dropConn(node)
+			return fmt.Errorf("transport: write to %s: %w", node, werr)
+		}
+	}
+	return nil
+}
+
+func (t *TCP) conn(node, addr string) (net.Conn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[node]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	timeout := t.DialTimeout
+	t.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", node, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[node]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[node] = c
+	return c, nil
+}
+
+func (t *TCP) dropConn(node string) {
+	t.mu.Lock()
+	if c, ok := t.conns[node]; ok {
+		_ = c.Close()
+		delete(t.conns, node)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.accepted[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	header := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(header)
+		const maxFrame = 64 << 20
+		if size == 0 || size > maxFrame {
+			return // protocol violation; drop the connection
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		env, err := wire.Decode(data)
+		if err != nil {
+			continue // skip undecodable frame, keep the connection
+		}
+		t.mu.Lock()
+		h, ok := t.local[env.To]
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if ok {
+			h(env)
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.listener
+	conns := t.conns
+	t.conns = map[string]net.Conn{}
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+
+	_ = ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for _, c := range accepted {
+		_ = c.Close() // unblocks readLoop's io.ReadFull
+	}
+	t.wg.Wait()
+	return nil
+}
+
+var _ Transport = (*TCP)(nil)

@@ -1,0 +1,40 @@
+// Package transport carries protocol messages between peers. It replaces the
+// paper's JXTA layer with two implementations sharing one interface: an
+// in-memory router (deterministic, with seeded delay injection, partitions, a
+// global quiescence detector, and a synchronous/BSP stepping mode used by the
+// "synchronous alternative" the paper mentions) and a TCP transport
+// (length-prefixed gob frames over stdlib net) for running peers as separate
+// processes.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Handler consumes one incoming envelope. Transports invoke a node's handler
+// from a single goroutine, so peer state needs no internal locking.
+type Handler func(env wire.Envelope)
+
+// Transport moves messages between named peers.
+type Transport interface {
+	// Register attaches the handler for a node. It must be called before
+	// any message is sent to that node.
+	Register(node string, h Handler) error
+	// Send delivers msg from one node to another, asynchronously.
+	Send(from, to string, msg wire.Message) error
+	// Close stops delivery and releases resources.
+	Close() error
+}
+
+// ErrUnknownPeer is returned when sending to an unregistered node.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// ErrClosed is returned when using a transport after Close.
+var ErrClosed = errors.New("transport: closed")
+
+func addressError(op, node string) error {
+	return fmt.Errorf("%w: %s %q", ErrUnknownPeer, op, node)
+}

@@ -1,0 +1,297 @@
+// Package wire defines the protocol vocabulary of the distributed algorithm:
+// the discovery-phase messages (A1–A3 of the paper), the update-phase
+// messages (A4–A5), and the control plane a super-peer uses (rule broadcast,
+// dynamic add/delete notifications, statistics collection). Messages are
+// self-describing (Kind) and size-accountable (Size); the TCP transport
+// encodes them with gob, the in-memory transport passes them by value and
+// uses Size for byte accounting.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/relalg"
+	"repro/internal/stats"
+)
+
+// Message is any protocol message.
+type Message interface {
+	// Kind returns a short stable name used for statistics and tracing.
+	Kind() string
+	// Size estimates the encoded size in bytes (used by the in-memory
+	// transport for byte accounting; the TCP transport counts real frames).
+	Size() int
+}
+
+// Envelope wraps a message with addressing for transports.
+type Envelope struct {
+	From, To string
+	Msg      Message
+}
+
+// ---------------------------------------------------------------------------
+// Discovery phase (A1–A3)
+
+// NodeEdges is one node's self-asserted outgoing dependency edges (the node
+// depends on each target), stamped with a version so receivers can replace
+// stale knowledge after dynamic rule changes.
+type NodeEdges struct {
+	Node    string
+	Version uint64
+	Targets []string
+}
+
+// RequestNodes asks the receiver to take part in topology discovery for the
+// given wave (the paper's requestNodes(IDs, IDo); the sender is in the
+// envelope). Wave identifies one origin's discovery run ("origin#seq").
+type RequestNodes struct {
+	Wave string
+}
+
+// Kind implements Message.
+func (RequestNodes) Kind() string { return "requestNodes" }
+
+// Size implements Message.
+func (m RequestNodes) Size() int { return 16 + len(m.Wave) }
+
+// DiscoveryAnswer streams accumulated dependency-edge knowledge back towards
+// the wave origin (the paper's processAnswer). Finished reports that
+// discovery through the answering branch is complete (echo).
+type DiscoveryAnswer struct {
+	Wave      string
+	Knowledge []NodeEdges
+	Finished  bool
+}
+
+// Kind implements Message.
+func (DiscoveryAnswer) Kind() string { return "processAnswer" }
+
+// Size implements Message.
+func (m DiscoveryAnswer) Size() int {
+	n := 18 + len(m.Wave)
+	for _, ne := range m.Knowledge {
+		n += len(ne.Node) + 10
+		for _, t := range ne.Targets {
+			n += len(t) + 1
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Update phase (A4–A5)
+
+// StartUpdate floods the global-update kick-off through the network over
+// acquaintance links (both directions of dependency edges) so every node of
+// the weakly connected component activates and starts pulling from its rule
+// sources.
+type StartUpdate struct {
+	Epoch  uint64
+	Origin string
+}
+
+// Kind implements Message.
+func (StartUpdate) Kind() string { return "startUpdate" }
+
+// Size implements Message.
+func (m StartUpdate) Size() int { return 24 + len(m.Origin) }
+
+// Query asks the receiver to evaluate one body part of a coordination rule
+// on behalf of the sender (the paper's Query(IDs, Q, SN)). The conjunction
+// travels with the query (sources need not know rule definitions), Cols fix
+// the result columns, and Path is the requester chain SN (most recent
+// requester first) used for loop control. Scoped queries (query-dependent
+// updates) restrict forwarding to rules relevant to the queried relations.
+type Query struct {
+	Epoch  uint64
+	RuleID string
+	Conj   string   // surface syntax of the body part local to the receiver
+	Cols   []string // variables the result tuples are projected onto
+	Path   []string // SN: requester chain, most recent first
+	Scoped bool
+}
+
+// Kind implements Message.
+func (Query) Kind() string { return "query" }
+
+// Size implements Message.
+func (m Query) Size() int {
+	n := 26 + len(m.RuleID) + len(m.Conj)
+	for _, c := range m.Cols {
+		n += len(c) + 1
+	}
+	for _, p := range m.Path {
+		n += len(p) + 1
+	}
+	return n
+}
+
+// Answer returns (or pushes) the result set of a rule's body part (the
+// paper's Answer(ID, QA, SN, state)). Route lists the nodes the result set
+// has passed through, oldest first; the fix-point rule of Section 3 — stop
+// propagating iff the receiver is on the route and the answer brings no new
+// data — and the path-flag closure both read it.
+type Answer struct {
+	Epoch    uint64
+	RuleID   string
+	Part     string   // source node this result set evaluates (body part)
+	Columns  []string // exported variables fixing tuple column order
+	Tuples   []relalg.Tuple
+	Complete bool // sender's state_u == closed
+	Delta    bool // tuples extend earlier answers instead of replacing them
+	Route    []string
+}
+
+// Kind implements Message.
+func (Answer) Kind() string { return "answer" }
+
+// Size implements Message.
+func (m Answer) Size() int {
+	n := 28 + len(m.RuleID) + len(m.Part)
+	for _, c := range m.Columns {
+		n += len(c) + 1
+	}
+	for _, p := range m.Route {
+		n += len(p) + 1
+	}
+	for _, t := range m.Tuples {
+		for _, v := range t {
+			n += v.EncodedSize()
+		}
+		n += 2
+	}
+	return n
+}
+
+// Unsubscribe cancels the sender's subscription for a rule at the receiver
+// (sent when a coordination rule is deleted at runtime).
+type Unsubscribe struct {
+	RuleID string
+}
+
+// Kind implements Message.
+func (Unsubscribe) Kind() string { return "unsubscribe" }
+
+// Size implements Message.
+func (m Unsubscribe) Size() int { return 12 + len(m.RuleID) }
+
+// ---------------------------------------------------------------------------
+// Control plane (Section 4 notifications and Section 5 super-peer verbs)
+
+// AddRuleNotice notifies the head node of addLink(i,j,rule,id): the receiver
+// gains a coordination rule it can fetch data by. RuleText is the surface
+// syntax ("id: body -> head"), parsed on receipt.
+type AddRuleNotice struct {
+	RuleText string
+}
+
+// Kind implements Message.
+func (AddRuleNotice) Kind() string { return "addRule" }
+
+// Size implements Message.
+func (m AddRuleNotice) Size() int { return 10 + len(m.RuleText) }
+
+// DeleteRuleNotice notifies the head node of deleteLink(i,j,id).
+type DeleteRuleNotice struct {
+	RuleID string
+}
+
+// Kind implements Message.
+func (DeleteRuleNotice) Kind() string { return "deleteRule" }
+
+// Size implements Message.
+func (m DeleteRuleNotice) Size() int { return 10 + len(m.RuleID) }
+
+// TopoChanged propagates a topology-change hint from the head node of a
+// changed rule to its transitive dependents, which mark their discovered
+// paths stale and lazily re-discover. ChangeID deduplicates the flood.
+type TopoChanged struct {
+	ChangeID string
+}
+
+// Kind implements Message.
+func (TopoChanged) Kind() string { return "topoChanged" }
+
+// Size implements Message.
+func (m TopoChanged) Size() int { return 10 + len(m.ChangeID) }
+
+// SetNetwork broadcasts a full network-description file; each peer adopts
+// the rules targeting it (Section 5: "one peer can change the network
+// topology at runtime").
+type SetNetwork struct {
+	Text string
+}
+
+// Kind implements Message.
+func (SetNetwork) Kind() string { return "setNetwork" }
+
+// Size implements Message.
+func (m SetNetwork) Size() int { return 10 + len(m.Text) }
+
+// StatsRequest asks a peer for its statistics snapshot.
+type StatsRequest struct{}
+
+// Kind implements Message.
+func (StatsRequest) Kind() string { return "statsRequest" }
+
+// Size implements Message.
+func (StatsRequest) Size() int { return 8 }
+
+// StatsReport carries a peer's statistics snapshot to the super-peer.
+type StatsReport struct {
+	Snapshot stats.Snapshot
+}
+
+// Kind implements Message.
+func (StatsReport) Kind() string { return "statsReport" }
+
+// Size implements Message.
+func (m StatsReport) Size() int { return 64 }
+
+// StatsReset zeroes a peer's statistics.
+type StatsReset struct{}
+
+// Kind implements Message.
+func (StatsReset) Kind() string { return "statsReset" }
+
+// Size implements Message.
+func (StatsReset) Size() int { return 8 }
+
+// ---------------------------------------------------------------------------
+// Encoding (TCP transport)
+
+func init() {
+	gob.Register(RequestNodes{})
+	gob.Register(DiscoveryAnswer{})
+	gob.Register(StartUpdate{})
+	gob.Register(Query{})
+	gob.Register(Answer{})
+	gob.Register(Unsubscribe{})
+	gob.Register(AddRuleNotice{})
+	gob.Register(DeleteRuleNotice{})
+	gob.Register(TopoChanged{})
+	gob.Register(SetNetwork{})
+	gob.Register(StatsRequest{})
+	gob.Register(StatsReport{})
+	gob.Register(StatsReset{})
+}
+
+// Encode serialises an envelope with gob.
+func Encode(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, fmt.Errorf("wire: encode %s: %w", env.Msg.Kind(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises an envelope produced by Encode.
+func Decode(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decode: %w", err)
+	}
+	return env, nil
+}

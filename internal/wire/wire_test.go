@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	msgs := []Message{
+		RequestNodes{Wave: "A#1"},
+		DiscoveryAnswer{Wave: "A#1", Knowledge: []NodeEdges{{Node: "A", Version: 2, Targets: []string{"B", "C"}}}, Finished: true},
+		StartUpdate{Epoch: 3, Origin: "A"},
+		Query{Epoch: 3, RuleID: "r2", Conj: "B:b(X,Y), B:b(Y,Z)", Cols: []string{"X", "Z"}, Path: []string{"C", "A"}},
+		Answer{
+			Epoch: 3, RuleID: "r2", Part: "B",
+			Columns: []string{"X", "Z"},
+			Tuples: []relalg.Tuple{
+				{relalg.S("a"), relalg.I(42)},
+				{relalg.Null("d1|r|V|k"), relalg.S("it's")},
+			},
+			Complete: true, Route: []string{"B", "C", "A"},
+		},
+		Unsubscribe{RuleID: "r9"},
+		AddRuleNotice{RuleText: "r9: A:a(X) -> B:b(X)"},
+		TopoChanged{ChangeID: "c1"},
+		DeleteRuleNotice{RuleID: "r9"},
+		SetNetwork{Text: "node A { rel a(x) }"},
+		StatsRequest{},
+		StatsReset{},
+	}
+	for _, m := range msgs {
+		env := Envelope{From: "X", To: "Y", Msg: m}
+		data, err := Encode(env)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Kind(), err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Kind(), err)
+		}
+		if back.From != "X" || back.To != "Y" {
+			t.Errorf("%s: addressing lost", m.Kind())
+		}
+		if back.Msg.Kind() != m.Kind() {
+			t.Errorf("kind %s became %s", m.Kind(), back.Msg.Kind())
+		}
+	}
+}
+
+func TestAnswerTuplesSurviveGob(t *testing.T) {
+	in := Answer{
+		RuleID:  "r",
+		Columns: []string{"X"},
+		Tuples: []relalg.Tuple{
+			{relalg.S("s")}, {relalg.I(-9)}, {relalg.Null("lbl")},
+		},
+	}
+	data, err := Encode(Envelope{From: "a", To: "b", Msg: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := env.Msg.(Answer)
+	if len(out.Tuples) != 3 {
+		t.Fatalf("tuples = %v", out.Tuples)
+	}
+	if out.Tuples[0][0] != relalg.S("s") || out.Tuples[1][0] != relalg.I(-9) || out.Tuples[2][0] != relalg.Null("lbl") {
+		t.Fatalf("values corrupted: %v", out.Tuples)
+	}
+}
+
+func TestSizesArePositiveAndMonotone(t *testing.T) {
+	small := Answer{RuleID: "r", Columns: []string{"X"}}
+	big := small
+	for i := 0; i < 100; i++ {
+		big.Tuples = append(big.Tuples, relalg.Tuple{relalg.S("abcdefgh")})
+	}
+	if small.Size() <= 0 || big.Size() <= small.Size() {
+		t.Errorf("sizes: small=%d big=%d", small.Size(), big.Size())
+	}
+	all := []Message{
+		RequestNodes{}, DiscoveryAnswer{}, StartUpdate{}, Query{}, Answer{},
+		Unsubscribe{}, AddRuleNotice{}, DeleteRuleNotice{}, TopoChanged{},
+		SetNetwork{}, StatsRequest{}, StatsReport{}, StatsReset{},
+	}
+	kinds := map[string]bool{}
+	for _, m := range all {
+		if m.Size() <= 0 {
+			t.Errorf("%s: non-positive size", m.Kind())
+		}
+		if kinds[m.Kind()] {
+			t.Errorf("duplicate kind %s", m.Kind())
+		}
+		kinds[m.Kind()] = true
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob at all")); err == nil {
+		t.Error("garbage must fail to decode")
+	}
+}

@@ -1,0 +1,74 @@
+// Package p2pdb is a Go implementation of the distributed algorithm for
+// robust data sharing and updates in P2P database networks of Franconi,
+// Kuper, Lopatenko and Zaihrayeu (EDBT P2P&DB Workshop, 2004).
+//
+// A network is a set of peers, each holding a local relational database,
+// connected by coordination rules — conjunctive queries whose bodies read
+// source nodes and whose heads write the target node, possibly inventing
+// fresh values for existential variables. The library implements both
+// phases of the paper's algorithm: topology discovery (every node learns
+// its maximal dependency paths) and the asynchronous distributed update
+// (every node imports all data implied by the rules, detecting its local
+// fix-point even on cyclic topologies), together with the dynamic-network
+// semantics of Section 4 (addLink/deleteLink at runtime with sound and
+// complete results) and the super-peer operations of Section 5.
+//
+// Quickstart:
+//
+//	def, _ := p2pdb.ParseNetwork(`
+//	  node A { rel a(x,y) }
+//	  node B { rel b(x,y) }
+//	  rule r1: B:b(X,Y) -> A:a(Y,X)
+//	  fact B:b('1','2')
+//	  super A
+//	`)
+//	net, _ := p2pdb.Build(def, p2pdb.Options{})
+//	defer net.Close()
+//	_ = net.RunToFixpoint(context.Background())
+//	rows, _ := net.LocalQuery("A", "a(X,Y)", []string{"X", "Y"})
+//
+// The facade re-exports the core orchestration API; the full surface
+// (relational engine, rule model, graph algorithms, transports, baselines,
+// workload generators) lives in the internal packages and is exercised by
+// the cmd/ tools, the examples and the benchmark suite.
+package p2pdb
+
+import (
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/storage"
+)
+
+// Network is a running in-process P2P database network.
+type Network = core.Network
+
+// Options configures a network run.
+type Options = core.Options
+
+// Definition is a parsed network description (nodes, schemas, rules, seed
+// facts, super-peer).
+type Definition = rules.Network
+
+// Rule is one coordination rule.
+type Rule = rules.Rule
+
+// InsertExact and InsertCore select the redundancy check used when
+// materialising imported data.
+const (
+	InsertExact = storage.InsertExact
+	InsertCore  = storage.InsertCore
+)
+
+// ParseNetwork parses a network-description file (see rules.ParseNetwork
+// for the grammar).
+func ParseNetwork(src string) (*Definition, error) { return rules.ParseNetwork(src) }
+
+// ParseRule parses "id: body -> head" rule syntax.
+func ParseRule(src string) (Rule, error) { return rules.ParseRule(src) }
+
+// Build constructs a network from a definition.
+func Build(def *Definition, opts Options) (*Network, error) { return core.Build(def, opts) }
+
+// PaperExample returns the running example of Section 2 of the paper
+// (nodes A–E, rules r1–r7), with seed data.
+func PaperExample() *Definition { return rules.PaperExampleSeeded() }

@@ -1,0 +1,71 @@
+package p2pdb_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"testing"
+	"time"
+
+	p2pdb "repro"
+)
+
+func ExampleBuild() {
+	def, err := p2pdb.ParseNetwork(`
+node A { rel a(x,y) }
+node B { rel b(x,y) }
+rule r1: B:b(X,Y) -> A:a(Y,X)
+fact B:b('1','2')
+super A
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := p2pdb.Build(def, p2pdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.RunToFixpoint(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := net.LocalQuery("A", "a(X,Y)", []string{"X", "Y"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows[0])
+	// Output: (2, 1)
+}
+
+func TestFacadePaperExample(t *testing.T) {
+	def := p2pdb.PaperExample()
+	net, err := p2pdb.Build(def, p2pdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := net.RunToFixpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !net.AllClosed() {
+		t.Fatal("network did not close")
+	}
+	if err := net.ValidateAgainstCentralized(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeParseRule(t *testing.T) {
+	r, err := p2pdb.ParseRule("r: B:b(X) -> A:a(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeadNode != "A" {
+		t.Errorf("head = %s", r.HeadNode)
+	}
+	if _, err := p2pdb.ParseRule("garbage"); err == nil {
+		t.Error("garbage must fail")
+	}
+}
