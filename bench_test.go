@@ -12,10 +12,14 @@
 package p2pdb_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 const benchRecords = 25
@@ -86,3 +90,64 @@ func BenchmarkE12_Separation(b *testing.B) { benchExperiment(b, "E12") }
 // BenchmarkE13_StagedVsFlood regenerates the topology-aware staged-update
 // ablation (§3's optimisation note).
 func BenchmarkE13_StagedVsFlood(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14_SemiNaive regenerates the semi-naive delta-evaluation
+// ablation (chain and grid fix-point cost).
+func BenchmarkE14_SemiNaive(b *testing.B) { benchExperiment(b, "E14") }
+
+// ---------------------------------------------------------------------------
+// Fix-point throughput benchmarks: discovery + update to closure on one
+// workload, reporting tuples-inserted/sec. The SemiNaive/Full pairs ablate
+// the semi-naive delta evaluation path (delta mode in both cases); the
+// semi-naive variants should come out well ahead on these data-heavy
+// topologies, where full re-evaluation per push is quadratic in the
+// materialised data.
+
+func benchFixpoint(b *testing.B, topo workload.Topology, records int, mode core.SemiNaiveMode) {
+	b.Helper()
+	def, err := workload.Generate(topo, workload.DataSpec{
+		RecordsPerNode: records, Seed: 1, Style: workload.StyleCopy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var inserted uint64
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		n, err := core.Build(def, core.Options{Seed: 1, Delta: true, SemiNaive: mode})
+		if err != nil {
+			cancel()
+			b.Fatal(err)
+		}
+		if err := n.RunToFixpoint(ctx); err != nil {
+			_ = n.Close()
+			cancel()
+			b.Fatal(err)
+		}
+		inserted += stats.Merge(n.Stats()).TuplesInserted
+		_ = n.Close()
+		cancel()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(inserted)/secs, "tuples/s")
+	}
+}
+
+func BenchmarkFixpointChainSemiNaive(b *testing.B) {
+	benchFixpoint(b, workload.Chain(8), 150, core.SemiNaiveOn)
+}
+
+func BenchmarkFixpointChainFull(b *testing.B) {
+	benchFixpoint(b, workload.Chain(8), 150, core.SemiNaiveOff)
+}
+
+func BenchmarkFixpointGridSemiNaive(b *testing.B) {
+	benchFixpoint(b, workload.Grid(3, 3), 100, core.SemiNaiveOn)
+}
+
+func BenchmarkFixpointGridFull(b *testing.B) {
+	benchFixpoint(b, workload.Grid(3, 3), 100, core.SemiNaiveOff)
+}

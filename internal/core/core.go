@@ -36,6 +36,11 @@ type Options struct {
 	Synchronous bool
 	// Delta enables the delta optimisation on all peers.
 	Delta bool
+	// SemiNaive selects the evaluation strategy behind delta-mode answers
+	// (default on; see peer.Options.SemiNaive). SemiNaiveOff restores the
+	// legacy full re-evaluation with a per-subscription sent-set. Ignored
+	// when Delta is false.
+	SemiNaive SemiNaiveMode
 	// InsertMode selects exact or core insertion.
 	InsertMode storage.InsertMode
 	// MaxNullDepth bounds existential invention (0 = default).
@@ -48,6 +53,17 @@ type Options struct {
 	// confirming cascade); each probe runs at fix-point cost.
 	ClosureProbes int
 }
+
+// SemiNaiveMode selects the delta-mode evaluation strategy; re-exported from
+// the peer runtime so orchestration callers need not import it.
+type SemiNaiveMode = peer.SemiNaiveMode
+
+// Semi-naive evaluation modes.
+const (
+	SemiNaiveAuto = peer.SemiNaiveAuto
+	SemiNaiveOn   = peer.SemiNaiveOn
+	SemiNaiveOff  = peer.SemiNaiveOff
+)
 
 // Network is a running in-process P2P database network.
 type Network struct {
@@ -78,6 +94,7 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 	for _, decl := range def.Nodes {
 		p, err := peer.New(decl.Name, decl.Schemas, byHead[decl.Name], tr, peer.Options{
 			Delta:        opts.Delta,
+			SemiNaive:    opts.SemiNaive,
 			InsertMode:   opts.InsertMode,
 			MaxNullDepth: opts.MaxNullDepth,
 			Maps:         def.MapSet(),

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relalg"
+	"repro/internal/workload"
+)
+
+// snapshotsEqual compares two per-node database snapshots tuple for tuple.
+func snapshotsEqual(t *testing.T, label string, a, b *Network) {
+	t.Helper()
+	sa, sb := a.Snapshot(), b.Snapshot()
+	for node, dbA := range sa {
+		dbB, ok := sb[node]
+		if !ok {
+			t.Fatalf("%s: node %s missing from second run", label, node)
+		}
+		if !dbA.Equal(dbB) {
+			t.Fatalf("%s: node %s diverges between semi-naive on and off:\n on: %s\noff: %s",
+				label, node, dbA.Dump(), dbB.Dump())
+		}
+	}
+}
+
+// TestSemiNaiveOracleRandomNetworks is the network-level oracle for the
+// semi-naive evaluation path: across randomized topologies and workloads,
+// runs with SemiNaive on and off (delta mode in both) must both close and
+// converge to DB.Equal fix-points on every node, and the semi-naive run must
+// match the centralised baseline.
+func TestSemiNaiveOracleRandomNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-topology soak; skipped in -short mode")
+	}
+	cases := []struct {
+		topo  workload.Topology
+		style workload.RuleStyle
+	}{
+		{workload.Chain(5), workload.StyleMixed},
+		{workload.Grid(2, 3), workload.StyleCopy},
+		{workload.Tree(2, 2), workload.StyleMixed},
+		{workload.Ring(4), workload.StyleCopy},
+		{workload.Clique(3), workload.StyleCopy},
+		{workload.RandomDAG(7, 0.35, 11), workload.StyleMixed},
+		{workload.RandomDigraph(5, 0.2, 13), workload.StyleCopy},
+	}
+	for i, tc := range cases {
+		def, err := workload.Generate(tc.topo, workload.DataSpec{
+			RecordsPerNode: 8, Seed: int64(100 + i), Style: tc.style,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := Build(def, Options{Seed: int64(i), Delta: true, SemiNaive: SemiNaiveOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := on.RunToFixpoint(ctx(t)); err != nil {
+			t.Fatalf("%s semi-naive on: %v", tc.topo, err)
+		}
+		if err := on.ValidateAgainstCentralized(); err != nil {
+			t.Fatalf("%s semi-naive on: %v", tc.topo, err)
+		}
+		off, err := Build(def, Options{Seed: int64(i), Delta: true, SemiNaive: SemiNaiveOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := off.RunToFixpoint(ctx(t)); err != nil {
+			t.Fatalf("%s semi-naive off: %v", tc.topo, err)
+		}
+		snapshotsEqual(t, tc.topo.String(), on, off)
+		_ = on.Close()
+		_ = off.Close()
+	}
+}
+
+// semiNaiveDynamicScript drives one network through a dynamic life cycle:
+// initial fix-point, an addLink plus fresh data and a new update wave, then
+// a deleteLink plus more data and a final wave. It exercises the marks
+// carry-over across epochs and the marks reset on unsubscribe/resubscribe.
+func semiNaiveDynamicScript(t *testing.T, n *Network) {
+	t.Helper()
+	if err := n.RunToFixpoint(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink("rnew: C:c(X,Y) -> A:a(X,Y)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Quiesce(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Peer("C").Seed("c", relalg.Tuple{relalg.S("5"), relalg.S("6")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Update(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeleteLink("B", "rb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Quiesce(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Peer("C").Seed("c", relalg.Tuple{relalg.S("7"), relalg.S("8")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Update(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !n.AllClosed() {
+		t.Fatalf("open peers after dynamic script: %v", n.OpenPeers())
+	}
+}
+
+// TestSemiNaiveDynamicConvergence runs the same addLink/deleteLink script
+// with semi-naive on and off; the resulting databases must agree on every
+// node, proving the per-subscription marks survive epoch bumps and reset
+// correctly when subscriptions are torn down and re-created.
+func TestSemiNaiveDynamicConvergence(t *testing.T) {
+	on := build(t, chainNet, Options{Delta: true, SemiNaive: SemiNaiveOn})
+	semiNaiveDynamicScript(t, on)
+	off := build(t, chainNet, Options{Delta: true, SemiNaive: SemiNaiveOff})
+	semiNaiveDynamicScript(t, off)
+	snapshotsEqual(t, "dynamic chain", on, off)
+
+	// Pairs present before the deleteLink arrive in both orientations (ra
+	// swaps through B, rnew copies verbatim); the pair seeded after it can
+	// only take the direct route: 3 pairs × 2 + 1.
+	rows, err := on.LocalQuery("A", "a(X,Y)", []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("a = %v", rows)
+	}
+}
+
+// TestMultiSourceDeltaAcrossEpochs pins the cross-epoch completeness of
+// multi-source rules in delta mode: a second update wave wipes nothing the
+// join still needs. The head's accumulated part results must survive epoch
+// bumps, because sources holding high-water marks (or sent-sets) ship only
+// deltas on re-query — if the head restarted its parts from scratch, an
+// old×new combination (here: old c-tuple × new b-tuple) would be lost
+// forever.
+func TestMultiSourceDeltaAcrossEpochs(t *testing.T) {
+	const net = `
+node A { rel a(x,z) }
+node B { rel b(x,y) }
+node C { rel c(y,z) }
+rule rj: B:b(X,Y), C:c(Y,Z) -> A:a(X,Z)
+fact B:b('1','k')
+fact C:c('k','9')
+super A
+`
+	for _, mode := range []SemiNaiveMode{SemiNaiveOn, SemiNaiveOff} {
+		n := build(t, net, Options{Delta: true, SemiNaive: mode})
+		if err := n.RunToFixpoint(ctx(t)); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if got := n.Peer("A").DB().Count("a"); got != 1 {
+			t.Fatalf("mode %v: a = %d after first wave", mode, got)
+		}
+		// New b-tuple joins the old c-tuple: only B has news in epoch 2.
+		if err := n.Peer("B").Seed("b", relalg.Tuple{relalg.S("2"), relalg.S("k")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Update(ctx(t)); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if got := n.Peer("A").DB().Count("a"); got != 2 {
+			t.Fatalf("mode %v: a = %d after second wave (old×new join lost)", mode, got)
+		}
+	}
+}
+
+// TestSemiNaiveIncrementalEpochs verifies the cross-epoch delta behaviour at
+// the orchestration level: after a fix-point, each new seed tuple plus a new
+// update wave must land exactly the incremental derivations.
+func TestSemiNaiveIncrementalEpochs(t *testing.T) {
+	n := build(t, chainNet, Options{Delta: true})
+	runAndValidate(t, n)
+	for i := 0; i < 3; i++ {
+		v := relalg.S(string(rune('p' + i)))
+		if err := n.Peer("C").Seed("c", relalg.Tuple{v, v}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Update(ctx(t)); err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		if got, want := n.Peer("A").DB().Count("a"), 3+i; got != want {
+			t.Fatalf("epoch %d: A.a = %d, want %d", i, got, want)
+		}
+	}
+}

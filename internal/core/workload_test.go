@@ -49,6 +49,9 @@ func TestWorkloadRingMatchesCentralized(t *testing.T) {
 }
 
 func TestWorkloadCliqueMatchesCentralized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clique fix-points are the slow path; skipped in -short mode")
+	}
 	for _, n := range []int{2, 3, 4} {
 		topo := workload.Clique(n)
 		runWorkload(t, topo, workload.DataSpec{RecordsPerNode: 6, Seed: int64(n), Style: workload.StyleCopy}, Options{})
@@ -59,6 +62,9 @@ func TestWorkloadCliqueMixedShapes(t *testing.T) {
 	// Mixed shapes in a small clique exercise existential invention inside
 	// cycles; the null-depth bound keeps the fix-point finite and the
 	// distributed result must still match the centralised chase exactly.
+	if testing.Short() {
+		t.Skip("existential clique fix-point; skipped in -short mode")
+	}
 	topo := workload.Clique(3)
 	runWorkload(t, topo, workload.DataSpec{RecordsPerNode: 3, Seed: 11, Style: workload.StyleMixed}, Options{})
 }

@@ -55,6 +55,37 @@ func BenchmarkEvalJoinWithBuiltin(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalDeltaTwoWayJoin measures the semi-naive path: a 10-tuple
+// delta seeded against the full 1000-tuple extent. Compare with
+// BenchmarkEvalTwoWayJoin, which re-evaluates everything.
+func BenchmarkEvalDeltaTwoWayJoin(b *testing.B) {
+	rel := benchRelation("e", 2, 1000)
+	src := MapSource{"e": rel}
+	c, _ := ParseConjunction("e(X,Y), e(Y,Z)")
+	delta := map[string][]relalg.Tuple{"e": rel.All()[990:]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalDelta(src, c, []string{"X", "Z"}, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalDeltaSingleAtom is the degenerate case: the delta projects
+// straight through, no joins.
+func BenchmarkEvalDeltaSingleAtom(b *testing.B) {
+	rel := benchRelation("e", 2, 1000)
+	src := MapSource{"e": rel}
+	c, _ := ParseConjunction("e(X,Y)")
+	delta := map[string][]relalg.Tuple{"e": rel.All()[990:]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalDelta(src, c, []string{"X"}, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParseConjunction measures the parser.
 func BenchmarkParseConjunction(b *testing.B) {
 	const src = "B:b(X,Y), B:b(Y,Z), C:c(Z, 'lit', 42), X <> Z, Y >= 1999"

@@ -61,11 +61,83 @@ func Eval(src Source, c Conjunction, outVars []string) ([]relalg.Tuple, error) {
 	return out, nil
 }
 
+// EvalDelta evaluates the conjunction semi-naively: delta holds, per relation
+// name, the tuples inserted since the caller's high-water marks, and the
+// result contains exactly the distinct projections onto outVars of bindings
+// that use at least one delta tuple (the relations behind src must already
+// include the delta). Accumulating an initial full Eval with the EvalDelta of
+// every subsequent delta therefore reproduces the full Eval of the final
+// state, at cost proportional to the deltas instead of the whole database.
+//
+// The standard semi-naive expansion: for each atom whose relation has new
+// tuples, the conjunction is re-evaluated with that atom seeded from the
+// delta and the remaining atoms joined against full extents; the union over
+// seed atoms is deduplicated at the projection level.
+func EvalDelta(src Source, c Conjunction, outVars []string, delta map[string][]relalg.Tuple) ([]relalg.Tuple, error) {
+	atomVars := c.AtomVars()
+	for _, v := range outVars {
+		if !atomVars[v] {
+			return nil, fmt.Errorf("cq: output variable %s not range-restricted in %q", v, c.String())
+		}
+	}
+	seen := map[string]bool{}
+	var out []relalg.Tuple
+	for i := range c.Atoms {
+		seedTuples := delta[c.Atoms[i].Rel]
+		if len(seedTuples) == 0 {
+			continue
+		}
+		bindings, err := evalSeeded(src, c, i, seedTuples)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bindings {
+			t, err := b.Project(outVars)
+			if err != nil {
+				return nil, err
+			}
+			k := t.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// evalSeeded runs the pipelined join with atom `seed` restricted to the given
+// tuples and every other atom drawn from its full extent in src.
+func evalSeeded(src Source, c Conjunction, seed int, seedTuples []relalg.Tuple) ([]Binding, error) {
+	atom := c.Atoms[seed]
+	bindings := make([]Binding, 0, len(seedTuples))
+	for _, t := range seedTuples {
+		if nb, ok := match(atom, t, Binding{}); ok {
+			bindings = append(bindings, nb)
+		}
+	}
+	if len(bindings) == 0 {
+		return nil, nil
+	}
+	bound := map[string]bool{}
+	for _, v := range atom.Vars() {
+		bound[v] = true
+	}
+	remainingAtoms := make([]Atom, 0, len(c.Atoms)-1)
+	remainingAtoms = append(remainingAtoms, c.Atoms[:seed]...)
+	remainingAtoms = append(remainingAtoms, c.Atoms[seed+1:]...)
+	remainingBuiltins := applyReadyBuiltins(append([]Builtin(nil), c.Builtins...), bound, &bindings)
+	return joinRemaining(src, remainingAtoms, remainingBuiltins, bindings, bound)
+}
+
 // EvalBindings evaluates the conjunction and returns all satisfying bindings
 // over the conjunction's atom variables. The evaluation is a pipelined join:
 // atoms are ordered greedily (most already-bound variables first, then
-// smallest extent), each step probes a hash index built on the bound
-// positions, and built-ins fire as soon as their variables are in scope.
+// smallest extent), each step probes the relations' per-position indexes on
+// the bound positions, and built-ins fire as soon as their variables are in
+// scope.
 func EvalBindings(src Source, c Conjunction) ([]Binding, error) {
 	if len(c.Atoms) == 0 {
 		// A body with no atoms: satisfied by the empty binding iff all
@@ -79,12 +151,15 @@ func EvalBindings(src Source, c Conjunction) ([]Binding, error) {
 		}
 		return []Binding{b}, nil
 	}
+	return joinRemaining(src,
+		append([]Atom(nil), c.Atoms...),
+		append([]Builtin(nil), c.Builtins...),
+		[]Binding{{}}, map[string]bool{})
+}
 
-	remainingAtoms := append([]Atom(nil), c.Atoms...)
-	remainingBuiltins := append([]Builtin(nil), c.Builtins...)
-	bound := map[string]bool{}
-	bindings := []Binding{{}}
-
+// joinRemaining drives the pipelined join over the remaining atoms, starting
+// from an existing binding set with the given variables already in scope.
+func joinRemaining(src Source, remainingAtoms []Atom, remainingBuiltins []Builtin, bindings []Binding, bound map[string]bool) ([]Binding, error) {
 	for len(remainingAtoms) > 0 {
 		idx := pickNextAtom(src, remainingAtoms, bound)
 		atom := remainingAtoms[idx]
@@ -134,30 +209,44 @@ func pickNextAtom(src Source, atoms []Atom, bound map[string]bool) int {
 	return best
 }
 
-// expand joins the current binding set with one atom using a hash index on
-// the atom's bound positions.
+// expand joins the current binding set with one atom by probing the
+// relation's persistent per-position index on the atom's bound positions
+// (constants and variables already in scope). Unlike a per-call hash build,
+// the probe costs nothing when the binding set is small — the semi-naive
+// delta path depends on this to stay O(delta).
 func expand(src Source, bindings []Binding, atom Atom, bound map[string]bool) []Binding {
 	rel := src.Rel(atom.Rel)
 	if rel == nil || rel.Len() == 0 {
 		return nil
 	}
-	// Positions bound before this atom: constants, repeated vars inside the
-	// atom are handled during matching; vars already in scope use the index.
 	var idxPos []int
 	for i, t := range atom.Terms {
 		if !t.IsVar || bound[t.Var] {
 			idxPos = append(idxPos, i)
 		}
 	}
-	index := buildIndex(rel, idxPos)
 
 	var out []Binding
+	vals := make([]relalg.Value, len(idxPos))
 	for _, b := range bindings {
-		key, ok := probeKey(atom, idxPos, b)
+		ok := true
+		for i, p := range idxPos {
+			t := atom.Terms[p]
+			if !t.IsVar {
+				vals[i] = t.Val
+				continue
+			}
+			v, has := b[t.Var]
+			if !has {
+				ok = false
+				break
+			}
+			vals[i] = v
+		}
 		if !ok {
 			continue
 		}
-		for _, tuple := range index[key] {
+		for _, tuple := range rel.Probe(idxPos, vals) {
 			nb, ok := match(atom, tuple, b)
 			if ok {
 				out = append(out, nb)
@@ -165,50 +254,6 @@ func expand(src Source, bindings []Binding, atom Atom, bound map[string]bool) []
 		}
 	}
 	return out
-}
-
-// buildIndex groups the relation's tuples by the projection onto positions.
-// With no bound positions, everything lands under the empty key (full scan).
-func buildIndex(rel *relalg.Relation, positions []int) map[string][]relalg.Tuple {
-	index := make(map[string][]relalg.Tuple, rel.Len())
-	for _, t := range rel.All() {
-		k := projKey(t, positions)
-		index[k] = append(index[k], t)
-	}
-	return index
-}
-
-func projKey(t relalg.Tuple, positions []int) string {
-	if len(positions) == 0 {
-		return ""
-	}
-	proj := make(relalg.Tuple, len(positions))
-	for i, p := range positions {
-		proj[i] = t[p]
-	}
-	return proj.Key()
-}
-
-// probeKey computes the index key for a binding; ok=false when the binding
-// cannot produce a key (cannot happen for positions chosen from bound vars).
-func probeKey(atom Atom, positions []int, b Binding) (string, bool) {
-	if len(positions) == 0 {
-		return "", true
-	}
-	proj := make(relalg.Tuple, len(positions))
-	for i, p := range positions {
-		t := atom.Terms[p]
-		if !t.IsVar {
-			proj[i] = t.Val
-			continue
-		}
-		v, ok := b[t.Var]
-		if !ok {
-			return "", false
-		}
-		proj[i] = v
-	}
-	return proj.Key(), true
 }
 
 // match unifies the atom with a tuple under binding b, returning the extended

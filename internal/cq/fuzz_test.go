@@ -1,0 +1,78 @@
+package cq
+
+import (
+	"testing"
+)
+
+// FuzzParseConjunction exercises the query parser with its seed corpus on
+// every `go test` run (and supports `go test -fuzz=FuzzParseConjunction` for
+// deeper exploration): the parser must never panic, and every accepted input
+// must survive a String/ParseConjunction round trip.
+func FuzzParseConjunction(f *testing.F) {
+	seeds := []string{
+		"a(X, Y), b(Y, Z), X <> Z, Y >= 1999",
+		"B:b(X,Y), B:b(Y,Z)",
+		"e(X,Y), e(Y,Z), X <> Z",
+		"C:c(Z, 'lit', 42)",
+		"p(X), X = 'quo''ted'",
+		"p(-5, 0)",
+		"p(_, _Under)",
+		"r(X), X < Y",
+		"p(X) , \t q( Y )",
+		"",
+		"p(",
+		"p()",
+		"1 < 2",
+		"X",
+		"p(X)) trailing",
+		"⊥null(X)",
+		"a.b/c(X)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseConjunction(src)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		text := c.String()
+		again, err := ParseConjunction(text)
+		if err != nil {
+			t.Fatalf("String output failed to re-parse: %v\ninput: %q\nrendered: %q", err, src, text)
+		}
+		if again.String() != text {
+			t.Fatalf("rendering not stable:\nfirst:  %q\nsecond: %q", text, again.String())
+		}
+	})
+}
+
+// FuzzParseAtom covers the single-atom entry point.
+func FuzzParseAtom(f *testing.F) {
+	seeds := []string{
+		"a(X)",
+		"B:b(X, Y)",
+		"c('v', 42, lower)",
+		"bad",
+		"a()",
+		"a(X",
+		":a(X)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := ParseAtom(src)
+		if err != nil {
+			return
+		}
+		text := a.String()
+		again, err := ParseAtom(text)
+		if err != nil {
+			t.Fatalf("String output failed to re-parse: %v\ninput: %q\nrendered: %q", err, src, text)
+		}
+		if again.String() != text {
+			t.Fatalf("rendering not stable:\nfirst:  %q\nsecond: %q", text, again.String())
+		}
+	})
+}

@@ -138,6 +138,55 @@ func TestE8FiniteChangeDuringRun(t *testing.T) {
 	}
 }
 
+// TestE8FiniteChangeSemiNaiveBounds repeats the Definition 9 experiment with
+// the delta optimisation and semi-naive evaluation enabled: per-subscription
+// high-water marks must survive the concurrent addLink/deleteLink (and the
+// epoch bumps of the follow-up waves) without losing or inventing tuples —
+// the final state still lands between the deletes-first and adds-first
+// fix-points.
+func TestE8FiniteChangeSemiNaiveBounds(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		base := parse(t, baseNet)
+		ch := Change{
+			AddLink{RuleText: "rd: D:d(X,Y) -> A:a(X,Y)"},
+			DeleteLink{HeadNode: "B", RuleID: "rb"},
+		}
+		n, err := core.Build(base, core.Options{
+			Seed: seed, MaxDelay: 500 * time.Microsecond,
+			Delta: true, SemiNaive: core.SemiNaiveOn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := testCtx(t)
+		if err := n.Discover(ctx); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- n.Update(ctx) }()
+		for _, op := range ch {
+			time.Sleep(time.Duration(seed) * 200 * time.Microsecond)
+			if err := Apply(n, op); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("seed %d: update did not terminate: %v", seed, err)
+		}
+		if err := n.Update(ctx); err != nil {
+			t.Fatalf("seed %d: re-update: %v", seed, err)
+		}
+		lower, upper, err := Bounds(base, ch, rules.ApplyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckDef9(n.Snapshot(), lower, upper); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		_ = n.Close()
+	}
+}
+
 func TestSeparatedUnderChange(t *testing.T) {
 	base := parse(t, baseNet)
 	// A,B,C never reach D in the base network.

@@ -50,6 +50,9 @@ func TestE3TreeRowsPresent(t *testing.T) {
 }
 
 func TestE5CliqueDuplicatesCounted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clique sweep runs at fix-point cost; skipped in -short mode")
+	}
 	r, err := E5Clique(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +113,26 @@ func TestE12SeparationHolds(t *testing.T) {
 	}
 }
 
+func TestE14SemiNaiveWins(t *testing.T) {
+	r, err := E14SemiNaive(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On each topology the semi-naive row must insert the same tuple count
+	// as the full-eval row (same fix-point; validation inside E14 already
+	// compared against the centralised baseline).
+	var counts []string
+	for _, line := range strings.Split(r.Table, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && (strings.HasPrefix(fields[0], "chain") || strings.HasPrefix(fields[0], "grid")) {
+			counts = append(counts, fields[0]+":"+fields[2])
+		}
+	}
+	if len(counts) != 4 || counts[0] != counts[1] || counts[2] != counts[3] {
+		t.Fatalf("insert counts differ between modes: %v\n%s", counts, r.Table)
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
 	if _, err := Run("E99", quick); err == nil {
 		t.Error("unknown experiment must error")
@@ -124,7 +147,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 13 {
+	if len(results) != 14 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {
@@ -135,6 +158,9 @@ func TestRunAllQuick(t *testing.T) {
 }
 
 func TestE13StagedWinsOnChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six full fix-point runs; skipped in -short mode")
+	}
 	r, err := E13Staged(quick)
 	if err != nil {
 		t.Fatal(err)

@@ -23,6 +23,12 @@ func (p *Peer) handleAddRule(m wire.AddRuleNotice) {
 	if err != nil || r.HeadNode != p.id {
 		return
 	}
+	// Redefining an existing id invalidates its accumulated part results
+	// (different body, different columns); fresh pulls rebuild them.
+	if prev, ok := p.rules[r.ID]; ok && prev.String() != r.String() {
+		delete(p.parts, r.ID)
+		delete(p.ruleComplete, r.ID)
+	}
 	p.rules[r.ID] = r
 	for _, src := range r.SourceNodes() {
 		p.neighbors[src] = true
@@ -139,12 +145,16 @@ func (p *Peer) handleSetNetwork(m wire.SetNetwork) {
 			}
 		}
 	}
-	// Unsubscribe from sources of dropped rules.
+	// Unsubscribe from sources of dropped rules; redefined rules lose their
+	// accumulated part results too (fresh pulls rebuild them).
 	for id, r := range p.rules {
-		if _, kept := fresh[id]; !kept {
+		if kept, ok := fresh[id]; !ok {
 			for _, src := range r.SourceNodes() {
 				p.send(src, wire.Unsubscribe{RuleID: id})
 			}
+			delete(p.ruleComplete, id)
+			delete(p.parts, id)
+		} else if kept.String() != r.String() {
 			delete(p.ruleComplete, id)
 			delete(p.parts, id)
 		}

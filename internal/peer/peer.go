@@ -47,6 +47,33 @@ func (s UpdateState) String() string {
 	return "open"
 }
 
+// SemiNaiveMode selects how a source evaluates a subscription's conjunction
+// when re-answering in delta mode.
+type SemiNaiveMode uint8
+
+const (
+	// SemiNaiveAuto is the zero value: semi-naive evaluation is enabled (the
+	// default; use SemiNaiveOff for the legacy full re-evaluation).
+	SemiNaiveAuto SemiNaiveMode = iota
+	// SemiNaiveOn forces semi-naive evaluation explicitly.
+	SemiNaiveOn
+	// SemiNaiveOff re-runs the full conjunction on every re-answer and
+	// filters previously sent tuples through a per-subscription set (the
+	// original delta implementation; O(result) per push).
+	SemiNaiveOff
+)
+
+// Enabled reports whether the mode turns the semi-naive path on.
+func (m SemiNaiveMode) Enabled() bool { return m != SemiNaiveOff }
+
+// String renders the mode.
+func (m SemiNaiveMode) String() string {
+	if m == SemiNaiveOff {
+		return "off"
+	}
+	return "on"
+}
+
 // Options tunes a peer's behaviour.
 type Options struct {
 	// Delta enables the paper's delta optimisation ("minimize data transfer
@@ -58,6 +85,15 @@ type Options struct {
 	// Fresh pulls triggered by news, probes or topology changes are always
 	// sent; cyclic closure liveness is unaffected.
 	Delta bool
+	// SemiNaive selects the evaluation strategy behind delta-mode answers
+	// (default on): each subscription tracks per-relation high-water marks
+	// and a re-answer joins only the tuples inserted since the marks against
+	// the full extents of the remaining atoms, instead of re-running the
+	// whole conjunction and re-scanning an O(result) sent-set. Fresh
+	// subscriptions (new rule, changed columns, unsubscribe/resubscribe)
+	// fall back to one full evaluation that primes the marks. Ignored when
+	// Delta is false: the faithful mode deliberately re-ships full results.
+	SemiNaive SemiNaiveMode
 	// InsertMode selects exact or core (subsumption) redundancy checking.
 	InsertMode storage.InsertMode
 	// MaxNullDepth bounds existential-null invention (0 = default).
@@ -79,7 +115,9 @@ type subscription struct {
 	epoch     uint64
 	conj      cq.Conjunction
 	cols      []string
-	sent      map[string]bool // tuple keys already shipped (delta mode)
+	sent      map[string]bool // tuple keys already shipped (delta mode, semi-naive off)
+	marks     storage.Marks   // per-relation high-water marks (delta mode, semi-naive on)
+	primed    bool            // full evaluation done; marks are authoritative
 }
 
 // partResult accumulates the result set received for one body part of a

@@ -237,6 +237,79 @@ func TestDeltaModeSendsOnlyNewTuples(t *testing.T) {
 	}
 }
 
+// TestDeltaModeSendsOnlyNewTuplesLegacyPath pins the same property on the
+// sent-set implementation (semi-naive off), which stays available as the
+// ablation baseline.
+func TestDeltaModeSendsOnlyNewTuplesLegacyPath(t *testing.T) {
+	hs := newHarness(t, Options{Delta: true, SemiNaive: SemiNaiveOff})
+	hs.h.StartUpdateWave()
+	hs.quiesce(t)
+	sentBefore := hs.s.Counters().Snapshot().BytesSent
+	if err := hs.s.Seed("s", relalg.Tuple{relalg.S("c"), relalg.S("d")}); err != nil {
+		t.Fatal(err)
+	}
+	hs.h.StartUpdateWave()
+	hs.quiesce(t)
+	if hs.h.DB().Count("h") != 2 {
+		t.Fatalf("h = %d", hs.h.DB().Count("h"))
+	}
+	sentAfter := hs.s.Counters().Snapshot().BytesSent
+	if sentAfter-sentBefore > sentBefore*3 {
+		t.Errorf("delta epoch cost %d bytes vs %d for the first", sentAfter-sentBefore, sentBefore)
+	}
+}
+
+// TestSemiNaiveMarksTrackSubscription inspects the subscription state behind
+// the semi-naive path: marks must prime on the first answer, advance with
+// new data, and reset to a full re-evaluation when the subscription is torn
+// down and re-created.
+func TestSemiNaiveMarksTrackSubscription(t *testing.T) {
+	hs := newHarness(t, Options{Delta: true})
+	hs.h.StartUpdateWave()
+	hs.quiesce(t)
+
+	subOf := func() *subscription {
+		hs.s.mu.Lock()
+		defer hs.s.mu.Unlock()
+		return hs.s.subs[subKey("H", "r")]
+	}
+	sub := subOf()
+	if sub == nil {
+		t.Fatal("no subscription registered at S")
+	}
+	if sub.sent != nil {
+		t.Error("semi-naive subscription must not carry a sent-set")
+	}
+	if !sub.primed || sub.marks["s"] != 1 {
+		t.Fatalf("marks not primed: primed=%v marks=%v", sub.primed, sub.marks)
+	}
+
+	// New data plus a new epoch: the mark must advance past it.
+	if err := hs.s.Seed("s", relalg.Tuple{relalg.S("c"), relalg.S("d")}); err != nil {
+		t.Fatal(err)
+	}
+	hs.h.StartUpdateWave()
+	hs.quiesce(t)
+	if sub = subOf(); sub.marks["s"] != 2 {
+		t.Fatalf("marks after second epoch = %v", sub.marks)
+	}
+	if hs.h.DB().Count("h") != 2 {
+		t.Fatalf("h = %d", hs.h.DB().Count("h"))
+	}
+
+	// Unsubscribe and re-query: the fresh subscription must re-prime (and
+	// the requester, whose database persists, stays complete).
+	hs.s.Handle(wire.Envelope{From: "H", To: "S", Msg: wire.Unsubscribe{RuleID: "r"}})
+	hs.h.StartUpdateWave()
+	hs.quiesce(t)
+	if sub = subOf(); sub == nil || !sub.primed || sub.marks["s"] != 2 {
+		t.Fatalf("re-created subscription not re-primed: %+v", sub)
+	}
+	if hs.h.DB().Count("h") != 2 {
+		t.Fatalf("h after resubscribe = %d", hs.h.DB().Count("h"))
+	}
+}
+
 func TestKnownEdgesAfterDiscovery(t *testing.T) {
 	hs := newHarness(t, Options{})
 	hs.h.StartDiscovery()

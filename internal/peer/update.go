@@ -8,6 +8,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/relalg"
 	"repro/internal/rules"
+	"repro/internal/storage"
 	"repro/internal/wire"
 )
 
@@ -49,12 +50,19 @@ func (p *Peer) handleStartUpdate(from string, m wire.StartUpdate) {
 
 // activateLocked (re)enters the update epoch: reset per-epoch state, flood
 // the kick-off onward, lazily self-discover, and pull from all rule sources.
+//
+// Accumulated part results (p.parts) survive the epoch bump deliberately:
+// the model is monotone (no retraction), so everything a source ever
+// answered stays true, and sources holding per-subscription high-water
+// marks or sent-sets ship only deltas on re-query — a head that restarted
+// its parts from scratch would lose old×new join combinations of
+// multi-source rules forever. Parts are dropped only when their rule is
+// deleted or redefined.
 func (p *Peer) activateLocked(epoch uint64, from string) {
 	p.epoch = epoch
 	p.activated = true
 	p.started = time.Now()
 	p.ruleComplete = map[string]map[string]bool{}
-	p.parts = map[string]map[string]*partResult{}
 	p.forwarded = false
 	for k := range p.paths {
 		p.paths[k] = false
@@ -159,8 +167,20 @@ func (p *Peer) handleQuery(from string, m wire.Query) {
 		cols:      m.Cols,
 	}
 	if p.opts.Delta {
-		if prev, ok := p.subs[key]; ok && prev.sent != nil && sameCols(prev.cols, m.Cols) {
-			sub.sent = prev.sent // keep the high-water set across re-queries
+		// Delta state carries over only while the subscription asks the same
+		// question: a changed conjunction or column list (rule redefinition)
+		// re-primes from scratch, otherwise results of the new body over old
+		// data would never ship.
+		prev, carry := p.subs[key]
+		carry = carry && sameCols(prev.cols, m.Cols) && prev.conj.String() == sub.conj.String()
+		if p.opts.SemiNaive.Enabled() {
+			if carry && prev.marks != nil {
+				sub.marks, sub.primed = prev.marks, prev.primed
+			} else {
+				sub.marks = storage.Marks{}
+			}
+		} else if carry && prev.sent != nil {
+			sub.sent = prev.sent
 		} else {
 			sub.sent = map[string]bool{}
 		}
@@ -216,6 +236,9 @@ func sameCols(a, b []string) bool {
 // to ship (full result, or unsent tuples in delta mode). Callers hold mu.
 func (p *Peer) evalForSub(sub *subscription) []relalg.Tuple {
 	p.ct.AddQueries(1)
+	if sub.marks != nil {
+		return p.evalDeltaForSub(sub)
+	}
 	result, err := cq.Eval(p.db, sub.conj, sub.cols)
 	if err != nil {
 		return nil
@@ -229,6 +252,50 @@ func (p *Peer) evalForSub(sub *subscription) []relalg.Tuple {
 		if !sub.sent[k] {
 			sub.sent[k] = true
 			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// evalDeltaForSub is the semi-naive path: the first evaluation runs the full
+// conjunction and records per-relation high-water marks; every later
+// re-answer extracts the tuples inserted since the marks and joins only
+// those against the remaining atoms' full extents, so a push after a small
+// change costs O(delta) instead of O(result). A projection occasionally
+// re-derived through a new tuple may ship twice; the subscriber's insert
+// step deduplicates, so only bytes — not correctness — are at stake. Callers
+// hold mu.
+func (p *Peer) evalDeltaForSub(sub *subscription) []relalg.Tuple {
+	rels := conjRels(sub.conj)
+	if !sub.primed {
+		sub.marks = p.db.MarksFor(rels)
+		sub.primed = true
+		result, err := cq.Eval(p.db, sub.conj, sub.cols)
+		if err != nil {
+			return nil
+		}
+		return result
+	}
+	delta, next := p.db.DeltaSince(sub.marks, rels)
+	sub.marks = next
+	if len(delta) == 0 {
+		return nil
+	}
+	out, err := cq.EvalDelta(p.db, sub.conj, sub.cols, delta)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// conjRels lists the distinct relation names read by a conjunction.
+func conjRels(c cq.Conjunction) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(c.Atoms))
+	for _, a := range c.Atoms {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
 		}
 	}
 	return out
@@ -251,7 +318,9 @@ func (p *Peer) handleAnswer(from string, m wire.Answer) {
 	}
 
 	// Accumulate the part result (monotone union; no retraction in the
-	// model, so delta and full answers merge identically).
+	// model, so delta and full answers merge identically). The semi-naive
+	// path additionally remembers which of the incoming tuples are new to
+	// this part, so the chase below can be seeded from them alone.
 	byPart := p.parts[m.RuleID]
 	if byPart == nil {
 		byPart = map[string]*partResult{}
@@ -262,14 +331,27 @@ func (p *Peer) handleAnswer(from string, m wire.Answer) {
 		pr = &partResult{cols: m.Columns, tuples: map[string]relalg.Tuple{}}
 		byPart[m.Part] = pr
 	}
+	semiNaive := p.opts.Delta && p.opts.SemiNaive.Enabled()
 	dm := p.opts.Maps.For(m.Part, p.id)
+	var fresh []relalg.Tuple
 	for _, t := range m.Tuples {
 		t = dm.TranslateTuple(t)
-		pr.tuples[t.Key()] = t
+		k := t.Key()
+		if _, dup := pr.tuples[k]; !dup && semiNaive {
+			fresh = append(fresh, t)
+		}
+		pr.tuples[k] = t
 	}
 
-	// A6: chase the rule with the joined parts.
-	bindings := p.joinPartsLocked(r)
+	// A6: chase the rule with the joined parts. Semi-naively, only bindings
+	// a newly received tuple contributes to are re-derived; the legacy path
+	// re-joins and re-chases the whole accumulated result set every time.
+	var bindings []relalg.Tuple
+	if semiNaive {
+		bindings = p.joinPartsDeltaLocked(r, m.Part, fresh)
+	} else {
+		bindings = p.joinPartsLocked(r)
+	}
 	res, err := rules.Apply(p.db, r, bindings, rules.ApplyOptions{
 		Mode:         p.opts.InsertMode,
 		MaxNullDepth: p.opts.MaxNullDepth,
@@ -347,6 +429,31 @@ func (p *Peer) joinPartsLocked(r rules.Rule) []relalg.Tuple {
 		sort.Strings(keys)
 		for _, k := range keys {
 			pt.Tuples = append(pt.Tuples, pr.tuples[k])
+		}
+		parts[src] = pt
+	}
+	return rules.JoinParts(r, parts)
+}
+
+// joinPartsDeltaLocked joins the newly received tuples of one part against
+// the full accumulated extents of the other parts (semi-naive at the answer
+// level). Every binding of the full join that uses at least one new tuple of
+// this part is produced; bindings over old tuples only were already chased by
+// an earlier answer. Callers hold mu.
+func (p *Peer) joinPartsDeltaLocked(r rules.Rule, part string, fresh []relalg.Tuple) []relalg.Tuple {
+	if len(fresh) == 0 {
+		return nil
+	}
+	byPart := p.parts[r.ID]
+	parts := make(map[string]rules.PartTuples, len(byPart))
+	for src, pr := range byPart {
+		if src == part {
+			parts[src] = rules.PartTuples{Cols: pr.cols, Tuples: fresh}
+			continue
+		}
+		pt := rules.PartTuples{Cols: pr.cols, Tuples: make([]relalg.Tuple, 0, len(pr.tuples))}
+		for _, t := range pr.tuples {
+			pt.Tuples = append(pt.Tuples, t)
 		}
 		parts[src] = pt
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Relation is a duplicate-free multiset of tuples of fixed arity with an
@@ -15,6 +16,14 @@ type Relation struct {
 	schema Schema
 	index  map[string]int // tuple key -> position in log
 	log    []Tuple        // insertion order; seq number = position + 1
+
+	// posIdx maps, per attribute position, a value key to the log positions
+	// holding that value there. It is built lazily on the first Probe and
+	// maintained incrementally by Insert afterwards; pmu serialises the
+	// build against concurrent probes (the log itself follows the package's
+	// single-writer discipline).
+	pmu    sync.Mutex
+	posIdx []map[string][]int
 }
 
 // NewRelation creates an empty relation with the given schema.
@@ -53,17 +62,105 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	}
 	r.index[k] = len(r.log)
 	r.log = append(r.log, t.Clone())
+	r.pmu.Lock()
+	if r.posIdx != nil {
+		pos := len(r.log) - 1
+		for i, v := range r.log[pos] {
+			vk := v.Key()
+			r.posIdx[i][vk] = append(r.posIdx[i][vk], pos)
+		}
+	}
+	r.pmu.Unlock()
 	return true, nil
+}
+
+// ensurePosIdxLocked builds the per-position value index from the current
+// log. Callers hold pmu.
+func (r *Relation) ensurePosIdxLocked() {
+	if r.posIdx != nil {
+		return
+	}
+	idx := make([]map[string][]int, r.schema.Arity())
+	for i := range idx {
+		idx[i] = make(map[string][]int)
+	}
+	for pos, t := range r.log {
+		for i, v := range t {
+			vk := v.Key()
+			idx[i][vk] = append(idx[i][vk], pos)
+		}
+	}
+	r.posIdx = idx
+}
+
+// Probe returns the tuples whose components equal vals at the given
+// positions, in insertion order. It walks the smallest per-position postings
+// list and verifies the remaining constraints, so its cost is proportional to
+// the fan-out of the most selective position rather than to the relation
+// size. With no positions it returns every tuple (aliasing the log, like
+// All); positions outside the schema arity match nothing.
+func (r *Relation) Probe(positions []int, vals []Value) []Tuple {
+	if len(positions) == 0 {
+		return r.log
+	}
+	arity := r.schema.Arity()
+	for _, p := range positions {
+		if p < 0 || p >= arity {
+			return nil
+		}
+	}
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	r.ensurePosIdxLocked()
+	best := 0
+	bestList := r.posIdx[positions[0]][vals[0].Key()]
+	for i := 1; i < len(positions) && len(bestList) > 0; i++ {
+		if list := r.posIdx[positions[i]][vals[i].Key()]; len(list) < len(bestList) {
+			best, bestList = i, list
+		}
+	}
+	if len(bestList) == 0 {
+		return nil
+	}
+	out := make([]Tuple, 0, len(bestList))
+	for _, pos := range bestList {
+		t := r.log[pos]
+		ok := true
+		for i, p := range positions {
+			if i != best && t[p] != vals[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // SubsumedByExisting reports whether t is subsumed by some stored tuple
 // (core-mode redundancy check for tuples carrying nulls). Constant-only
-// tuples reduce to Contains.
+// tuples reduce to Contains. Since subsumption fixes constants, only tuples
+// agreeing with t on its constant positions can subsume it, so the check
+// probes the per-position index instead of scanning the log; a tuple with no
+// constants at all still falls back to the full scan.
 func (r *Relation) SubsumedByExisting(t Tuple) bool {
 	if !t.HasNull() {
 		return r.Contains(t)
 	}
-	for _, u := range r.log {
+	if len(t) != r.schema.Arity() {
+		return false
+	}
+	var positions []int
+	var vals []Value
+	for i, v := range t {
+		if v.IsConst() {
+			positions = append(positions, i)
+			vals = append(vals, v)
+		}
+	}
+	for _, u := range r.Probe(positions, vals) {
 		if t.SubsumedBy(u) {
 			return true
 		}

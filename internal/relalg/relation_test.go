@@ -1,6 +1,7 @@
 package relalg
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -169,5 +170,97 @@ func mustInsert(t *testing.T, r *Relation, tp Tuple) {
 	t.Helper()
 	if _, err := r.Insert(tp); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestProbeMatchesScan(t *testing.T) {
+	r := NewRelation(MakeSchema("p", 3))
+	for i := 0; i < 40; i++ {
+		mustInsert(t, r, Tuple{S(fmt.Sprintf("k%d", i%8)), I(int64(i % 5)), S("c")})
+	}
+	cases := []struct {
+		pos  []int
+		vals []Value
+	}{
+		{nil, nil},
+		{[]int{0}, []Value{S("k3")}},
+		{[]int{1}, []Value{I(2)}},
+		{[]int{0, 1}, []Value{S("k3"), I(3)}},
+		{[]int{0, 1, 2}, []Value{S("k0"), I(0), S("c")}},
+		{[]int{0}, []Value{S("absent")}},
+		{[]int{2}, []Value{S("c")}},
+		{[]int{7}, []Value{S("c")}}, // out-of-range position matches nothing
+	}
+	for _, tc := range cases {
+		got := r.Probe(tc.pos, tc.vals)
+		var want []Tuple
+		for _, u := range r.All() {
+			ok := true
+			for i, p := range tc.pos {
+				if p < 0 || p >= len(u) || u[p] != tc.vals[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want = append(want, u)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Probe(%v,%v): %d tuples, scan says %d", tc.pos, tc.vals, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("Probe(%v,%v)[%d] = %v, scan says %v", tc.pos, tc.vals, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestProbeSeesPostBuildInserts(t *testing.T) {
+	r := NewRelation(MakeSchema("p", 2))
+	mustInsert(t, r, Tuple{S("a"), S("1")})
+	if got := r.Probe([]int{0}, []Value{S("a")}); len(got) != 1 {
+		t.Fatalf("probe before insert: %v", got)
+	}
+	// The index is built now; later inserts must be reflected.
+	mustInsert(t, r, Tuple{S("a"), S("2")})
+	if got := r.Probe([]int{0}, []Value{S("a")}); len(got) != 2 {
+		t.Fatalf("index missed a post-build insert: %v", got)
+	}
+	// Clones rebuild the index independently.
+	c := r.Clone()
+	mustInsert(t, c, Tuple{S("a"), S("3")})
+	if got := c.Probe([]int{0}, []Value{S("a")}); len(got) != 3 {
+		t.Fatalf("clone probe: %v", got)
+	}
+	if got := r.Probe([]int{0}, []Value{S("a")}); len(got) != 2 {
+		t.Fatalf("clone insert leaked into original: %v", got)
+	}
+}
+
+func TestSubsumedByExistingIndexed(t *testing.T) {
+	r := NewRelation(MakeSchema("p", 3))
+	mustInsert(t, r, Tuple{S("k"), S("v"), I(7)})
+	mustInsert(t, r, Tuple{S("k2"), S("v2"), I(9)})
+	cases := []struct {
+		probe Tuple
+		want  bool
+	}{
+		{Tuple{S("k"), Null("n"), I(7)}, true},
+		{Tuple{S("k"), Null("n"), I(8)}, false},
+		{Tuple{Null("a"), Null("b"), Null("c")}, true}, // all-null: full scan path
+		{Tuple{S("zzz"), Null("n"), Null("m")}, false},
+		{Tuple{Null("n"), Null("n"), I(9)}, false}, // repeated null must map consistently
+		{Tuple{S("k"), S("v"), I(7)}, true},        // constant-only reduces to Contains
+	}
+	for _, tc := range cases {
+		if got := r.SubsumedByExisting(tc.probe); got != tc.want {
+			t.Errorf("SubsumedByExisting(%v) = %v, want %v", tc.probe, got, tc.want)
+		}
+	}
+	// Arity mismatch can never be subsumed.
+	if r.SubsumedByExisting(Tuple{Null("n")}) {
+		t.Error("arity mismatch subsumed")
 	}
 }

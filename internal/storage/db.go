@@ -181,6 +181,22 @@ func (db *DB) Stats() (inserts, rejected uint64) {
 // for a particular subscriber ("delta optimization").
 type Marks map[string]uint64
 
+// MarksFor returns the current high-water marks of the named relations
+// (undeclared relations are omitted and read back as mark 0), without
+// materialising any delta. Use it to prime a subscriber's marks after a full
+// evaluation.
+func (db *DB) MarksFor(rels []string) Marks {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := make(Marks, len(rels))
+	for _, name := range rels {
+		if r, ok := db.relations[name]; ok {
+			m[name] = r.Seq()
+		}
+	}
+	return m
+}
+
 // DeltaSince returns, for each named relation, the tuples inserted after the
 // marks, and the advanced marks. Pass nil marks for "everything".
 func (db *DB) DeltaSince(marks Marks, rels []string) (map[string][]relalg.Tuple, Marks) {

@@ -92,6 +92,28 @@ func TestDeltaSince(t *testing.T) {
 	}
 }
 
+func TestMarksFor(t *testing.T) {
+	db := New(relalg.MakeSchema("p", 1), relalg.MakeSchema("q", 1))
+	if _, err := db.Insert("p", relalg.Tuple{relalg.S("1")}, InsertExact); err != nil {
+		t.Fatal(err)
+	}
+	marks := db.MarksFor([]string{"p", "q", "absent"})
+	if marks["p"] != 1 || marks["q"] != 0 {
+		t.Fatalf("marks = %v", marks)
+	}
+	if _, ok := marks["absent"]; ok {
+		t.Fatalf("undeclared relation got a mark: %v", marks)
+	}
+	// MarksFor primes exactly like a full DeltaSince, without the copies.
+	if _, err := db.Insert("p", relalg.Tuple{relalg.S("2")}, InsertExact); err != nil {
+		t.Fatal(err)
+	}
+	delta, _ := db.DeltaSince(marks, []string{"p", "q"})
+	if len(delta["p"]) != 1 || delta["p"][0][0] != relalg.S("2") {
+		t.Fatalf("delta after MarksFor = %v", delta)
+	}
+}
+
 func TestSnapshotAndEqual(t *testing.T) {
 	db := New(relalg.MakeSchema("p", 1))
 	if _, err := db.Insert("p", relalg.Tuple{relalg.S("1")}, InsertExact); err != nil {

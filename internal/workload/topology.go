@@ -175,6 +175,27 @@ func LayeredDAG(layers, width, fanin int) Topology {
 	return t
 }
 
+// Grid builds a rows×cols mesh; data flows left and up: every node imports
+// from its right and lower neighbour, so node 0 (the top-left corner, the
+// querying site) transitively depends on the whole grid. Grids have the
+// diamond-rich dependency structure that stresses duplicate derivations:
+// most tuples reach a node along several paths.
+func Grid(rows, cols int) Topology {
+	t := Topology{Name: fmt.Sprintf("grid(%dx%d)", rows, cols), N: rows * cols}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				t.Links = append(t.Links, Link{Src: id(r, c+1), Dst: id(r, c)})
+			}
+			if r+1 < rows {
+				t.Links = append(t.Links, Link{Src: id(r+1, c), Dst: id(r, c)})
+			}
+		}
+	}
+	return t
+}
+
 // Clique builds a complete digraph on n nodes: every node imports from every
 // other (the cyclic stress topology of the paper's experiments).
 func Clique(n int) Topology {

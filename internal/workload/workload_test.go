@@ -38,6 +38,32 @@ func TestChainAndRing(t *testing.T) {
 	}
 }
 
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N != 12 {
+		t.Fatalf("nodes = %d", g.N)
+	}
+	// Each of the 3×4 cells links to its right and lower neighbour:
+	// 3 rows × 3 horizontal + 2×4 vertical = 17 links.
+	if len(g.Links) != 17 {
+		t.Fatalf("links = %d", len(g.Links))
+	}
+	// Longest data path is the Manhattan diameter: (rows-1)+(cols-1).
+	if g.Depth() != 5 {
+		t.Fatalf("depth = %d", g.Depth())
+	}
+	// The corner imports from exactly two neighbours; every link flows
+	// towards lower-numbered nodes (acyclicity).
+	for _, l := range g.Links {
+		if l.Src <= l.Dst {
+			t.Fatalf("link %v does not flow towards node 0", l)
+		}
+	}
+	if _, err := Generate(g, DataSpec{RecordsPerNode: 2, Seed: 1, Style: StyleCopy}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLayeredDAG(t *testing.T) {
 	d := LayeredDAG(3, 3, 2)
 	if d.N != 10 {

@@ -27,6 +27,13 @@
 //	_ = net.RunToFixpoint(context.Background())
 //	rows, _ := net.LocalQuery("A", "a(X,Y)", []string{"X", "Y"})
 //
+// Options.Delta enables the paper's delta optimisation (ship only unsent
+// tuples per subscription); with it, Options.SemiNaive (default on) selects
+// semi-naive evaluation: sources track per-relation high-water marks per
+// subscription and re-answer by joining only the tuples inserted since the
+// marks, so fix-point cost tracks the changed data rather than growing
+// quadratically with the materialised result. See SemiNaiveMode.
+//
 // The facade re-exports the core orchestration API; the full surface
 // (relational engine, rule model, graph algorithms, transports, baselines,
 // workload generators) lives in the internal packages and is exercised by
@@ -57,6 +64,22 @@ type Rule = rules.Rule
 const (
 	InsertExact = storage.InsertExact
 	InsertCore  = storage.InsertCore
+)
+
+// SemiNaiveMode selects how sources evaluate subscription re-answers when
+// the delta optimisation is on (Options.Delta). The default (SemiNaiveAuto)
+// is semi-naive: each subscription keeps per-relation high-water marks and a
+// re-answer joins only the tuples inserted since the marks against the full
+// extents of the remaining body atoms, making fix-point cost proportional to
+// the changed data instead of the materialised result. SemiNaiveOff restores
+// the original full re-evaluation with a per-subscription sent-set.
+type SemiNaiveMode = core.SemiNaiveMode
+
+// Semi-naive evaluation modes for Options.SemiNaive.
+const (
+	SemiNaiveAuto = core.SemiNaiveAuto
+	SemiNaiveOn   = core.SemiNaiveOn
+	SemiNaiveOff  = core.SemiNaiveOff
 )
 
 // ParseNetwork parses a network-description file (see rules.ParseNetwork
