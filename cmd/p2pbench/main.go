@@ -9,9 +9,15 @@
 //	p2pbench -e E14          # semi-naive vs full-eval fix-point ablation
 //	p2pbench -records 1000   # paper-scale data (~1000 records per node)
 //	p2pbench -seed 7
+//	p2pbench -json BENCH_$(date +%Y%m%d).json   # machine-readable results
+//
+// With -json, every protocol run's metrics (tuples/s, messages, bytes, wall
+// time) are written as one JSON document, so successive invocations
+// accumulate a BENCH_*.json perf trajectory for the repository.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +27,29 @@ import (
 	"repro/internal/experiments"
 )
 
+// benchDoc is the -json output document.
+type benchDoc struct {
+	GeneratedAt    string                  `json:"generated_at"`
+	RecordsPerNode int                     `json:"records_per_node"`
+	Seed           int64                   `json:"seed"`
+	Error          string                  `json:"error,omitempty"` // set when the suite aborted: the document is partial
+	Experiments    []benchExperiment       `json:"experiments"`
+	Runs           []experiments.RunRecord `json:"runs"`
+}
+
+type benchExperiment struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Runs  int    `json:"runs"`
+}
+
 func main() {
 	var (
-		ids     = flag.String("e", "all", "comma-separated experiment ids (E1..E14) or 'all'")
-		records = flag.Int("records", 50, "records per node (paper used ~1000)")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		timeout = flag.Duration("timeout", 5*time.Minute, "per-experiment timeout")
+		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E14) or 'all'")
+		records  = flag.Int("records", 50, "records per node (paper used ~1000)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-experiment timeout")
+		jsonPath = flag.String("json", "", "write machine-readable per-run results to this path")
 	)
 	flag.Parse()
 
@@ -38,9 +61,11 @@ func main() {
 		results, err = experiments.All(cfg)
 	} else {
 		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(id)
 			var r experiments.Result
-			r, err = experiments.Run(strings.TrimSpace(id), cfg)
+			r, err = experiments.Run(id, cfg)
 			if err != nil {
+				err = fmt.Errorf("%s: %w", id, err)
 				break
 			}
 			results = append(results, r)
@@ -49,8 +74,39 @@ func main() {
 	for _, r := range results {
 		fmt.Printf("== %s — %s ==\n\n%s\n", r.ID, r.Title, r.Table)
 	}
+	if *jsonPath != "" {
+		if werr := writeJSON(*jsonPath, cfg, results, err); werr != nil {
+			fmt.Fprintf(os.Stderr, "p2pbench: %v\n", werr)
+			os.Exit(1)
+		}
+		if err != nil {
+			fmt.Printf("PARTIAL machine-readable results written to %s (error recorded in the document)\n", *jsonPath)
+		} else {
+			fmt.Printf("machine-readable results written to %s\n", *jsonPath)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func writeJSON(path string, cfg experiments.Config, results []experiments.Result, runErr error) error {
+	doc := benchDoc{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		RecordsPerNode: cfg.RecordsPerNode,
+		Seed:           cfg.Seed,
+	}
+	if runErr != nil {
+		doc.Error = runErr.Error()
+	}
+	for _, r := range results {
+		doc.Experiments = append(doc.Experiments, benchExperiment{ID: r.ID, Title: r.Title, Runs: len(r.Runs)})
+		doc.Runs = append(doc.Runs, r.Runs...)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

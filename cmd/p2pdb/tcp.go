@@ -1,19 +1,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"time"
 
-	"repro/internal/peer"
-	"repro/internal/rules"
+	"repro/internal/core"
 	"repro/internal/transport"
 )
 
-// cmdTCP runs every peer of the network over real TCP sockets: one listener
-// and one address book per peer (loopback), demonstrating that the protocol
-// needs nothing beyond reliable point-to-point messaging. Closure is
-// detected by polling peer states — there is no global quiescence oracle on
-// a real network, exactly as in the paper's JXTA deployment.
+// cmdTCP runs every peer of the network over real TCP sockets through the
+// same core.Build facade as the in-memory runs: the TCP mesh gives each peer
+// its own loopback listener, and orchestration — lacking a global quiescence
+// oracle on a real network, exactly as in the paper's JXTA deployment —
+// falls back to polling peer states and counters, with closure probes
+// recovering any swallowed cascade.
 func cmdTCP(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: p2pdb tcp <net-file>")
@@ -22,108 +22,26 @@ func cmdTCP(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	// Start one transport per node.
-	transports := map[string]*transport.TCP{}
-	defer func() {
-		for _, tr := range transports {
-			_ = tr.Close()
-		}
-	}()
-	for _, decl := range def.Nodes {
-		tr, err := transport.NewTCP("127.0.0.1:0", nil)
-		if err != nil {
-			return err
-		}
-		transports[decl.Name] = tr
-	}
-	// Everyone learns everyone's address (a static address book replaces
-	// JXTA's discovery advertisements).
-	for _, tr := range transports {
-		for name, other := range transports {
-			tr.SetPeerAddr(name, other.Addr())
-		}
-	}
-
-	byHead := map[string][]rules.Rule{}
-	for _, r := range def.Rules {
-		byHead[r.HeadNode] = append(byHead[r.HeadNode], r)
-	}
-	peers := map[string]*peer.Peer{}
-	for _, decl := range def.Nodes {
-		p, err := peer.New(decl.Name, decl.Schemas, byHead[decl.Name], transports[decl.Name], peer.Options{Delta: *delta})
-		if err != nil {
-			return err
-		}
-		peers[decl.Name] = p
-	}
-	for _, r := range def.Rules {
-		for _, src := range r.SourceNodes() {
-			peers[r.HeadNode].AddNeighbor(src)
-			peers[src].AddNeighbor(r.HeadNode)
-		}
-	}
-	for _, f := range def.Facts {
-		if err := peers[f.Node].Seed(f.Rel, f.Tuple); err != nil {
-			return err
-		}
-	}
-
-	super := def.Super
-	if super == "" {
-		super = def.Nodes[0].Name
-	}
-	fmt.Printf("running %d peers over TCP (super-peer %s at %s)\n", len(peers), super, transports[super].Addr())
-
-	peers[super].StartDiscovery()
-	if err := waitTCP(peers, func(p *peer.Peer) bool {
-		return len(p.Rules()) == 0 || p.PathsReady()
-	}, *timeout, "discovery"); err != nil {
+	mesh := transport.NewTCPMesh("127.0.0.1:0")
+	n, err := core.Build(def, core.Options{Delta: *delta, Seed: *seed, Transport: mesh})
+	if err != nil {
 		return err
 	}
-	peers[super].StartUpdateWave()
-	if err := waitTCP(peers, func(p *peer.Peer) bool {
-		return !p.Activated() || p.State() == peer.Closed
-	}, *timeout, "update"); err != nil {
-		// One closure probe round, mirroring core.Update's recovery.
-		for _, p := range peers {
-			p.Probe()
-		}
-		if err := waitTCP(peers, func(p *peer.Peer) bool {
-			return !p.Activated() || p.State() == peer.Closed
-		}, *timeout, "update (after probe)"); err != nil {
-			return err
-		}
+	defer n.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	fmt.Printf("running %d peers over TCP (super-peer %s at %s)\n",
+		len(n.Nodes()), n.Super(), mesh.Addr(n.Super()))
+	if err := n.Discover(ctx); err != nil {
+		return err
 	}
-	for _, decl := range def.Nodes {
-		p := peers[decl.Name]
-		fmt.Printf("%s [%s] %d tuples\n", decl.Name, p.State(), p.DB().TotalTuples())
+	if err := n.Update(ctx); err != nil {
+		return err
+	}
+	for _, id := range n.Nodes() {
+		p := n.Peer(id)
+		fmt.Printf("%s [%s] %d tuples at %s\n", id, p.State(), p.DB().TotalTuples(), mesh.Addr(id))
 	}
 	return nil
-}
-
-// waitTCP polls until every peer satisfies the predicate and states stay
-// stable for a settle window, or the timeout expires.
-func waitTCP(peers map[string]*peer.Peer, ok func(*peer.Peer) bool, timeout time.Duration, phase string) error {
-	deadline := time.Now().Add(timeout)
-	stable := 0
-	for time.Now().Before(deadline) {
-		all := true
-		for _, p := range peers {
-			if !ok(p) {
-				all = false
-				break
-			}
-		}
-		if all {
-			stable++
-			if stable >= 3 { // three consecutive confirmations ≈ settled
-				return nil
-			}
-		} else {
-			stable = 0
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	return fmt.Errorf("%s did not settle within %v", phase, timeout)
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -45,6 +46,16 @@ type Options struct {
 	InsertMode storage.InsertMode
 	// MaxNullDepth bounds existential invention (0 = default).
 	MaxNullDepth int
+	// Transport, when set, carries all protocol messages and the network
+	// takes ownership of it (Close closes it). When nil, Build constructs an
+	// in-memory router from Seed/MaxDelay/Synchronous; Seed and MaxDelay
+	// only configure the built-in router and are ignored for a supplied
+	// transport, while Synchronous additionally makes Quiesce drive BSP
+	// rounds on any transport implementing Stepper. Mem-only powers (global
+	// quiescence, BSP stepping, fault injection) are discovered per
+	// capability interface; orchestration falls back to polling peer states
+	// when the transport lacks them.
+	Transport transport.Transport
 	// Recorder, when set, records all protocol sends for sequence charts.
 	Recorder *trace.Recorder
 	// ClosureProbes bounds the closure-probe retries in Update (0 = default
@@ -65,10 +76,11 @@ const (
 	SemiNaiveOff  = peer.SemiNaiveOff
 )
 
-// Network is a running in-process P2P database network.
+// Network is a running P2P database network over any transport.
 type Network struct {
+	defMu sync.Mutex // guards def (Broadcast replaces it, Insert appends facts)
 	def   *rules.Network
-	tr    *transport.Mem
+	tr    transport.Transport
 	peers map[string]*peer.Peer
 	order []string
 	super string
@@ -76,15 +88,24 @@ type Network struct {
 }
 
 // Build constructs peers, pipes and seed data from a network description.
+// With Options.Transport unset the network runs over the in-memory router;
+// any transport.Transport works, with orchestration degrading gracefully to
+// polling when the transport lacks a global quiescence oracle.
 func Build(def *rules.Network, opts Options) (*Network, error) {
 	if err := def.Validate(); err != nil {
+		if opts.Transport != nil {
+			_ = opts.Transport.Close() // ownership starts at the call, not at success
+		}
 		return nil, err
 	}
-	tr := transport.NewMem(transport.MemOptions{
-		Seed:        opts.Seed,
-		MaxDelay:    opts.MaxDelay,
-		Synchronous: opts.Synchronous,
-	})
+	tr := opts.Transport
+	if tr == nil {
+		tr = transport.NewMem(transport.MemOptions{
+			Seed:        opts.Seed,
+			MaxDelay:    opts.MaxDelay,
+			Synchronous: opts.Synchronous,
+		})
+	}
 	n := &Network{def: def, tr: tr, peers: map[string]*peer.Peer{}, opts: opts}
 
 	byHead := map[string][]rules.Rule{}
@@ -130,8 +151,21 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 	return n, nil
 }
 
-// Close shuts the network down.
-func (n *Network) Close() error { return n.tr.Close() }
+// BuildWith is Build over an explicit transport (the network takes
+// ownership: Close closes it).
+func BuildWith(def *rules.Network, tr transport.Transport, opts Options) (*Network, error) {
+	opts.Transport = tr
+	return Build(def, opts)
+}
+
+// Close shuts the network down: every live watcher is closed (their channels
+// drain and close) and the transport is released.
+func (n *Network) Close() error {
+	for _, p := range n.peers {
+		p.CloseWatchers()
+	}
+	return n.tr.Close()
+}
 
 // Super returns the super-peer's node name.
 func (n *Network) Super() string { return n.super }
@@ -142,17 +176,85 @@ func (n *Network) Peer(id string) *peer.Peer { return n.peers[id] }
 // Nodes returns all node names, sorted.
 func (n *Network) Nodes() []string { return append([]string(nil), n.order...) }
 
-// Transport exposes the in-memory transport (partitions, drop injection).
-func (n *Network) Transport() *transport.Mem { return n.tr }
+// Transport exposes the transport carrying the network's messages.
+func (n *Network) Transport() transport.Transport { return n.tr }
 
-// Quiesce waits until no message is in flight (driving rounds in synchronous
-// mode).
+// Faults returns the transport's fault-injection capability (partitions,
+// drop counters), or nil when the transport has none.
+func (n *Network) Faults() transport.FaultInjector {
+	f, _ := n.tr.(transport.FaultInjector)
+	return f
+}
+
+// Quiesce waits until the network has settled. With a Stepper transport in
+// synchronous mode it drives BSP rounds (checking ctx between rounds); with
+// a Quiescer it waits on the global in-flight oracle; with neither — a real
+// network, the paper's JXTA situation — it falls back to polling the peers'
+// protocol counters until they hold still for a settle window.
 func (n *Network) Quiesce(ctx context.Context) error {
 	if n.opts.Synchronous {
-		n.tr.StepAll(1_000_000)
-		return nil
+		if st, ok := n.tr.(transport.Stepper); ok {
+			for round := 0; round < 1_000_000; round++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if st.Step() == 0 {
+					break
+				}
+			}
+			// Fall through: a drained stepper confirms quiescence through
+			// the oracle (or polling) below, which also covers a transport
+			// that buffers nothing per round (e.g. an asynchronous router
+			// mistakenly paired with Synchronous).
+		}
 	}
-	return n.tr.WaitQuiescent(ctx)
+	if q, ok := n.tr.(transport.Quiescer); ok {
+		return q.WaitQuiescent(ctx)
+	}
+	return n.quiesceByPolling(ctx)
+}
+
+// quiesceByPolling approximates quiescence without a transport oracle: the
+// sums of every peer's sent and received message counters must hold still
+// for several consecutive samples. Messages a transport still holds (socket
+// buffers, delayed deliveries) surface as counter movement on arrival and
+// reset the window, so a premature verdict needs a delivery stalled longer
+// than the whole settle window on an otherwise silent network — ~200ms for
+// a loopback hop that normally takes microseconds. The probe loops in
+// Update and UpdateStaged additionally absorb any residue, just as they
+// absorb swallowed cascades; bare Quiesce callers (Insert-then-Quiesce)
+// rely on the window alone.
+func (n *Network) quiesceByPolling(ctx context.Context) error {
+	const (
+		interval = 20 * time.Millisecond
+		settle   = 10 // consecutive still samples ≈ 200ms of silence
+	)
+	var last [2]uint64
+	stable := 0
+	first := true
+	for {
+		var sent, recv uint64
+		for _, id := range n.order {
+			s := n.peers[id].Counters().Snapshot()
+			sent += s.TotalSent()
+			recv += s.TotalReceived()
+		}
+		cur := [2]uint64{sent, recv}
+		if !first && cur == last {
+			stable++
+			if stable >= settle {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		last, first = cur, false
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
 }
 
 // Discover runs phase one: the super-peer starts topology discovery (every
@@ -303,7 +405,12 @@ func (n *Network) Snapshot() map[string]*storage.DB {
 // centralised fix-point of the same definition, returning an error naming
 // the first differing node.
 func (n *Network) ValidateAgainstCentralized() error {
-	want, err := baseline.Centralized(n.def, rules.ApplyOptions{
+	n.defMu.Lock()
+	cp := *n.def // shallow copy with its own Facts slice: Insert keeps appending
+	cp.Facts = append([]rules.Fact(nil), n.def.Facts...)
+	n.defMu.Unlock()
+	def := &cp
+	want, err := baseline.Centralized(def, rules.ApplyOptions{
 		Mode:         n.opts.InsertMode,
 		MaxNullDepth: n.opts.MaxNullDepth,
 	})
@@ -341,8 +448,10 @@ func (n *Network) Broadcast(text string) error {
 	if err != nil {
 		return err
 	}
+	n.defMu.Lock()
 	def.Facts = n.def.Facts // databases are not reseeded; keep the originals
 	n.def = def
+	n.defMu.Unlock()
 	for _, id := range n.order {
 		if err := n.tr.Send(n.super, id, wire.SetNetwork{Text: text}); err != nil {
 			return err

@@ -36,7 +36,10 @@ func (n *Network) UpdateStaged(ctx context.Context) error {
 		return err
 	}
 
-	g := graph.FromRules(n.def.Rules)
+	n.defMu.Lock()
+	defRules := n.def.Rules
+	n.defMu.Unlock()
+	g := graph.FromRules(defRules)
 	for _, id := range n.order {
 		g.AddNode(id)
 	}

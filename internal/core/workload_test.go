@@ -287,11 +287,11 @@ func TestPartitionHealRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := workload.NodeName(1), workload.NodeName(2)
-	n.Transport().Partition(a, b)
+	n.Faults().Partition(a, b)
 	// The update may or may not manage to close with the link down (the
 	// probe budget is small); either way it must not hang.
 	_ = n.Update(ctx(t))
-	n.Transport().Heal(a, b)
+	n.Faults().Heal(a, b)
 	if err := n.Update(ctx(t)); err != nil {
 		t.Fatalf("post-heal update: %v", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -28,6 +29,75 @@ type Result struct {
 	ID    string
 	Title string
 	Table string
+	// Runs holds the machine-readable records of every protocol run the
+	// experiment executed (empty for purely analytical experiments).
+	Runs []RunRecord
+}
+
+// RunRecord is one protocol run in machine-readable form, the unit of the
+// perf trajectory cmd/p2pbench -json accumulates.
+type RunRecord struct {
+	Experiment     string  `json:"experiment"`
+	Mode           string  `json:"mode"` // faithful | delta | delta+seminaive
+	Synchronous    bool    `json:"synchronous,omitempty"`
+	Nodes          int     `json:"nodes"`
+	Rules          int     `json:"rules"`
+	DiscoveryMS    float64 `json:"discovery_ms"`
+	UpdateMS       float64 `json:"update_ms"`
+	Messages       uint64  `json:"messages"`
+	Bytes          uint64  `json:"bytes"`
+	TuplesInserted uint64  `json:"tuples_inserted"`
+	TuplesPerSec   float64 `json:"tuples_per_sec"`
+}
+
+// runCollector accumulates the RunRecords of one Run invocation; execute
+// appends into the collector Run attached to its Config, so concurrent Run
+// calls never cross-attribute records.
+type runCollector struct {
+	mu   sync.Mutex
+	recs []RunRecord
+}
+
+func (c *runCollector) add(def *rules.Network, opts core.Options, rs runStats) {
+	if c == nil {
+		return
+	}
+	mode := "faithful"
+	if opts.Delta {
+		mode = "delta"
+		if opts.SemiNaive.Enabled() {
+			mode = "delta+seminaive"
+		}
+	}
+	rec := RunRecord{
+		Mode:           mode,
+		Synchronous:    opts.Synchronous,
+		Nodes:          len(def.Nodes),
+		Rules:          len(def.Rules),
+		DiscoveryMS:    float64(rs.discovery.Microseconds()) / 1000,
+		UpdateMS:       float64(rs.wall.Microseconds()) / 1000,
+		Messages:       rs.msgs,
+		Bytes:          rs.bytes,
+		TuplesInserted: rs.inserted,
+	}
+	if secs := rs.wall.Seconds(); secs > 0 {
+		rec.TuplesPerSec = float64(rs.inserted) / secs
+	}
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	c.mu.Unlock()
+}
+
+// stamped returns the collected records with the experiment id filled in.
+func (c *runCollector) stamped(experiment string) []RunRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RunRecord, len(c.recs))
+	copy(out, c.recs)
+	for i := range out {
+		out[i].Experiment = experiment
+	}
+	return out
 }
 
 // Config scales the experiments.
@@ -39,6 +109,9 @@ type Config struct {
 	Seed int64
 	// Timeout bounds each run.
 	Timeout time.Duration
+
+	// collector receives the RunRecords of this invocation (set by Run).
+	collector *runCollector
 }
 
 func (c Config) withDefaults() Config {
@@ -65,9 +138,17 @@ func All(cfg Config) ([]Result, error) {
 	return out, nil
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id, attaching the machine-readable records
+// of every protocol run it performed.
 func Run(id string, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	cfg.collector = &runCollector{}
+	res, err := dispatch(id, cfg)
+	res.Runs = cfg.collector.stamped(res.ID)
+	return res, err
+}
+
+func dispatch(id string, cfg Config) (Result, error) {
 	switch strings.ToUpper(id) {
 	case "E1":
 		return E1PathsTable()
@@ -122,12 +203,12 @@ type runStats struct {
 }
 
 // execute runs discovery+update on a definition and aggregates statistics.
-func execute(def *rules.Network, opts core.Options, timeout time.Duration) (*core.Network, runStats, error) {
+func execute(def *rules.Network, opts core.Options, cfg Config) (*core.Network, runStats, error) {
 	n, err := core.Build(def, opts)
 	if err != nil {
 		return nil, runStats{}, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	defer cancel()
 	t0 := time.Now()
 	if err := n.Discover(ctx); err != nil {
@@ -148,6 +229,7 @@ func execute(def *rules.Network, opts core.Options, timeout time.Duration) (*cor
 	rs.dup = agg.TuplesDuplicate
 	rs.dupq = agg.DuplicateQueries
 	rs.queries = agg.QueriesExecuted
+	cfg.collector.add(def, opts, rs)
 	return n, rs, nil
 }
 
@@ -273,7 +355,7 @@ func topoSweep(id, title string, cfg Config, topo func(int) workload.Topology, l
 		// re-ships the full (monotonically growing) result set on every
 		// change event, which adds a byte term quadratic in depth and
 		// drowns the propagation-latency signal the paper reports.
-		n, rs, err := execute(def, core.Options{Seed: cfg.Seed, Delta: true}, cfg.Timeout)
+		n, rs, err := execute(def, core.Options{Seed: cfg.Seed, Delta: true}, cfg)
 		if err != nil {
 			return Result{}, fmt.Errorf("depth %d: %w", d, err)
 		}
@@ -323,7 +405,7 @@ func E5Clique(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		n, rs, err := execute(def, core.Options{Seed: cfg.Seed}, cfg.Timeout)
+		n, rs, err := execute(def, core.Options{Seed: cfg.Seed}, cfg)
 		if err != nil {
 			return Result{}, fmt.Errorf("clique %d: %w", k, err)
 		}
@@ -365,7 +447,7 @@ func E6Overlap(cfg Config) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			n, rs, err := execute(def, core.Options{Seed: cfg.Seed}, cfg.Timeout)
+			n, rs, err := execute(def, core.Options{Seed: cfg.Seed}, cfg)
 			if err != nil {
 				return Result{}, err
 			}
@@ -397,7 +479,7 @@ func E7DBLP31(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	totalRecords := cfg.RecordsPerNode * topo.N
-	n, rs, err := execute(def, core.Options{Seed: cfg.Seed}, cfg.Timeout)
+	n, rs, err := execute(def, core.Options{Seed: cfg.Seed}, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -521,7 +603,7 @@ func E9AsyncVsSync(cfg Config) (Result, error) {
 			if mode == "sync" {
 				opts.Synchronous = true
 			}
-			_, rs, err := executeAndClose(def, opts, cfg.Timeout)
+			_, rs, err := executeAndClose(def, opts, cfg)
 			if err != nil {
 				return Result{}, fmt.Errorf("%s/%s: %w", topo.Name, mode, err)
 			}
@@ -541,8 +623,8 @@ func E9AsyncVsSync(cfg Config) (Result, error) {
 	return Result{ID: "E9", Title: "§1/§3 — asynchronous model vs the synchronous alternative", Table: tbl}, nil
 }
 
-func executeAndClose(def *rules.Network, opts core.Options, timeout time.Duration) (*core.Network, runStats, error) {
-	n, rs, err := execute(def, opts, timeout)
+func executeAndClose(def *rules.Network, opts core.Options, cfg Config) (*core.Network, runStats, error) {
+	n, rs, err := execute(def, opts, cfg)
 	if err != nil {
 		return nil, rs, err
 	}
@@ -560,7 +642,7 @@ func E10Delta(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	_, faithful, err := executeAndClose(def, core.Options{Seed: cfg.Seed}, cfg.Timeout)
+	_, faithful, err := executeAndClose(def, core.Options{Seed: cfg.Seed}, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -568,7 +650,7 @@ func E10Delta(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	_, delta, err := executeAndClose(def2, core.Options{Seed: cfg.Seed, Delta: true}, cfg.Timeout)
+	_, delta, err := executeAndClose(def2, core.Options{Seed: cfg.Seed, Delta: true}, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -595,7 +677,7 @@ func E11Baseline(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	n, rs, err := execute(def, core.Options{Seed: cfg.Seed}, cfg.Timeout)
+	n, rs, err := execute(def, core.Options{Seed: cfg.Seed}, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -785,7 +867,7 @@ func E14SemiNaive(cfg Config) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			n, rs, err := execute(def, core.Options{Seed: cfg.Seed, Delta: true, SemiNaive: m.mode}, cfg.Timeout)
+			n, rs, err := execute(def, core.Options{Seed: cfg.Seed, Delta: true, SemiNaive: m.mode}, cfg)
 			if err != nil {
 				return Result{}, fmt.Errorf("%s/%s: %w", topo.Name, m.name, err)
 			}

@@ -28,6 +28,7 @@ func (p *Peer) handleAddRule(m wire.AddRuleNotice) {
 	if prev, ok := p.rules[r.ID]; ok && prev.String() != r.String() {
 		delete(p.parts, r.ID)
 		delete(p.ruleComplete, r.ID)
+		p.reprimeWatchers()
 	}
 	p.rules[r.ID] = r
 	for _, src := range r.SourceNodes() {
@@ -66,6 +67,7 @@ func (p *Peer) handleDeleteRule(m wire.DeleteRuleNotice) {
 	delete(p.rules, m.RuleID)
 	delete(p.ruleComplete, m.RuleID)
 	delete(p.parts, m.RuleID)
+	p.reprimeWatchers()
 	for _, src := range r.SourceNodes() {
 		p.send(src, wire.Unsubscribe{RuleID: m.RuleID})
 	}
@@ -154,9 +156,11 @@ func (p *Peer) handleSetNetwork(m wire.SetNetwork) {
 			}
 			delete(p.ruleComplete, id)
 			delete(p.parts, id)
+			p.reprimeWatchers()
 		} else if kept.String() != r.String() {
 			delete(p.ruleComplete, id)
 			delete(p.parts, id)
+			p.reprimeWatchers()
 		}
 	}
 	p.rules = fresh

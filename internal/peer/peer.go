@@ -174,6 +174,14 @@ type Peer struct {
 	// Dynamic-change bookkeeping.
 	seenChanges  map[string]bool
 	statsReports map[string]stats.Snapshot // super-peer: collected reports
+
+	// Continuous-query watchers (watch.go). Guarded by wmu, not mu: the
+	// database's insert listener wakes watchers while mu may be held.
+	wmu            sync.Mutex
+	watchers       map[uint64]*Watcher
+	watchSeq       uint64
+	watchersClosed bool  // CloseWatchers ran: no further registrations
+	nwatchers      int32 // atomic fast path for the insert listener
 }
 
 // New creates a peer with its schemas and the rules targeting it.
@@ -202,6 +210,7 @@ func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.
 		p.rules[r.ID] = r
 	}
 	p.refreshOwnEdges()
+	p.db.AddInsertListener(func(rel string, _ relalg.Tuple) { p.notifyWatchers(rel) })
 	if err := tr.Register(id, p.Handle); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,343 @@
+package peer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/relalg"
+	"repro/internal/storage"
+)
+
+// Continuous queries (watchers) and online local writes: the live half of the
+// network API. The paper's network is a long-lived system — peers accept
+// local updates at any time and the algorithm keeps propagating implied data
+// — so a node exposes two verbs beyond batch orchestration: InsertLocal
+// (an online write that triggers incremental re-answers to all subscribers,
+// semi-naive when the delta optimisation is on) and Watch (a continuous
+// conjunctive query whose result deltas stream over a channel as imported or
+// local tuples arrive).
+//
+// A watcher owns one goroutine. Insert listeners on the local database wake
+// it (a capacity-1 signal coalesces bursts); the goroutine extracts the
+// relation delta since its high-water marks, evaluates the conjunction
+// semi-naively over it, deduplicates against everything already streamed, and
+// ships the fresh result tuples as one batch. The accumulated batches of a
+// watcher therefore equal the query's result set at any quiescent moment —
+// the invariant the oracle tests pin down.
+
+// Watcher is a continuous query registered at one peer. Consumers receive
+// result-delta batches from C until it is closed by Close. A consumer that
+// keeps draining C receives every batch including the final delta; after
+// Close, undelivered batches wait for a draining consumer only for a bounded
+// grace period, then are dropped so the channel always closes and the
+// delivery goroutine always exits, even when the consumer is gone.
+type Watcher struct {
+	p    *Peer
+	id   uint64
+	conj cq.Conjunction
+	cols []string
+	rels map[string]bool // relations the conjunction reads
+
+	ch   chan []relalg.Tuple
+	sig  chan struct{} // capacity 1: wake-up, coalescing
+	quit chan struct{}
+	once sync.Once
+
+	reprime atomic.Bool
+
+	// Pump-goroutine state (no locking needed).
+	marks  storage.Marks
+	primed bool
+	sent   map[string]bool
+	stash  []relalg.Tuple // batch whose delivery Close interrupted
+}
+
+// closeDrainTimeout bounds how long a closed watcher waits for a consumer to
+// drain the final batches before dropping them (a variable so tests can
+// shorten the wait).
+var closeDrainTimeout = 5 * time.Second
+
+// Watch registers a continuous query over this peer's local database. The
+// first batch on the channel is the query's current result (possibly empty —
+// it is always sent, so it doubles as the registration sync point); every
+// later batch is the non-empty set of result tuples newly derivable from
+// tuples that arrived since (imported by the protocol or written locally),
+// each result tuple streamed exactly once.
+func (p *Peer) Watch(body string, outVars []string) (*Watcher, error) {
+	conj, err := cq.ParseConjunction(body)
+	if err != nil {
+		return nil, err
+	}
+	// Reject doomed registrations now instead of letting the watcher stream
+	// nothing forever: an atom over an undeclared relation can never match
+	// (cq evaluation treats it as empty), and an output variable absent from
+	// the body is never bound. Both checks are syntactic — no evaluation.
+	for _, a := range conj.Atoms {
+		if !p.db.HasRelation(a.Rel) {
+			return nil, fmt.Errorf("peer %s: watch reads undeclared relation %q", p.id, a.Rel)
+		}
+	}
+	atomVars := conj.AtomVars()
+	for _, v := range outVars {
+		if !atomVars[v] {
+			return nil, fmt.Errorf("peer %s: watch output variable %s not range-restricted in %q",
+				p.id, v, body)
+		}
+	}
+	w := &Watcher{
+		p:    p,
+		conj: conj,
+		cols: append([]string(nil), outVars...),
+		rels: map[string]bool{},
+		ch:   make(chan []relalg.Tuple, 16),
+		sig:  make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		sent: map[string]bool{},
+	}
+	for _, rel := range conjRels(conj) {
+		w.rels[rel] = true
+	}
+	p.wmu.Lock()
+	if p.watchersClosed {
+		p.wmu.Unlock()
+		return nil, fmt.Errorf("peer %s: watch after shutdown", p.id)
+	}
+	p.watchSeq++
+	w.id = p.watchSeq
+	if p.watchers == nil {
+		p.watchers = map[uint64]*Watcher{}
+	}
+	p.watchers[w.id] = w
+	p.wmu.Unlock()
+	atomic.AddInt32(&p.nwatchers, 1)
+	go w.pump()
+	return w, nil
+}
+
+// C returns the result-delta stream. It is closed after Close has drained
+// the final delta.
+func (w *Watcher) C() <-chan []relalg.Tuple { return w.ch }
+
+// Close deregisters the watcher; the pump drains one final delta and closes
+// the channel. Safe to call more than once and concurrently with delivery.
+func (w *Watcher) Close() {
+	w.once.Do(func() {
+		w.p.wmu.Lock()
+		delete(w.p.watchers, w.id)
+		w.p.wmu.Unlock()
+		atomic.AddInt32(&w.p.nwatchers, -1)
+		close(w.quit)
+	})
+}
+
+// pump is the watcher's delivery goroutine.
+func (w *Watcher) pump() {
+	defer close(w.ch)
+	// Prime: the current full result is always the first batch, even when
+	// empty — the documented synchronisation point for consumers.
+	prime := w.collect()
+	if prime == nil {
+		prime = []relalg.Tuple{}
+	}
+	if !w.send(prime) {
+		w.finalDrain()
+		return
+	}
+	for {
+		select {
+		case <-w.sig:
+			if !w.deliver(w.collect()) {
+				w.finalDrain()
+				return
+			}
+		case <-w.quit:
+			w.finalDrain()
+			return
+		}
+	}
+}
+
+// deliver ships one non-empty batch, returning false when Close raced the
+// send; the batch is then stashed for the final drain, so a consumer that
+// keeps reading still receives it.
+func (w *Watcher) deliver(batch []relalg.Tuple) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	return w.send(batch)
+}
+
+func (w *Watcher) send(batch []relalg.Tuple) bool {
+	select {
+	case w.ch <- batch:
+		return true
+	case <-w.quit:
+		w.stash = batch
+		return false
+	}
+}
+
+// finalDrain ships the interrupted batch and the final delta after Close,
+// waiting at most closeDrainTimeout overall: a draining consumer gets
+// everything, an absent one costs a bounded wait, never a leaked goroutine
+// or an unclosed channel.
+func (w *Watcher) finalDrain() {
+	var batches [][]relalg.Tuple
+	if len(w.stash) > 0 {
+		batches = append(batches, w.stash)
+	}
+	if final := w.collect(); len(final) > 0 {
+		batches = append(batches, final)
+	}
+	if len(batches) == 0 {
+		return
+	}
+	timer := time.NewTimer(closeDrainTimeout)
+	defer timer.Stop()
+	for _, b := range batches {
+		select {
+		case w.ch <- b:
+		case <-timer.C:
+			return // consumer gone: drop the tail, the channel still closes
+		}
+	}
+}
+
+// collect evaluates everything new since the last collect and returns it as
+// one batch. The first call (and any call after a reprime request) runs the
+// full conjunction; later calls join only the relation delta since the
+// marks. The sent-set deduplicates across both paths, so re-primes and the
+// occasional double derivation of semi-naive evaluation cost bytes of
+// bookkeeping, never duplicate deliveries. Evaluation runs under the peer
+// mutex (serialising with protocol inserts, like every other evaluation);
+// channel delivery happens after it is released, so a slow consumer blocks
+// only its own watcher, never the peer.
+func (w *Watcher) collect() []relalg.Tuple {
+	w.p.mu.Lock()
+	defer w.p.mu.Unlock()
+	rels := make([]string, 0, len(w.rels))
+	for r := range w.rels {
+		rels = append(rels, r)
+	}
+	var result []relalg.Tuple
+	if w.reprime.Swap(false) || !w.primed {
+		w.marks = w.p.db.MarksFor(rels)
+		w.primed = true
+		result, _ = cq.Eval(w.p.db, w.conj, w.cols)
+	} else {
+		delta, next := w.p.db.DeltaSince(w.marks, rels)
+		w.marks = next
+		if len(delta) == 0 {
+			return nil
+		}
+		result, _ = cq.EvalDelta(w.p.db, w.conj, w.cols, delta)
+	}
+	fresh := result[:0:0]
+	for _, t := range result {
+		k := t.Key()
+		if !w.sent[k] {
+			w.sent[k] = true
+			fresh = append(fresh, t)
+		}
+	}
+	return fresh
+}
+
+// notifyWatchers wakes every watcher reading the relation. It runs from the
+// database's insert listener — possibly while the peer's mutex is held — so
+// it must not lock p.mu; the capacity-1 signal never blocks.
+func (p *Peer) notifyWatchers(rel string) {
+	if atomic.LoadInt32(&p.nwatchers) == 0 {
+		return
+	}
+	p.wmu.Lock()
+	for _, w := range p.watchers {
+		if !w.rels[rel] {
+			continue
+		}
+		select {
+		case w.sig <- struct{}{}:
+		default:
+		}
+	}
+	p.wmu.Unlock()
+}
+
+// reprimeWatchers asks every watcher to re-run its full conjunction on the
+// next wake-up (rule redefinition may have changed what the local database
+// derives; the data itself is monotone, so this is robustness, and the
+// sent-set keeps deliveries exactly-once).
+func (p *Peer) reprimeWatchers() {
+	if atomic.LoadInt32(&p.nwatchers) == 0 {
+		return
+	}
+	p.wmu.Lock()
+	for _, w := range p.watchers {
+		w.reprime.Store(true)
+		select {
+		case w.sig <- struct{}{}:
+		default:
+		}
+	}
+	p.wmu.Unlock()
+}
+
+// CloseWatchers closes every live watcher and rejects future registrations
+// (used by orchestration shutdown; a Watch racing it either joins this close
+// or fails cleanly, never leaks an unclosable stream).
+func (p *Peer) CloseWatchers() {
+	p.wmu.Lock()
+	p.watchersClosed = true
+	ws := make([]*Watcher, 0, len(p.watchers))
+	for _, w := range p.watchers {
+		ws = append(ws, w)
+	}
+	p.wmu.Unlock()
+	for _, w := range ws {
+		w.Close()
+	}
+}
+
+// InsertLocal applies an online local write: the tuples enter the local
+// database immediately and, when anything is new, every subscriber receives
+// an incremental re-answer (semi-naive when the delta optimisation is on) —
+// the data keeps flowing without restarting a full Update, as the paper's
+// long-lived network model demands. The batch is validated up front
+// (declared relation, matching arities) and applied all-or-nothing, so a
+// returned error means no tuple was written. It returns how many tuples
+// were new.
+func (p *Peer) InsertLocal(rel string, tuples ...relalg.Tuple) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	arity := p.db.Arity(rel)
+	if arity < 0 {
+		return 0, fmt.Errorf("peer %s: insert into undeclared relation %q", p.id, rel)
+	}
+	for _, t := range tuples {
+		if len(t) != arity {
+			return 0, fmt.Errorf("peer %s: arity mismatch inserting %d-tuple into %s (arity %d)",
+				p.id, len(t), rel, arity)
+		}
+	}
+	added := 0
+	for _, t := range tuples {
+		ok, err := p.db.Insert(rel, t, p.opts.InsertMode)
+		if err != nil {
+			return added, err // unreachable after validation; defensive
+		}
+		if ok {
+			added++
+		}
+	}
+	if added > 0 {
+		p.ct.AddInserted(uint64(added))
+		// Local news restarts a push route here, exactly like a derived
+		// change in A5; receivers chase it, re-open if their closure breaks,
+		// and the fix-point rule terminates the cascade.
+		p.pushToSubsLocked([]string{p.id})
+	}
+	return added, nil
+}

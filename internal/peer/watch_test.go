@@ -1,0 +1,148 @@
+package peer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/relalg"
+	"repro/internal/transport"
+)
+
+func newWatchPeer(t *testing.T) *Peer {
+	t.Helper()
+	tr := transport.NewMem(transport.MemOptions{})
+	t.Cleanup(func() { _ = tr.Close() })
+	p, err := New("W", []relalg.Schema{relalg.MakeSchema("p", 1)}, nil, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWatchRejectsDoomedQueries(t *testing.T) {
+	p := newWatchPeer(t)
+	if _, err := p.Watch("broken(", []string{"X"}); err == nil {
+		t.Error("unparsable body must fail")
+	}
+	if _, err := p.Watch("nosuch(X)", []string{"X"}); err == nil {
+		t.Error("undeclared relation must fail")
+	}
+	if _, err := p.Watch("p(X)", []string{"Y"}); err == nil {
+		t.Error("unbound output variable must fail")
+	}
+}
+
+func TestInsertLocalBatchIsAtomic(t *testing.T) {
+	p := newWatchPeer(t)
+	added, err := p.InsertLocal("p",
+		relalg.Tuple{relalg.S("ok")},
+		relalg.Tuple{relalg.S("too"), relalg.S("wide")})
+	if err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if added != 0 || p.DB().Count("p") != 0 {
+		t.Fatalf("failed batch must write nothing: added=%d count=%d", added, p.DB().Count("p"))
+	}
+	if _, err := p.InsertLocal("nosuch", relalg.Tuple{relalg.S("x")}); err == nil {
+		t.Fatal("undeclared relation must fail")
+	}
+}
+
+// TestWatcherCloseWithAbandonedConsumer: even when nobody drains the channel
+// and the pump is blocked mid-delivery, Close must let the pump exit and the
+// channel close within the bounded drain grace period — no leaked goroutine,
+// no never-closing stream.
+func TestWatcherCloseWithAbandonedConsumer(t *testing.T) {
+	old := closeDrainTimeout
+	closeDrainTimeout = 50 * time.Millisecond
+	defer func() { closeDrainTimeout = old }()
+
+	p := newWatchPeer(t)
+	w, err := p.Watch("p(X)", []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the delivery buffer with one batch per insert (paced so the pump
+	// flushes each separately) until the pump blocks on a full channel.
+	for i := 0; i < 24; i++ {
+		if _, err := p.InsertLocal("p", relalg.Tuple{relalg.S(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	w.Close()
+
+	// A late reader must still observe a closed channel (draining whatever
+	// was buffered) well within the grace period plus slack.
+	closed := make(chan int, 1)
+	go func() {
+		n := 0
+		for batch := range w.C() {
+			n += len(batch)
+		}
+		closed <- n
+	}()
+	select {
+	case n := <-closed:
+		if n == 0 {
+			t.Error("buffered batches were lost entirely")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher channel never closed after Close with an abandoned consumer")
+	}
+}
+
+// TestWatcherDrainingConsumerGetsEverything: a consumer that keeps reading
+// through Close receives every inserted tuple exactly once.
+func TestWatcherDrainingConsumerGetsEverything(t *testing.T) {
+	p := newWatchPeer(t)
+	w, err := p.Watch("p(X)", []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan map[string]int, 1)
+	go func() {
+		seen := map[string]int{}
+		for batch := range w.C() {
+			for _, tup := range batch {
+				seen[tup.Key()]++
+			}
+		}
+		got <- seen
+	}()
+	const total = 200
+	for i := 0; i < total; i++ {
+		if _, err := p.InsertLocal("p", relalg.Tuple{relalg.S(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	seen := <-got
+	if len(seen) != total {
+		t.Fatalf("draining consumer saw %d distinct tuples, want %d", len(seen), total)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("tuple %s delivered %d times", k, n)
+		}
+	}
+}
+
+func TestWatchAfterCloseWatchersFails(t *testing.T) {
+	p := newWatchPeer(t)
+	w, err := p.Watch("p(X)", []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CloseWatchers()
+	if _, open := <-w.C(); open {
+		// prime batch (empty result, always sent) then close
+		if _, open := <-w.C(); open {
+			t.Fatal("watcher channel must close after CloseWatchers")
+		}
+	}
+	if _, err := p.Watch("p(X)", []string{"X"}); err == nil {
+		t.Fatal("watch after CloseWatchers must fail")
+	}
+}

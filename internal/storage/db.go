@@ -22,6 +22,34 @@ type DB struct {
 	schemas   []relalg.Schema // declaration order
 	inserts   uint64          // total successful inserts (stat)
 	rejected  uint64          // duplicate / subsumed insert attempts (stat)
+
+	lmu       sync.RWMutex
+	listeners []InsertListener
+}
+
+// InsertListener observes successful inserts. Listeners run after the tuple
+// is committed and after the database lock is released, on the inserting
+// goroutine; they may read the database but must not block, and must tolerate
+// being called concurrently with other inserts. The peer runtime uses one to
+// wake continuous-query watchers.
+type InsertListener func(rel string, t relalg.Tuple)
+
+// AddInsertListener registers a listener for all future successful inserts.
+func (db *DB) AddInsertListener(f InsertListener) {
+	db.lmu.Lock()
+	db.listeners = append(db.listeners, f)
+	db.lmu.Unlock()
+}
+
+// notifyInsert fires the listeners for one committed tuple. Callers must not
+// hold db.mu.
+func (db *DB) notifyInsert(rel string, t relalg.Tuple) {
+	db.lmu.RLock()
+	ls := db.listeners
+	db.lmu.RUnlock()
+	for _, f := range ls {
+		f(rel, t)
+	}
 }
 
 // New creates an empty database with the given schemas.
@@ -110,8 +138,17 @@ const (
 )
 
 // Insert adds one tuple to the named relation, returning whether the database
-// changed. Undeclared relations are an error.
+// changed. Undeclared relations are an error. Insert listeners fire after the
+// lock is released.
 func (db *DB) Insert(rel string, t relalg.Tuple, mode InsertMode) (bool, error) {
+	added, err := db.insert(rel, t, mode)
+	if added {
+		db.notifyInsert(rel, t)
+	}
+	return added, err
+}
+
+func (db *DB) insert(rel string, t relalg.Tuple, mode InsertMode) (bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	r, ok := db.relations[rel]

@@ -161,3 +161,25 @@ func TestConcurrentReadsDuringWrites(t *testing.T) {
 		t.Fatalf("count = %d", db.Count("p"))
 	}
 }
+
+func TestInsertListeners(t *testing.T) {
+	db := New(relalg.MakeSchema("p", 1))
+	var fired []string
+	db.AddInsertListener(func(rel string, tup relalg.Tuple) {
+		// Listeners run outside the database lock: reads must not deadlock.
+		_ = db.Count(rel)
+		fired = append(fired, rel+":"+tup.Key())
+	})
+	if _, err := db.Insert("p", relalg.Tuple{relalg.S("a")}, InsertExact); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("p", relalg.Tuple{relalg.S("a")}, InsertExact); err != nil {
+		t.Fatal(err) // duplicate: no notification
+	}
+	if _, err := db.Insert("q", relalg.Tuple{relalg.S("b")}, InsertExact); err == nil {
+		t.Fatal("undeclared relation must fail")
+	}
+	if len(fired) != 1 {
+		t.Fatalf("listener fired %d times (%v), want 1", len(fired), fired)
+	}
+}

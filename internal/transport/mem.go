@@ -302,4 +302,9 @@ func (m *Mem) Close() error {
 	return nil
 }
 
-var _ Transport = (*Mem)(nil)
+var (
+	_ Transport     = (*Mem)(nil)
+	_ Quiescer      = (*Mem)(nil)
+	_ Stepper       = (*Mem)(nil)
+	_ FaultInjector = (*Mem)(nil)
+)

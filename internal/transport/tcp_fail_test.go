@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Failure-path coverage for the TCP transport: dead peers, dropped and
+// re-dialled connections, and Close racing in-flight sends. The protocol
+// treats send errors as a dynamic-network fact of life, so the transport
+// must fail cleanly, never hang or panic.
+
+// deadAddr returns a loopback address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+func TestTCPSendToDeadPeer(t *testing.T) {
+	tr, err := NewTCP("127.0.0.1:0", map[string]string{"ghost": deadAddr(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.DialTimeout = 250 * time.Millisecond
+	if err := tr.Register("A", func(wire.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("A", "ghost", wire.StartUpdate{Epoch: 1}); err == nil {
+		t.Fatal("send to a dead peer must fail")
+	}
+	// The failed dial must not poison later sends to healthy peers.
+	if err := tr.Send("A", "A", wire.StartUpdate{Epoch: 1}); err != nil {
+		t.Fatalf("local send after a failed dial: %v", err)
+	}
+}
+
+func TestTCPReconnectAfterDrop(t *testing.T) {
+	got := make(chan wire.Envelope, 8)
+	b, err := NewTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Register("B", func(env wire.Envelope) { got <- env }); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTCP("127.0.0.1:0", map[string]string{"B": b.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	recv := func(what string) {
+		t.Helper()
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: message not delivered", what)
+		}
+	}
+	if err := a.Send("A", "B", wire.StartUpdate{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recv("initial send")
+
+	// An explicitly dropped connection must be re-dialled lazily.
+	a.dropConn("B")
+	if err := a.Send("A", "B", wire.StartUpdate{Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	recv("send after dropConn")
+
+	// A connection that dies under the sender's feet (the remote closed it,
+	// a NAT timed out) surfaces as a write error; Send must retry once on a
+	// fresh dial.
+	a.mu.Lock()
+	conn := a.conns["B"]
+	a.mu.Unlock()
+	if conn == nil {
+		t.Fatal("no cached connection after send")
+	}
+	_ = conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// The first write after the close may still land in the kernel
+		// buffer of the dead socket; keep sending until the retry path has
+		// demonstrably delivered.
+		if err := a.Send("A", "B", wire.StartUpdate{Epoch: 3}); err != nil {
+			t.Fatalf("send after remote close: %v", err)
+		}
+		select {
+		case <-got:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send after broken connection never delivered")
+		}
+	}
+}
+
+func TestTCPCloseWhileSending(t *testing.T) {
+	b, err := NewTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Register("B", func(wire.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTCP("127.0.0.1:0", map[string]string{"B": b.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 50; j++ {
+				// Errors are fine (ErrClosed, broken writes); panics or
+				// hangs are not.
+				_ = a.Send("A", "B", wire.StartUpdate{Epoch: uint64(j)})
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	if err := a.Send("A", "B", wire.StartUpdate{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestTCPMeshDelivery(t *testing.T) {
+	m := NewTCPMesh("127.0.0.1:0")
+	defer m.Close()
+	got := make(chan wire.Envelope, 2)
+	if err := m.Register("A", func(wire.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("B", func(env wire.Envelope) { got <- env }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("A", func(wire.Envelope) {}); err == nil {
+		t.Fatal("re-register must fail")
+	}
+	if err := m.Send("nobody", "B", wire.StartUpdate{}); err == nil {
+		t.Fatal("send from an unregistered node must fail")
+	}
+	if m.Addr("A") == "" || m.Addr("A") == m.Addr("B") {
+		t.Fatalf("mesh nodes must own distinct listeners: %q vs %q", m.Addr("A"), m.Addr("B"))
+	}
+	if err := m.Send("A", "B", wire.StartUpdate{Epoch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-got:
+		if env.From != "A" || env.Msg.(wire.StartUpdate).Epoch != 7 {
+			t.Fatalf("unexpected envelope %+v", env)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mesh send not delivered over sockets")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send("A", "B", wire.StartUpdate{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if err := m.Register("C", func(wire.Envelope) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close = %v, want ErrClosed", err)
+	}
+}

@@ -1,13 +1,24 @@
 // Package transport carries protocol messages between peers. It replaces the
-// paper's JXTA layer with two implementations sharing one interface: an
+// paper's JXTA layer with implementations sharing one interface: an
 // in-memory router (deterministic, with seeded delay injection, partitions, a
 // global quiescence detector, and a synchronous/BSP stepping mode used by the
-// "synchronous alternative" the paper mentions) and a TCP transport
+// "synchronous alternative" the paper mentions), a TCP transport
 // (length-prefixed gob frames over stdlib net) for running peers as separate
-// processes.
+// processes, and a TCP mesh that gives every registered peer its own socket
+// listener so a whole network runs over loopback sockets in one process.
+//
+// The base Transport interface is deliberately minimal — register, send,
+// close — because that is all the protocol needs. Everything beyond reliable
+// point-to-point messaging is a capability a particular implementation may or
+// may not have: a global quiescence oracle (Quiescer), BSP round stepping
+// (Stepper), partition/drop fault injection (FaultInjector). Orchestration
+// type-asserts for the capability and falls back to protocol-visible signals
+// (polling peer states and counters) when it is absent — the paper's JXTA
+// situation, where no global oracle exists.
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,6 +38,37 @@ type Transport interface {
 	Send(from, to string, msg wire.Message) error
 	// Close stops delivery and releases resources.
 	Close() error
+}
+
+// Quiescer is the capability of detecting global quiescence: no message
+// undelivered, in a handler, or scheduled for delayed delivery anywhere.
+// Only transports that see all traffic (the in-memory router) can offer it;
+// distributed transports cannot, and orchestration falls back to polling.
+type Quiescer interface {
+	// WaitQuiescent blocks until nothing is in flight or ctx is cancelled.
+	WaitQuiescent(ctx context.Context) error
+	// Inflight reports the number of undelivered or in-handler messages.
+	Inflight() int
+}
+
+// Stepper is the capability of BSP round stepping (the paper's "synchronous
+// alternative"): sends buffer until Step delivers them as one round.
+type Stepper interface {
+	// Step delivers the buffered round, returning how many messages it held.
+	Step() int
+	// StepAll drives rounds until none remain, returning the round count.
+	StepAll(maxRounds int) int
+}
+
+// FaultInjector is the capability of injecting link faults for robustness
+// experiments: pairwise partitions and a drop counter.
+type FaultInjector interface {
+	// Partition blocks both directions between two nodes.
+	Partition(a, b string)
+	// Heal removes a partition.
+	Heal(a, b string)
+	// Dropped reports how many messages partitions or drop injection ate.
+	Dropped() uint64
 }
 
 // ErrUnknownPeer is returned when sending to an unregistered node.

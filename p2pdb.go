@@ -22,10 +22,27 @@
 //	  fact B:b('1','2')
 //	  super A
 //	`)
-//	net, _ := p2pdb.Build(def, p2pdb.Options{})
+//	net, _ := p2pdb.Build(def, p2pdb.Options{Delta: true})
 //	defer net.Close()
 //	_ = net.RunToFixpoint(context.Background())
 //	rows, _ := net.LocalQuery("A", "a(X,Y)", []string{"X", "Y"})
+//
+// The network is live, not batch-shaped: after (or even during) a run, node
+// handles accept online writes that propagate incrementally through the
+// standing subscriptions, and continuous queries stream result deltas as
+// implied tuples arrive:
+//
+//	w, _ := net.Node("A").Watch("a(X,Y)", []string{"X", "Y"})
+//	current := <-w.C()              // first batch: the current result (maybe empty)
+//	_, _ = net.Node("B").Insert(ctx, "b", p2pdb.Tuple{p2pdb.S("3"), p2pdb.S("4")})
+//	_ = net.Quiesce(ctx)            // let the implied data finish propagating
+//	delta := <-w.C()                // the a-tuples newly derived from the insert
+//
+// Networks are transport-agnostic: Options.Transport (or BuildWith) accepts
+// any message carrier. The default is the deterministic in-memory router;
+// NewTCPMesh runs every peer behind its own real loopback socket, in which
+// case orchestration — lacking a global quiescence oracle, exactly as in the
+// paper's JXTA deployment — falls back to polling peer states and counters.
 //
 // Options.Delta enables the paper's delta optimisation (ship only unsent
 // tuples per subscription); with it, Options.SemiNaive (default on) selects
@@ -42,15 +59,30 @@ package p2pdb
 
 import (
 	"repro/internal/core"
+	"repro/internal/relalg"
 	"repro/internal/rules"
 	"repro/internal/storage"
+	"repro/internal/transport"
 )
 
-// Network is a running in-process P2P database network.
+// Network is a running P2P database network.
 type Network = core.Network
+
+// Node is a live handle on one peer: online writes (Insert) and continuous
+// queries (Watch). Obtain one with Network.Node.
+type Node = core.Node
+
+// Watcher is a continuous query's result-delta stream (Node.Watch).
+type Watcher = core.Watcher
 
 // Options configures a network run.
 type Options = core.Options
+
+// Transport carries protocol messages between peers. The in-memory router
+// (default) and the TCP mesh both implement it; orchestration discovers
+// optional powers (quiescence oracle, BSP stepping, fault injection) through
+// the capability interfaces in the transport package.
+type Transport = transport.Transport
 
 // Definition is a parsed network description (nodes, schemas, rules, seed
 // facts, super-peer).
@@ -58,6 +90,17 @@ type Definition = rules.Network
 
 // Rule is one coordination rule.
 type Rule = rules.Rule
+
+// Tuple is one database row; Value its attribute values.
+type (
+	Tuple = relalg.Tuple
+	Value = relalg.Value
+)
+
+// S builds a string-constant value, I an integer-constant value (for
+// constructing tuples passed to Node.Insert).
+func S(s string) Value { return relalg.S(s) }
+func I(n int64) Value  { return relalg.I(n) }
 
 // InsertExact and InsertCore select the redundancy check used when
 // materialising imported data.
@@ -89,8 +132,20 @@ func ParseNetwork(src string) (*Definition, error) { return rules.ParseNetwork(s
 // ParseRule parses "id: body -> head" rule syntax.
 func ParseRule(src string) (Rule, error) { return rules.ParseRule(src) }
 
-// Build constructs a network from a definition.
+// Build constructs a network from a definition (over Options.Transport, or
+// the in-memory router when unset).
 func Build(def *Definition, opts Options) (*Network, error) { return core.Build(def, opts) }
+
+// BuildWith is Build over an explicit transport; the network takes
+// ownership (Close closes it).
+func BuildWith(def *Definition, tr Transport, opts Options) (*Network, error) {
+	return core.BuildWith(def, tr, opts)
+}
+
+// NewTCPMesh creates a transport that gives every peer its own real TCP
+// listener on the given address pattern (e.g. "127.0.0.1:0"), so a whole
+// network runs over loopback sockets in one process.
+func NewTCPMesh(listenAddr string) Transport { return transport.NewTCPMesh(listenAddr) }
 
 // PaperExample returns the running example of Section 2 of the paper
 // (nodes A–E, rules r1–r7), with seed data.

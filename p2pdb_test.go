@@ -57,6 +57,74 @@ func TestFacadePaperExample(t *testing.T) {
 	}
 }
 
+// TestFacadeTCPTransport drives the full public surface — Discover, Update,
+// LocalQuery, an online Insert and a Watch — over real TCP sockets through
+// the same Build facade as the in-memory runs (acceptance criterion of the
+// transport-agnostic redesign).
+func TestFacadeTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP facade run skipped in -short mode")
+	}
+	def := p2pdb.PaperExample()
+	net, err := p2pdb.BuildWith(def, p2pdb.NewTCPMesh("127.0.0.1:0"), p2pdb.Options{Delta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	w, err := net.Node("A").Watch("a(X,Y)", []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make(chan int, 1)
+	go func() {
+		total := 0
+		for batch := range w.C() {
+			total += len(batch)
+		}
+		streamed <- total
+	}()
+
+	if err := net.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Update(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !net.AllClosed() {
+		t.Fatal("network did not close over TCP")
+	}
+	if err := net.ValidateAgainstCentralized(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := net.LocalQuery("A", "a(X,Y)", []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(rows)
+
+	// Online write over sockets: B's new fact must reach A incrementally.
+	if _, err := net.Node("B").Insert(ctx, "b", p2pdb.Tuple{p2pdb.S("live"), p2pdb.S("tcp")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = net.LocalQuery("A", "a(X,Y)", []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) <= before {
+		t.Fatalf("online insert did not reach A over TCP: %d -> %d rows", before, len(rows))
+	}
+	w.Close()
+	if got := <-streamed; got != len(rows) {
+		t.Fatalf("watcher streamed %d tuples, local result holds %d", got, len(rows))
+	}
+}
+
 func TestFacadeParseRule(t *testing.T) {
 	r, err := p2pdb.ParseRule("r: B:b(X) -> A:a(X)")
 	if err != nil {
