@@ -1,12 +1,14 @@
 // Command p2pbench regenerates every table and figure of the paper's
 // evaluation (experiments E1–E13; see DESIGN.md for the index) plus the
-// engine ablations that go beyond it (E14: semi-naive delta evaluation).
+// engine ablations that go beyond it (E14: semi-naive delta evaluation;
+// E15: durable backend at each fsync policy vs in-memory).
 //
 // Usage:
 //
 //	p2pbench                 # run everything at the default scale
 //	p2pbench -e E3,E5        # run selected experiments
 //	p2pbench -e E14          # semi-naive vs full-eval fix-point ablation
+//	p2pbench -e E15          # in-memory vs wal fsync always/interval/never
 //	p2pbench -records 1000   # paper-scale data (~1000 records per node)
 //	p2pbench -seed 7
 //	p2pbench -json BENCH_$(date +%Y%m%d).json   # machine-readable results
@@ -45,7 +47,7 @@ type benchExperiment struct {
 
 func main() {
 	var (
-		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E14) or 'all'")
+		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E15) or 'all'")
 		records  = flag.Int("records", 50, "records per node (paper used ~1000)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-experiment timeout")

@@ -11,9 +11,12 @@
 //	p2pdb qdu <net-file> <node> <q>     # query-dependent update only
 //	p2pdb trace <net-file>              # message sequence chart (Figure 1)
 //	p2pdb tcp <net-file>                # run the update over TCP sockets
+//	p2pdb recover <data-dir> [node]     # print a durable store's contents
 //	p2pdb example                       # print the paper's running example
 //
-// Flags (before the subcommand): -delta, -sync, -seed, -timeout.
+// Flags (before the subcommand): -delta, -sync, -seed, -timeout, and the
+// durability pair -data (per-node write-ahead-log directory; networks built
+// with it survive restarts and crashes) and -fsync (always, interval, never).
 package main
 
 import (
@@ -31,15 +34,18 @@ import (
 	"repro/internal/rules"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 var (
-	delta   = flag.Bool("delta", false, "enable the delta optimisation")
-	sync_   = flag.Bool("sync", false, "synchronous (BSP) rounds instead of async messaging")
-	staged  = flag.Bool("staged", false, "topology-aware staged update (SCC condensation, sources first)")
-	seed    = flag.Int64("seed", 1, "deterministic seed")
-	timeout = flag.Duration("timeout", 2*time.Minute, "run timeout")
-	saveDir = flag.String("save", "", "directory to write per-node database snapshots after a run")
+	delta    = flag.Bool("delta", false, "enable the delta optimisation")
+	sync_    = flag.Bool("sync", false, "synchronous (BSP) rounds instead of async messaging")
+	staged   = flag.Bool("staged", false, "topology-aware staged update (SCC condensation, sources first)")
+	seed     = flag.Int64("seed", 1, "deterministic seed")
+	timeout  = flag.Duration("timeout", 2*time.Minute, "run timeout")
+	saveDir  = flag.String("save", "", "directory to write per-node database snapshots after a run")
+	dataDir  = flag.String("data", "", "durable backend: write-ahead-log directory (one store per node; empty = in-memory)")
+	fsyncStr = flag.String("fsync", "interval", "fsync policy of the durable backend: always, interval or never")
 )
 
 func main() {
@@ -52,7 +58,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (run, paths, query, qdu, trace, tcp, analyze, example)")
+		return fmt.Errorf("missing subcommand (run, paths, query, qdu, trace, tcp, recover, analyze, example)")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -71,11 +77,58 @@ func run(args []string) error {
 		return cmdTrace(rest)
 	case "tcp":
 		return cmdTCP(rest)
+	case "recover":
+		return cmdRecover(rest)
 	case "analyze":
 		return cmdAnalyze(rest)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// cmdRecover inspects a durable data directory without opening it for
+// writing: per node, the recovered relations with their sequence high-water
+// marks, the protocol state (epoch, subscriptions, part results) and whether
+// the log ended with a clean close.
+func cmdRecover(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: p2pdb recover <data-dir> [node]")
+	}
+	dir := args[0]
+	var nodes []string
+	if len(args) == 2 {
+		nodes = []string{args[1]}
+	} else {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				nodes = append(nodes, e.Name())
+			}
+		}
+		sort.Strings(nodes)
+		if len(nodes) == 0 {
+			return fmt.Errorf("no node stores under %s", dir)
+		}
+	}
+	for _, node := range nodes {
+		rec, err := wal.Inspect(filepath.Join(dir, node))
+		if err != nil {
+			return fmt.Errorf("%s: %w", node, err)
+		}
+		fmt.Printf("%s: %s\n", node, rec)
+		for _, sch := range rec.DB.Schemas() {
+			rel := rec.DB.Rel(sch.Name)
+			fmt.Printf("  %s/%d  seq=%d  tuples=%d\n", sch.Name, sch.Arity(), rel.Seq(), rel.Len())
+		}
+		for _, sub := range rec.State.Subs {
+			fmt.Printf("  sub %s←%s rule=%s primed=%v marks=%v\n",
+				node, sub.Dependent, sub.RuleID, sub.Primed, sub.Marks)
+		}
+	}
+	return nil
 }
 
 func loadNet(path string) (*rules.Network, error) {
@@ -86,13 +139,19 @@ func loadNet(path string) (*rules.Network, error) {
 	return rules.ParseNetwork(string(data))
 }
 
-func opts(rec *trace.Recorder) core.Options {
+func opts(rec *trace.Recorder) (core.Options, error) {
+	policy, err := wal.ParseFsyncPolicy(*fsyncStr)
+	if err != nil {
+		return core.Options{}, err
+	}
 	return core.Options{
 		Seed:        *seed,
 		Delta:       *delta,
 		Synchronous: *sync_,
 		Recorder:    rec,
-	}
+		DataDir:     *dataDir,
+		Fsync:       policy,
+	}, nil
 }
 
 func cmdRun(args []string) error {
@@ -103,7 +162,11 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	n, err := core.Build(def, opts(nil))
+	o, err := opts(nil)
+	if err != nil {
+		return err
+	}
+	n, err := core.Build(def, o)
 	if err != nil {
 		return err
 	}
@@ -184,7 +247,11 @@ func cmdQuery(args []string, scoped bool) error {
 		return err
 	}
 	outVars := conj.Vars()
-	n, err := core.Build(def, opts(nil))
+	o, err := opts(nil)
+	if err != nil {
+		return err
+	}
+	n, err := core.Build(def, o)
 	if err != nil {
 		return err
 	}
@@ -232,7 +299,11 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	rec := trace.NewRecorder(2000)
-	n, err := core.Build(def, opts(rec))
+	o, err := opts(rec)
+	if err != nil {
+		return err
+	}
+	n, err := core.Build(def, o)
 	if err != nil {
 		return err
 	}

@@ -35,6 +35,40 @@ func TestRunSubcommands(t *testing.T) {
 	}
 }
 
+// TestRunDurableAndRecover drives the durability surface of the CLI: a run
+// with -data persists every node's store, recover prints it, and a second
+// run over the same directory restarts from disk.
+func TestRunDurableAndRecover(t *testing.T) {
+	path := writeExample(t)
+	dir := filepath.Join(t.TempDir(), "stores")
+	oldData, oldDelta := *dataDir, *delta
+	*dataDir, *delta = dir, true
+	defer func() { *dataDir, *delta = oldData, oldDelta }()
+
+	if err := run([]string{"run", path}); err != nil {
+		t.Fatalf("durable run: %v", err)
+	}
+	if err := run([]string{"recover", dir}); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := run([]string{"recover", dir, "A"}); err != nil {
+		t.Fatalf("recover single node: %v", err)
+	}
+	// Restart over the recovered stores.
+	if err := run([]string{"run", path}); err != nil {
+		t.Fatalf("durable restart: %v", err)
+	}
+	if err := run([]string{"recover", filepath.Join(dir, "nope")}); err == nil {
+		t.Fatal("recover of a missing store must fail")
+	}
+	old := *fsyncStr
+	*fsyncStr = "bogus"
+	if err := run([]string{"run", path}); err == nil {
+		t.Fatal("unknown fsync policy must fail")
+	}
+	*fsyncStr = old
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeExample(t)
 	cases := [][]string{

@@ -23,7 +23,12 @@ func cmdTCP(args []string) error {
 		return err
 	}
 	mesh := transport.NewTCPMesh("127.0.0.1:0")
-	n, err := core.Build(def, core.Options{Delta: *delta, Seed: *seed, Transport: mesh})
+	o, err := opts(nil)
+	if err != nil {
+		return err
+	}
+	o.Transport = mesh
+	n, err := core.Build(def, o)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -63,6 +65,25 @@ type Options struct {
 	// went quiescent before every node closed (a race swallowed a
 	// confirming cascade); each probe runs at fix-point cost.
 	ClosureProbes int
+	// DataDir, when set, makes the network durable: every node opens a
+	// log-structured store under DataDir/<node> (see internal/wal), inserts
+	// are logged as they commit, and a rebuilt network recovers each node's
+	// relations, epoch, subscriptions and part results from disk. After a
+	// clean Close, restored subscriptions keep their high-water marks, so
+	// sources re-answer only post-restart deltas; after a crash the marks
+	// are conservatively dropped (in-flight answers may have been lost) and
+	// sources re-answer in full, which receivers deduplicate. Empty keeps
+	// the network purely in-memory, as before.
+	DataDir string
+	// Fsync selects the stores' durability policy (wal.FsyncInterval
+	// default; see wal.FsyncPolicy). Ignored without DataDir.
+	Fsync wal.FsyncPolicy
+	// FsyncEvery overrides the background flush cadence under
+	// wal.FsyncInterval. Ignored without DataDir.
+	FsyncEvery time.Duration
+	// WatchDedupCap bounds every watcher's delivered-tuple dedup cache (see
+	// peer.Options.WatchDedupCap). Zero keeps the exact, unbounded cache.
+	WatchDedupCap int
 }
 
 // SemiNaiveMode selects the delta-mode evaluation strategy; re-exported from
@@ -78,13 +99,14 @@ const (
 
 // Network is a running P2P database network over any transport.
 type Network struct {
-	defMu sync.Mutex // guards def (Broadcast replaces it, Insert appends facts)
-	def   *rules.Network
-	tr    transport.Transport
-	peers map[string]*peer.Peer
-	order []string
-	super string
-	opts  Options
+	defMu  sync.Mutex // guards def (Broadcast replaces it, Insert appends facts)
+	def    *rules.Network
+	tr     transport.Transport
+	peers  map[string]*peer.Peer
+	stores map[string]*wal.Store // durable backends (nil entries when DataDir unset)
+	order  []string
+	super  string
+	opts   Options
 }
 
 // Build constructs peers, pipes and seed data from a network description.
@@ -106,24 +128,80 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 			Synchronous: opts.Synchronous,
 		})
 	}
-	n := &Network{def: def, tr: tr, peers: map[string]*peer.Peer{}, opts: opts}
+	n := &Network{def: def, tr: tr, peers: map[string]*peer.Peer{}, stores: map[string]*wal.Store{}, opts: opts}
+
+	// Durable backends: one store per node, opened before the peers so the
+	// recovered epochs can be aligned (each node persists its own; the
+	// maximum becomes everyone's restart epoch, keeping the next update wave
+	// strictly newer than anything in flight before the shutdown). Restored
+	// subscription marks are trusted only when every store closed cleanly —
+	// a crash anywhere may have lost answers in flight to anyone.
+	recovered := map[string]*wal.Recovered{}
+	// A failed Build abandons the stores with Abort, never Close: Close
+	// would append a clean-close record carrying the recovered state, which
+	// after a crash would launder the very marks recovery had distrusted
+	// back into trusted ones.
+	closeStores := func() {
+		for _, st := range n.stores {
+			st.Abort()
+		}
+	}
+	var restartEpoch uint64
+	cleanRestart := true
+	if opts.DataDir != "" {
+		for _, decl := range def.Nodes {
+			st, rec, err := wal.Open(filepath.Join(opts.DataDir, decl.Name), wal.Options{
+				Fsync:      opts.Fsync,
+				FsyncEvery: opts.FsyncEvery,
+			})
+			if err != nil {
+				closeStores()
+				tr.Close()
+				return nil, fmt.Errorf("core: open store for %s: %w", decl.Name, err)
+			}
+			n.stores[decl.Name] = st
+			recovered[decl.Name] = rec
+			if !rec.Clean {
+				cleanRestart = false
+			}
+			if rec.State.Epoch > restartEpoch {
+				restartEpoch = rec.State.Epoch
+			}
+		}
+	}
 
 	byHead := map[string][]rules.Rule{}
 	for _, r := range def.Rules {
 		byHead[r.HeadNode] = append(byHead[r.HeadNode], r)
 	}
 	for _, decl := range def.Nodes {
-		p, err := peer.New(decl.Name, decl.Schemas, byHead[decl.Name], tr, peer.Options{
-			Delta:        opts.Delta,
-			SemiNaive:    opts.SemiNaive,
-			InsertMode:   opts.InsertMode,
-			MaxNullDepth: opts.MaxNullDepth,
-			Maps:         def.MapSet(),
-			Recorder:     opts.Recorder,
-		})
+		pOpts := peer.Options{
+			Delta:         opts.Delta,
+			SemiNaive:     opts.SemiNaive,
+			InsertMode:    opts.InsertMode,
+			MaxNullDepth:  opts.MaxNullDepth,
+			Maps:          def.MapSet(),
+			Recorder:      opts.Recorder,
+			WatchDedupCap: opts.WatchDedupCap,
+		}
+		if rec := recovered[decl.Name]; rec != nil {
+			pOpts.DB = rec.DB
+			restore := rec.State
+			restore.Epoch = restartEpoch
+			if !cleanRestart {
+				restore.Subs = nil // distrusted marks: sources re-answer in full
+			}
+			pOpts.Restore = &restore
+		}
+		p, err := peer.New(decl.Name, decl.Schemas, byHead[decl.Name], tr, pOpts)
 		if err != nil {
+			closeStores()
 			tr.Close()
 			return nil, err
+		}
+		if st := n.stores[decl.Name]; st != nil {
+			st.Attach(p.DB())
+			st.SetStateSource(p.DurableState)
 		}
 		n.peers[decl.Name] = p
 		n.order = append(n.order, decl.Name)
@@ -140,6 +218,7 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 	}
 	for _, f := range def.Facts {
 		if err := n.peers[f.Node].Seed(f.Rel, f.Tuple); err != nil {
+			closeStores()
 			tr.Close()
 			return nil, err
 		}
@@ -159,12 +238,43 @@ func BuildWith(def *rules.Network, tr transport.Transport, opts Options) (*Netwo
 }
 
 // Close shuts the network down: every live watcher is closed (their channels
-// drain and close) and the transport is released.
+// drain and close), the transport is released, and every durable store
+// flushes its tail, appends a clean-close state record (epoch, subscription
+// marks, part results) and seals — so a rebuilt network resumes its standing
+// subscriptions delta-only. Call Quiesce first when data may still be in
+// flight: marks written at Close cover everything evaluated and sent, and a
+// quiescent network is what guarantees all of it was also received.
 func (n *Network) Close() error {
 	for _, p := range n.peers {
 		p.CloseWatchers()
 	}
-	return n.tr.Close()
+	err := n.tr.Close()
+	for _, id := range n.order {
+		if st := n.stores[id]; st != nil {
+			if cerr := st.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+// Crash simulates power loss for durability tests: watchers close, the
+// transport drops, and every durable store is abandoned mid-flight — no
+// clean-close record, unflushed records lost — exactly the state a killed
+// process leaves on disk. A subsequent Build with the same DataDir exercises
+// crash recovery. On an in-memory network it behaves like Close.
+func (n *Network) Crash() error {
+	for _, p := range n.peers {
+		p.CloseWatchers()
+	}
+	err := n.tr.Close()
+	for _, id := range n.order {
+		if st := n.stores[id]; st != nil {
+			st.Abort()
+		}
+	}
+	return err
 }
 
 // Super returns the super-peer's node name.

@@ -86,6 +86,42 @@ func BenchmarkEvalDeltaSingleAtom(b *testing.B) {
 	}
 }
 
+// deltaOrderingBench builds the asymmetric-delta workload for the seed
+// ordering ablation: a self-join where one sizable delta makes every pass
+// expensive under the naive expansion (each pass re-joins the other atom's
+// delta too, deriving both-new combinations twice).
+func deltaOrderingBench() (MapSource, Conjunction, map[string][]relalg.Tuple) {
+	rel := benchRelation("e", 2, 2000)
+	src := MapSource{"e": rel}
+	c, _ := ParseConjunction("e(X,Y), e(Y,Z)")
+	delta := map[string][]relalg.Tuple{"e": rel.All()[1600:]}
+	return src, c, delta
+}
+
+// BenchmarkEvalDeltaAdaptiveOrder measures EvalDelta's adaptive seed
+// ordering (smallest delta first, earlier seeds excluded from later passes).
+func BenchmarkEvalDeltaAdaptiveOrder(b *testing.B) {
+	src, c, delta := deltaOrderingBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := evalDelta(src, c, []string{"X", "Z"}, delta, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalDeltaBodyOrder is the ablation baseline: seed passes in body
+// order with no old/new split (the pre-optimisation behaviour).
+func BenchmarkEvalDeltaBodyOrder(b *testing.B) {
+	src, c, delta := deltaOrderingBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := evalDelta(src, c, []string{"X", "Z"}, delta, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParseConjunction measures the parser.
 func BenchmarkParseConjunction(b *testing.B) {
 	const src = "B:b(X,Y), B:b(Y,Z), C:c(Z, 'lit', 42), X <> Z, Y >= 1999"

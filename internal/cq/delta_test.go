@@ -16,6 +16,74 @@ func tupleSet(ts []relalg.Tuple) map[string]bool {
 	return out
 }
 
+// TestEvalDeltaAdaptiveMatchesBodyOrder: the adaptive seed ordering (smallest
+// delta first, old/new split) must compute exactly the same projections as
+// the straightforward body-order expansion, over random conjunctions, random
+// databases and random delta splits — including repeated relations, repeated
+// variables and constants.
+func TestEvalDeltaAdaptiveMatchesBodyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	for trial := 0; trial < 200; trial++ {
+		rels := map[string]*relalg.Relation{
+			"p": relalg.NewRelation(relalg.MakeSchema("p", 2)),
+			"q": relalg.NewRelation(relalg.MakeSchema("q", 2)),
+			"r": relalg.NewRelation(relalg.MakeSchema("r", 1)),
+		}
+		delta := map[string][]relalg.Tuple{}
+		for name, rel := range rels {
+			arity := rel.Schema().Arity()
+			total := 4 + rng.Intn(20)
+			deltaFrom := rng.Intn(total + 1)
+			for i := 0; i < total; i++ {
+				tup := make(relalg.Tuple, arity)
+				for j := range tup {
+					tup[j] = relalg.S(fmt.Sprintf("v%d", rng.Intn(8)))
+				}
+				added, err := rel.Insert(tup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if added && i >= deltaFrom {
+					delta[name] = append(delta[name], tup)
+				}
+			}
+		}
+		src := MapSource(rels)
+		bodies := []struct {
+			body string
+			out  []string
+		}{
+			{"p(X,Y), q(Y,Z)", []string{"X", "Z"}},
+			{"p(X,Y), p(Y,Z)", []string{"X", "Z"}},
+			{"p(X,X), r(X)", []string{"X"}},
+			{"p(X,Y), q(Y,Z), r(Z)", []string{"X", "Y", "Z"}},
+			{"q(X,'v1'), p(X,Y)", []string{"Y"}},
+		}
+		pick := bodies[rng.Intn(len(bodies))]
+		c, err := ParseConjunction(pick.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptive, err := evalDelta(src, c, pick.out, delta, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodyOrder, err := evalDelta(src, c, pick.out, delta, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := tupleSet(adaptive), tupleSet(bodyOrder)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d %q: adaptive %d results, body-order %d", trial, pick.body, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d %q: body-order result %s missing from adaptive", trial, pick.body, k)
+			}
+		}
+	}
+}
+
 // TestEvalDeltaAccumulatesToFullEval is the semi-naive oracle: over random
 // conjunctions and randomised insertion histories, an initial full Eval plus
 // the EvalDelta of every subsequent insertion batch must accumulate to

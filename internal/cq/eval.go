@@ -69,25 +69,47 @@ func Eval(src Source, c Conjunction, outVars []string) ([]relalg.Tuple, error) {
 // every subsequent delta therefore reproduces the full Eval of the final
 // state, at cost proportional to the deltas instead of the whole database.
 //
-// The standard semi-naive expansion: for each atom whose relation has new
-// tuples, the conjunction is re-evaluated with that atom seeded from the
-// delta and the remaining atoms joined against full extents; the union over
-// seed atoms is deduplicated at the projection level.
+// The semi-naive expansion runs one pass per atom whose relation has new
+// tuples, with that atom seeded from the delta. Passes are ordered
+// adaptively — smallest delta first — and use the classic old/new split:
+// pass k draws every earlier pass's seed atom from its pre-delta extent
+// (full minus that atom's delta). A binding is therefore produced by exactly
+// one pass — the first whose seed atom it binds to a delta tuple — instead
+// of once per delta atom it touches, and the cheapest seeds run first.
 func EvalDelta(src Source, c Conjunction, outVars []string, delta map[string][]relalg.Tuple) ([]relalg.Tuple, error) {
+	return evalDelta(src, c, outVars, delta, true)
+}
+
+// evalDelta is EvalDelta with the adaptive ordering switchable: the
+// body-order variant (adaptive=false) is the pre-optimisation behaviour,
+// kept for the ablation benchmark and the equivalence test.
+func evalDelta(src Source, c Conjunction, outVars []string, delta map[string][]relalg.Tuple, adaptive bool) ([]relalg.Tuple, error) {
 	atomVars := c.AtomVars()
 	for _, v := range outVars {
 		if !atomVars[v] {
 			return nil, fmt.Errorf("cq: output variable %s not range-restricted in %q", v, c.String())
 		}
 	}
+	order := make([]int, 0, len(c.Atoms))
+	for i := range c.Atoms {
+		if len(delta[c.Atoms[i].Rel]) > 0 {
+			order = append(order, i)
+		}
+	}
+	if adaptive {
+		sort.SliceStable(order, func(a, b int) bool {
+			return len(delta[c.Atoms[order[a]].Rel]) < len(delta[c.Atoms[order[b]].Rel])
+		})
+	}
 	seen := map[string]bool{}
 	var out []relalg.Tuple
-	for i := range c.Atoms {
+	// exclude maps an already-seeded atom's index to its delta tuple keys:
+	// later passes must not bind that atom to its delta (those combinations
+	// were produced when it was the seed).
+	var exclude map[int]map[string]bool
+	for _, i := range order {
 		seedTuples := delta[c.Atoms[i].Rel]
-		if len(seedTuples) == 0 {
-			continue
-		}
-		bindings, err := evalSeeded(src, c, i, seedTuples)
+		bindings, err := evalSeeded(src, c, i, seedTuples, exclude)
 		if err != nil {
 			return nil, err
 		}
@@ -103,14 +125,25 @@ func EvalDelta(src Source, c Conjunction, outVars []string, delta map[string][]r
 			seen[k] = true
 			out = append(out, t)
 		}
+		if adaptive {
+			if exclude == nil {
+				exclude = map[int]map[string]bool{}
+			}
+			keys := make(map[string]bool, len(seedTuples))
+			for _, t := range seedTuples {
+				keys[t.Key()] = true
+			}
+			exclude[i] = keys
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out, nil
 }
 
 // evalSeeded runs the pipelined join with atom `seed` restricted to the given
-// tuples and every other atom drawn from its full extent in src.
-func evalSeeded(src Source, c Conjunction, seed int, seedTuples []relalg.Tuple) ([]Binding, error) {
+// tuples, atoms in exclude restricted to their pre-delta extents, and every
+// other atom drawn from its full extent in src.
+func evalSeeded(src Source, c Conjunction, seed int, seedTuples []relalg.Tuple, exclude map[int]map[string]bool) ([]Binding, error) {
 	atom := c.Atoms[seed]
 	bindings := make([]Binding, 0, len(seedTuples))
 	for _, t := range seedTuples {
@@ -126,10 +159,16 @@ func evalSeeded(src Source, c Conjunction, seed int, seedTuples []relalg.Tuple) 
 		bound[v] = true
 	}
 	remainingAtoms := make([]Atom, 0, len(c.Atoms)-1)
-	remainingAtoms = append(remainingAtoms, c.Atoms[:seed]...)
-	remainingAtoms = append(remainingAtoms, c.Atoms[seed+1:]...)
+	var excl []map[string]bool
+	for i, a := range c.Atoms {
+		if i == seed {
+			continue
+		}
+		remainingAtoms = append(remainingAtoms, a)
+		excl = append(excl, exclude[i])
+	}
 	remainingBuiltins := applyReadyBuiltins(append([]Builtin(nil), c.Builtins...), bound, &bindings)
-	return joinRemaining(src, remainingAtoms, remainingBuiltins, bindings, bound)
+	return joinRemaining(src, remainingAtoms, excl, remainingBuiltins, bindings, bound)
 }
 
 // EvalBindings evaluates the conjunction and returns all satisfying bindings
@@ -153,19 +192,28 @@ func EvalBindings(src Source, c Conjunction) ([]Binding, error) {
 	}
 	return joinRemaining(src,
 		append([]Atom(nil), c.Atoms...),
+		nil,
 		append([]Builtin(nil), c.Builtins...),
 		[]Binding{{}}, map[string]bool{})
 }
 
 // joinRemaining drives the pipelined join over the remaining atoms, starting
 // from an existing binding set with the given variables already in scope.
-func joinRemaining(src Source, remainingAtoms []Atom, remainingBuiltins []Builtin, bindings []Binding, bound map[string]bool) ([]Binding, error) {
+// excl, when non-nil, runs in lockstep with remainingAtoms and restricts an
+// atom to its pre-delta extent by skipping probed tuples with the listed
+// keys (the semi-naive old/new split).
+func joinRemaining(src Source, remainingAtoms []Atom, excl []map[string]bool, remainingBuiltins []Builtin, bindings []Binding, bound map[string]bool) ([]Binding, error) {
 	for len(remainingAtoms) > 0 {
 		idx := pickNextAtom(src, remainingAtoms, bound)
 		atom := remainingAtoms[idx]
 		remainingAtoms = append(remainingAtoms[:idx], remainingAtoms[idx+1:]...)
+		var skip map[string]bool
+		if excl != nil {
+			skip = excl[idx]
+			excl = append(excl[:idx], excl[idx+1:]...)
+		}
 
-		bindings = expand(src, bindings, atom, bound)
+		bindings = expand(src, bindings, atom, skip, bound)
 		for _, v := range atom.Vars() {
 			bound[v] = true
 		}
@@ -213,8 +261,10 @@ func pickNextAtom(src Source, atoms []Atom, bound map[string]bool) int {
 // relation's persistent per-position index on the atom's bound positions
 // (constants and variables already in scope). Unlike a per-call hash build,
 // the probe costs nothing when the binding set is small — the semi-naive
-// delta path depends on this to stay O(delta).
-func expand(src Source, bindings []Binding, atom Atom, bound map[string]bool) []Binding {
+// delta path depends on this to stay O(delta). skip, when non-nil, holds
+// tuple keys this atom must not bind (its own delta, under the old/new
+// split).
+func expand(src Source, bindings []Binding, atom Atom, skip map[string]bool, bound map[string]bool) []Binding {
 	rel := src.Rel(atom.Rel)
 	if rel == nil || rel.Len() == 0 {
 		return nil
@@ -247,6 +297,9 @@ func expand(src Source, bindings []Binding, atom Atom, bound map[string]bool) []
 			continue
 		}
 		for _, tuple := range rel.Probe(idxPos, vals) {
+			if skip != nil && skip[tuple.Key()] {
+				continue
+			}
 			nb, ok := match(atom, tuple, b)
 			if ok {
 				out = append(out, nb)

@@ -133,6 +133,28 @@ func TestE14SemiNaiveWins(t *testing.T) {
 	}
 }
 
+// TestE15DurabilityBackends pins the durable ablation's record keeping: one
+// in-memory baseline run plus one run per fsync policy, each labelled with
+// its backend (these labels are what the BENCH json trajectory keys on).
+func TestE15DurabilityBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four fix-point runs plus fsync micro-benchmarks; skipped in -short mode")
+	}
+	r, err := Run("E15", Config{RecordsPerNode: 8, Seed: 2, Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := map[string]int{}
+	for _, rec := range r.Runs {
+		backends[rec.Backend]++
+	}
+	for _, want := range []string{"", "wal/never", "wal/interval", "wal/always"} {
+		if backends[want] != 1 {
+			t.Fatalf("backend %q appears %d times, want 1 (runs: %+v)", want, backends[want], backends)
+		}
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
 	if _, err := Run("E99", quick); err == nil {
 		t.Error("unknown experiment must error")
@@ -147,7 +169,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 14 {
+	if len(results) != 15 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

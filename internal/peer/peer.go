@@ -26,6 +26,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -104,6 +105,27 @@ type Options struct {
 	Maps rules.MapSet
 	// Recorder, when set, records protocol events for sequence charts.
 	Recorder *trace.Recorder
+	// DB, when set, is the peer's database — typically recovered from a
+	// durable store; the declared schemas are added on top (identical
+	// redeclarations are no-ops, conflicts error). When nil the peer starts
+	// empty.
+	DB *storage.DB
+	// Restore, when set, reloads protocol state persisted by a durable
+	// store: the update epoch, the subscriptions this node serves (with
+	// their high-water marks, so re-answers stay delta-only across a
+	// restart) and the accumulated part results of its rules (so
+	// multi-source old×new joins survive, exactly as across epoch bumps).
+	// Orchestration clears the subscriptions' marks after an unclean
+	// shutdown — see wal.Recovered.Clean.
+	Restore *wal.State
+	// WatchDedupCap, when positive, bounds every watcher's delivered-tuple
+	// dedup cache: once a streamed batch has been delivered, the oldest
+	// entries beyond the cap are evicted. Result tuples re-derived after
+	// falling out of the window may then be streamed again — delivery
+	// degrades from exactly-once to at-least-once beyond the cap — which is
+	// the trade that lets a node carry thousands of standing queries without
+	// unbounded per-watcher memory. Zero keeps the exact, unbounded cache.
+	WatchDedupCap int
 }
 
 // subscription is the source-side registration created by a Query: the
@@ -186,9 +208,18 @@ type Peer struct {
 
 // New creates a peer with its schemas and the rules targeting it.
 func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.Transport, opts Options) (*Peer, error) {
+	db := opts.DB
+	if db == nil {
+		db = storage.New()
+	}
+	for _, s := range schemas {
+		if err := db.AddSchema(s); err != nil {
+			return nil, fmt.Errorf("peer %s: %w", id, err)
+		}
+	}
 	p := &Peer{
 		id:           id,
-		db:           storage.New(schemas...),
+		db:           db,
 		tr:           tr,
 		ct:           stats.NewCounters(id),
 		opts:         opts,
@@ -210,11 +241,122 @@ func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.
 		p.rules[r.ID] = r
 	}
 	p.refreshOwnEdges()
-	p.db.AddInsertListener(func(rel string, _ relalg.Tuple) { p.notifyWatchers(rel) })
+	if opts.Restore != nil {
+		p.applyRestore(opts.Restore)
+	}
+	p.db.AddInsertListener(func(rel string, _ relalg.Tuple, _ uint64) { p.notifyWatchers(rel) })
 	if err := tr.Register(id, p.Handle); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// applyRestore reloads protocol state persisted by a durable store. It runs
+// during construction, before the transport can deliver messages.
+func (p *Peer) applyRestore(st *wal.State) {
+	p.epoch = st.Epoch
+	for _, rs := range st.Subs {
+		conj, err := cq.ParseConjunction(rs.Conj)
+		if err != nil {
+			continue // a subscription that no longer parses is re-created by its owner
+		}
+		sub := &subscription{
+			dependent: rs.Dependent,
+			ruleID:    rs.RuleID,
+			epoch:     rs.Epoch,
+			conj:      conj,
+			cols:      append([]string(nil), rs.Cols...),
+		}
+		if p.opts.Delta {
+			if p.opts.SemiNaive.Enabled() {
+				sub.marks = storage.Marks{}
+				for rel, seq := range rs.Marks {
+					sub.marks[rel] = seq
+				}
+				sub.primed = rs.Primed
+			} else {
+				// The legacy sent-set is not persisted: the first re-answer
+				// re-ships the full result and receivers deduplicate.
+				sub.sent = map[string]bool{}
+			}
+		}
+		p.subs[subKey(rs.Dependent, rs.RuleID)] = sub
+	}
+	for _, rp := range st.Parts {
+		if _, ok := p.rules[rp.RuleID]; !ok {
+			continue // the rule was dropped from this node's definition
+		}
+		byPart := p.parts[rp.RuleID]
+		if byPart == nil {
+			byPart = map[string]*partResult{}
+			p.parts[rp.RuleID] = byPart
+		}
+		pr := &partResult{cols: append([]string(nil), rp.Cols...), tuples: make(map[string]relalg.Tuple, len(rp.Tuples))}
+		for _, t := range rp.Tuples {
+			pr.tuples[t.Key()] = t
+		}
+		byPart[rp.Part] = pr
+	}
+}
+
+// DurableState snapshots the protocol state a durable store persists beside
+// the database: the update epoch, the subscriptions this node serves with
+// their per-relation high-water marks, and the accumulated part results of
+// its rules. Orchestration wires it as the store's state source, so
+// checkpoints and clean closes carry it to disk.
+func (p *Peer) DurableState() wal.State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := wal.State{Epoch: p.epoch}
+	subKeys := make([]string, 0, len(p.subs))
+	for k := range p.subs {
+		subKeys = append(subKeys, k)
+	}
+	sort.Strings(subKeys)
+	for _, k := range subKeys {
+		sub := p.subs[k]
+		ss := wal.SubState{
+			Dependent: sub.dependent,
+			RuleID:    sub.ruleID,
+			Epoch:     sub.epoch,
+			Conj:      sub.conj.String(),
+			Cols:      append([]string(nil), sub.cols...),
+			Primed:    sub.primed,
+		}
+		if sub.marks != nil {
+			ss.Marks = storage.Marks{}
+			for rel, seq := range sub.marks {
+				ss.Marks[rel] = seq
+			}
+		}
+		st.Subs = append(st.Subs, ss)
+	}
+	ruleIDs := make([]string, 0, len(p.parts))
+	for id := range p.parts {
+		ruleIDs = append(ruleIDs, id)
+	}
+	sort.Strings(ruleIDs)
+	for _, id := range ruleIDs {
+		partNames := make([]string, 0, len(p.parts[id]))
+		for part := range p.parts[id] {
+			partNames = append(partNames, part)
+		}
+		sort.Strings(partNames)
+		for _, part := range partNames {
+			pr := p.parts[id][part]
+			keys := make([]string, 0, len(pr.tuples))
+			for k := range pr.tuples {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			ps := wal.PartState{RuleID: id, Part: part, Cols: append([]string(nil), pr.cols...)}
+			for _, k := range keys {
+				ps.Tuples = append(ps.Tuples, pr.tuples[k])
+			}
+			st.Parts = append(st.Parts, ps)
+		}
+	}
+	return st
 }
 
 // ID returns the node identifier.

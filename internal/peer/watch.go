@@ -26,7 +26,10 @@ import (
 // semi-naively over it, deduplicates against everything already streamed, and
 // ships the fresh result tuples as one batch. The accumulated batches of a
 // watcher therefore equal the query's result set at any quiescent moment —
-// the invariant the oracle tests pin down.
+// the invariant the oracle tests pin down. With Options.WatchDedupCap set,
+// the dedup cache becomes a bounded window evicted after delivery: the
+// result-set invariant still holds, but tuples re-derived after leaving the
+// window may be streamed more than once.
 
 // Watcher is a continuous query registered at one peer. Consumers receive
 // result-delta batches from C until it is closed by Close. A consumer that
@@ -53,6 +56,13 @@ type Watcher struct {
 	primed bool
 	sent   map[string]bool
 	stash  []relalg.Tuple // batch whose delivery Close interrupted
+
+	// Dedup-cache bound (Options.WatchDedupCap). sentFIFO records insertion
+	// order; entries beyond the cap are evicted once their batch has been
+	// delivered, so the cache is a window, not a full history.
+	sentCap  int
+	sentFIFO []string
+	sentHead int
 }
 
 // closeDrainTimeout bounds how long a closed watcher waits for a consumer to
@@ -88,14 +98,15 @@ func (p *Peer) Watch(body string, outVars []string) (*Watcher, error) {
 		}
 	}
 	w := &Watcher{
-		p:    p,
-		conj: conj,
-		cols: append([]string(nil), outVars...),
-		rels: map[string]bool{},
-		ch:   make(chan []relalg.Tuple, 16),
-		sig:  make(chan struct{}, 1),
-		quit: make(chan struct{}),
-		sent: map[string]bool{},
+		p:       p,
+		conj:    conj,
+		cols:    append([]string(nil), outVars...),
+		rels:    map[string]bool{},
+		ch:      make(chan []relalg.Tuple, 16),
+		sig:     make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		sent:    map[string]bool{},
+		sentCap: p.opts.WatchDedupCap,
 	}
 	for _, rel := range conjRels(conj) {
 		w.rels[rel] = true
@@ -146,6 +157,7 @@ func (w *Watcher) pump() {
 		w.finalDrain()
 		return
 	}
+	w.evictSent()
 	for {
 		select {
 		case <-w.sig:
@@ -153,10 +165,31 @@ func (w *Watcher) pump() {
 				w.finalDrain()
 				return
 			}
+			w.evictSent()
 		case <-w.quit:
 			w.finalDrain()
 			return
 		}
+	}
+}
+
+// evictSent trims the dedup cache to the configured window (Options.
+// WatchDedupCap) after a batch has been delivered. Entries are dropped in
+// insertion order; a result tuple re-derived after its entry left the window
+// streams again (at-least-once beyond the window), which is the documented
+// trade for bounded per-watcher memory.
+func (w *Watcher) evictSent() {
+	if w.sentCap <= 0 {
+		return
+	}
+	for len(w.sentFIFO)-w.sentHead > w.sentCap {
+		delete(w.sent, w.sentFIFO[w.sentHead])
+		w.sentFIFO[w.sentHead] = ""
+		w.sentHead++
+	}
+	if w.sentHead > len(w.sentFIFO)/2 {
+		w.sentFIFO = append(w.sentFIFO[:0], w.sentFIFO[w.sentHead:]...)
+		w.sentHead = 0
 	}
 }
 
@@ -240,6 +273,9 @@ func (w *Watcher) collect() []relalg.Tuple {
 		k := t.Key()
 		if !w.sent[k] {
 			w.sent[k] = true
+			if w.sentCap > 0 {
+				w.sentFIFO = append(w.sentFIFO, k)
+			}
 			fresh = append(fresh, t)
 		}
 	}

@@ -23,16 +23,24 @@ type DB struct {
 	inserts   uint64          // total successful inserts (stat)
 	rejected  uint64          // duplicate / subsumed insert attempts (stat)
 
-	lmu       sync.RWMutex
-	listeners []InsertListener
+	lmu             sync.RWMutex
+	listeners       []InsertListener
+	schemaListeners []SchemaListener
 }
 
-// InsertListener observes successful inserts. Listeners run after the tuple
-// is committed and after the database lock is released, on the inserting
-// goroutine; they may read the database but must not block, and must tolerate
-// being called concurrently with other inserts. The peer runtime uses one to
-// wake continuous-query watchers.
-type InsertListener func(rel string, t relalg.Tuple)
+// InsertListener observes successful inserts; seq is the tuple's sequence
+// number in its relation's append log (the recovery cursor of the durable
+// backend). Listeners run after the tuple is committed and after the database
+// lock is released, on the inserting goroutine; they may read the database
+// but must not block, and must tolerate being called concurrently with other
+// inserts. The peer runtime uses one to wake continuous-query watchers; the
+// wal store uses one to append log records.
+type InsertListener func(rel string, t relalg.Tuple, seq uint64)
+
+// SchemaListener observes successful new schema registrations (identical
+// redeclarations do not fire). Like insert listeners, schema listeners run
+// after the database lock is released on the declaring goroutine.
+type SchemaListener func(s relalg.Schema)
 
 // AddInsertListener registers a listener for all future successful inserts.
 func (db *DB) AddInsertListener(f InsertListener) {
@@ -41,14 +49,33 @@ func (db *DB) AddInsertListener(f InsertListener) {
 	db.lmu.Unlock()
 }
 
+// AddSchemaListener registers a listener for all future new schema
+// registrations.
+func (db *DB) AddSchemaListener(f SchemaListener) {
+	db.lmu.Lock()
+	db.schemaListeners = append(db.schemaListeners, f)
+	db.lmu.Unlock()
+}
+
 // notifyInsert fires the listeners for one committed tuple. Callers must not
 // hold db.mu.
-func (db *DB) notifyInsert(rel string, t relalg.Tuple) {
+func (db *DB) notifyInsert(rel string, t relalg.Tuple, seq uint64) {
 	db.lmu.RLock()
 	ls := db.listeners
 	db.lmu.RUnlock()
 	for _, f := range ls {
-		f(rel, t)
+		f(rel, t, seq)
+	}
+}
+
+// notifySchema fires the schema listeners for one new registration. Callers
+// must not hold db.mu.
+func (db *DB) notifySchema(s relalg.Schema) {
+	db.lmu.RLock()
+	ls := db.schemaListeners
+	db.lmu.RUnlock()
+	for _, f := range ls {
+		f(s)
 	}
 }
 
@@ -62,21 +89,45 @@ func New(schemas ...relalg.Schema) *DB {
 }
 
 // AddSchema registers a relation schema; it errors if the name is taken with
-// a different arity and is a no-op for an identical redeclaration.
+// a different arity or different attribute names, and is a no-op for an
+// identical redeclaration.
 func (db *DB) AddSchema(s relalg.Schema) error {
+	switch err := db.addSchema(s); err {
+	case nil:
+		db.notifySchema(s)
+		return nil
+	case errSchemaExists: // identical redeclaration: fine, nothing new to announce
+		return nil
+	default:
+		return err
+	}
+}
+
+func (db *DB) addSchema(s relalg.Schema) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if existing, ok := db.relations[s.Name]; ok {
-		if existing.Schema().Arity() != s.Arity() {
+		prev := existing.Schema()
+		if prev.Arity() != s.Arity() {
 			return fmt.Errorf("storage: relation %s redeclared with arity %d (was %d)",
-				s.Name, s.Arity(), existing.Schema().Arity())
+				s.Name, s.Arity(), prev.Arity())
 		}
-		return nil
+		for i, attr := range prev.Attrs {
+			if s.Attrs[i] != attr {
+				return fmt.Errorf("storage: relation %s redeclared with attributes %v (was %v)",
+					s.Name, s.Attrs, prev.Attrs)
+			}
+		}
+		return errSchemaExists
 	}
 	db.relations[s.Name] = relalg.NewRelation(s)
 	db.schemas = append(db.schemas, s)
 	return nil
 }
+
+// errSchemaExists marks an identical redeclaration internally so AddSchema
+// can skip the listener notification; it is never returned to callers.
+var errSchemaExists = fmt.Errorf("storage: schema already declared")
 
 // MustAddSchema is AddSchema that panics on error, for construction sites
 // with statically known schemas.
@@ -141,34 +192,34 @@ const (
 // changed. Undeclared relations are an error. Insert listeners fire after the
 // lock is released.
 func (db *DB) Insert(rel string, t relalg.Tuple, mode InsertMode) (bool, error) {
-	added, err := db.insert(rel, t, mode)
+	added, seq, err := db.insert(rel, t, mode)
 	if added {
-		db.notifyInsert(rel, t)
+		db.notifyInsert(rel, t, seq)
 	}
 	return added, err
 }
 
-func (db *DB) insert(rel string, t relalg.Tuple, mode InsertMode) (bool, error) {
+func (db *DB) insert(rel string, t relalg.Tuple, mode InsertMode) (bool, uint64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	r, ok := db.relations[rel]
 	if !ok {
-		return false, fmt.Errorf("storage: insert into undeclared relation %q", rel)
+		return false, 0, fmt.Errorf("storage: insert into undeclared relation %q", rel)
 	}
 	if mode == InsertCore && t.HasNull() && r.SubsumedByExisting(t) {
 		db.rejected++
-		return false, nil
+		return false, 0, nil
 	}
 	added, err := r.Insert(t)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	if added {
 		db.inserts++
 	} else {
 		db.rejected++
 	}
-	return added, nil
+	return added, r.Seq(), nil
 }
 
 // InsertAll inserts a batch, returning how many tuples were new.

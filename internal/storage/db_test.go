@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/relalg"
@@ -165,10 +166,10 @@ func TestConcurrentReadsDuringWrites(t *testing.T) {
 func TestInsertListeners(t *testing.T) {
 	db := New(relalg.MakeSchema("p", 1))
 	var fired []string
-	db.AddInsertListener(func(rel string, tup relalg.Tuple) {
+	db.AddInsertListener(func(rel string, tup relalg.Tuple, seq uint64) {
 		// Listeners run outside the database lock: reads must not deadlock.
 		_ = db.Count(rel)
-		fired = append(fired, rel+":"+tup.Key())
+		fired = append(fired, fmt.Sprintf("%s@%d:%s", rel, seq, tup.Key()))
 	})
 	if _, err := db.Insert("p", relalg.Tuple{relalg.S("a")}, InsertExact); err != nil {
 		t.Fatal(err)
@@ -179,7 +180,43 @@ func TestInsertListeners(t *testing.T) {
 	if _, err := db.Insert("q", relalg.Tuple{relalg.S("b")}, InsertExact); err == nil {
 		t.Fatal("undeclared relation must fail")
 	}
-	if len(fired) != 1 {
-		t.Fatalf("listener fired %d times (%v), want 1", len(fired), fired)
+	if _, err := db.Insert("p", relalg.Tuple{relalg.S("b")}, InsertExact); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p@1:2:sa", "p@2:2:sb"}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("listener fired %v, want %v", fired, want)
+	}
+}
+
+func TestSchemaListeners(t *testing.T) {
+	db := New(relalg.MakeSchema("p", 1))
+	var fired []string
+	db.AddSchemaListener(func(s relalg.Schema) { fired = append(fired, s.Name) })
+	if err := db.AddSchema(relalg.MakeSchema("q", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddSchema(relalg.MakeSchema("q", 2)); err != nil {
+		t.Fatal(err) // identical redeclaration: no notification
+	}
+	if len(fired) != 1 || fired[0] != "q" {
+		t.Fatalf("schema listener fired %v, want [q]", fired)
+	}
+}
+
+// TestAddSchemaRejectsAttributeDrift pins the redeclaration check down to
+// attribute names: a same-arity redeclaration whose columns differ is a
+// schema conflict, not a no-op (regression: only arity used to be checked,
+// so b(x,z) silently aliased b(x,y)).
+func TestAddSchemaRejectsAttributeDrift(t *testing.T) {
+	db := New(relalg.Schema{Name: "b", Attrs: []string{"x", "y"}})
+	if err := db.AddSchema(relalg.Schema{Name: "b", Attrs: []string{"x", "y"}}); err != nil {
+		t.Fatalf("identical redeclaration must be a no-op, got %v", err)
+	}
+	if err := db.AddSchema(relalg.Schema{Name: "b", Attrs: []string{"x", "z"}}); err == nil {
+		t.Fatal("same-arity redeclaration with different attributes must error")
+	}
+	if err := db.AddSchema(relalg.Schema{Name: "b", Attrs: []string{"x", "y", "z"}}); err == nil {
+		t.Fatal("different-arity redeclaration must error")
 	}
 }

@@ -1,0 +1,394 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"repro/internal/relalg"
+	"repro/internal/storage"
+)
+
+// Record encoding. Every segment and snapshot is a stream of framed records:
+//
+//	[4B little-endian payload length][4B little-endian CRC-32 (IEEE) of payload][payload]
+//
+// The payload starts with a one-byte record kind. A torn write — a crash mid
+// frame — surfaces as a short read or a CRC mismatch, which recovery treats
+// as the end of the durable prefix; the frame carries no pointers, so a valid
+// prefix is always replayable on its own.
+
+// Record kinds.
+const (
+	recSchema   byte = 1 // relation declaration: name, attributes
+	recInsert   byte = 2 // one committed tuple: relation, seq, values
+	recState    byte = 3 // protocol state: epoch, subscriptions, part results
+	recSnapHead byte = 4 // snapshot header: the segment index it covers up to
+	recRelation byte = 5 // snapshot bulk: relation name + tuples in log order
+	recSnapEnd  byte = 6 // snapshot completeness marker
+)
+
+const (
+	frameOverhead = 8
+	// maxRecordBytes bounds a single record; longer length prefixes are read
+	// as corruption, so a torn length field cannot trigger a giant allocation.
+	maxRecordBytes = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// writeFrame appends one framed record to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one framed record. A clean EOF at a frame boundary returns
+// io.EOF; a short frame, an implausible length, or a CRC mismatch returns
+// errTornRecord — the durable prefix ends here.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameOverhead]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTornRecord
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxRecordBytes {
+		return nil, errTornRecord
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTornRecord
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, errTornRecord
+	}
+	return payload, nil
+}
+
+var errTornRecord = fmt.Errorf("wal: torn or corrupt record")
+
+// ---------------------------------------------------------------------------
+// Payload encoding primitives
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v relalg.Value) ([]byte, error) {
+	enc, err := v.MarshalBinary()
+	if err != nil {
+		return b, err
+	}
+	b = appendUvarint(b, uint64(len(enc)))
+	return append(b, enc...), nil
+}
+
+func appendTuple(b []byte, t relalg.Tuple) ([]byte, error) {
+	b = appendUvarint(b, uint64(len(t)))
+	var err error
+	for _, v := range t {
+		if b, err = appendValue(b, v); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+// reader decodes a record payload.
+type reader struct{ b []byte }
+
+var errShortRecord = fmt.Errorf("wal: truncated record payload")
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errShortRecord
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) take(n uint64) ([]byte, error) {
+	if uint64(len(r.b)) < n {
+		return nil, errShortRecord
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) byteval() (byte, error) {
+	raw, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return raw[0], nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	raw, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func (r *reader) strings() ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (r *reader) value() (relalg.Value, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return relalg.Value{}, err
+	}
+	raw, err := r.take(n)
+	if err != nil {
+		return relalg.Value{}, err
+	}
+	var v relalg.Value
+	if err := v.UnmarshalBinary(raw); err != nil {
+		return relalg.Value{}, err
+	}
+	return v, nil
+}
+
+func (r *reader) tuple() (relalg.Tuple, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	t := make(relalg.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := r.value()
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, v)
+	}
+	return t, nil
+}
+
+func (r *reader) tuples() ([]relalg.Tuple, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relalg.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, err := r.tuple()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Record payloads
+
+func encodeSchema(s relalg.Schema) []byte {
+	b := []byte{recSchema}
+	b = appendString(b, s.Name)
+	return appendStrings(b, s.Attrs)
+}
+
+func decodeSchema(r *reader) (relalg.Schema, error) {
+	name, err := r.str()
+	if err != nil {
+		return relalg.Schema{}, err
+	}
+	attrs, err := r.strings()
+	if err != nil {
+		return relalg.Schema{}, err
+	}
+	return relalg.Schema{Name: name, Attrs: attrs}, nil
+}
+
+func encodeInsert(rel string, seq uint64, t relalg.Tuple) ([]byte, error) {
+	b := []byte{recInsert}
+	b = appendString(b, rel)
+	b = appendUvarint(b, seq)
+	return appendTuple(b, t)
+}
+
+func decodeInsert(r *reader) (rel string, seq uint64, t relalg.Tuple, err error) {
+	if rel, err = r.str(); err != nil {
+		return
+	}
+	if seq, err = r.uvarint(); err != nil {
+		return
+	}
+	t, err = r.tuple()
+	return
+}
+
+func encodeState(st State, clean bool) ([]byte, error) {
+	b := []byte{recState}
+	if clean {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendUvarint(b, st.Epoch)
+	b = appendUvarint(b, uint64(len(st.Subs)))
+	var err error
+	for _, sub := range st.Subs {
+		b = appendString(b, sub.Dependent)
+		b = appendString(b, sub.RuleID)
+		b = appendUvarint(b, sub.Epoch)
+		b = appendString(b, sub.Conj)
+		b = appendStrings(b, sub.Cols)
+		rels := make([]string, 0, len(sub.Marks))
+		for rel := range sub.Marks {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		b = appendUvarint(b, uint64(len(rels)))
+		for _, rel := range rels {
+			b = appendString(b, rel)
+			b = appendUvarint(b, sub.Marks[rel])
+		}
+		if sub.Primed {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = appendUvarint(b, uint64(len(st.Parts)))
+	for _, part := range st.Parts {
+		b = appendString(b, part.RuleID)
+		b = appendString(b, part.Part)
+		b = appendStrings(b, part.Cols)
+		if b, err = appendTuples(b, part.Tuples); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func appendTuples(b []byte, ts []relalg.Tuple) ([]byte, error) {
+	b = appendUvarint(b, uint64(len(ts)))
+	var err error
+	for _, t := range ts {
+		if b, err = appendTuple(b, t); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+func decodeState(r *reader) (st State, clean bool, err error) {
+	cb, err := r.byteval()
+	if err != nil {
+		return st, false, err
+	}
+	clean = cb == 1
+	if st.Epoch, err = r.uvarint(); err != nil {
+		return st, false, err
+	}
+	nsubs, err := r.uvarint()
+	if err != nil {
+		return st, false, err
+	}
+	for i := uint64(0); i < nsubs; i++ {
+		var sub SubState
+		if sub.Dependent, err = r.str(); err != nil {
+			return st, false, err
+		}
+		if sub.RuleID, err = r.str(); err != nil {
+			return st, false, err
+		}
+		if sub.Epoch, err = r.uvarint(); err != nil {
+			return st, false, err
+		}
+		if sub.Conj, err = r.str(); err != nil {
+			return st, false, err
+		}
+		if sub.Cols, err = r.strings(); err != nil {
+			return st, false, err
+		}
+		nmarks, err := r.uvarint()
+		if err != nil {
+			return st, false, err
+		}
+		sub.Marks = make(storage.Marks, nmarks)
+		for j := uint64(0); j < nmarks; j++ {
+			rel, err := r.str()
+			if err != nil {
+				return st, false, err
+			}
+			seq, err := r.uvarint()
+			if err != nil {
+				return st, false, err
+			}
+			sub.Marks[rel] = seq
+		}
+		pb, err := r.byteval()
+		if err != nil {
+			return st, false, err
+		}
+		sub.Primed = pb == 1
+		st.Subs = append(st.Subs, sub)
+	}
+	nparts, err := r.uvarint()
+	if err != nil {
+		return st, false, err
+	}
+	for i := uint64(0); i < nparts; i++ {
+		var part PartState
+		if part.RuleID, err = r.str(); err != nil {
+			return st, false, err
+		}
+		if part.Part, err = r.str(); err != nil {
+			return st, false, err
+		}
+		if part.Cols, err = r.strings(); err != nil {
+			return st, false, err
+		}
+		if part.Tuples, err = r.tuples(); err != nil {
+			return st, false, err
+		}
+		st.Parts = append(st.Parts, part)
+	}
+	return st, clean, nil
+}

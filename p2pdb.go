@@ -51,6 +51,14 @@
 // marks, so fix-point cost tracks the changed data rather than growing
 // quadratically with the materialised result. See SemiNaiveMode.
 //
+// Options.DataDir makes the network durable: every node runs over a
+// log-structured store (internal/wal) and a rebuilt network recovers its
+// relations, epoch, subscriptions and part results from disk — after a clean
+// Close the resumed subscriptions re-answer delta-only from their persisted
+// marks, and after a crash recovery replays the log's durable prefix and
+// re-converges. Options.Fsync picks the durability/throughput trade
+// (FsyncAlways, FsyncInterval, FsyncNever).
+//
 // The facade re-exports the core orchestration API; the full surface
 // (relational engine, rule model, graph algorithms, transports, baselines,
 // workload generators) lives in the internal packages and is exercised by
@@ -63,6 +71,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Network is a running P2P database network.
@@ -107,6 +116,19 @@ func I(n int64) Value  { return relalg.I(n) }
 const (
 	InsertExact = storage.InsertExact
 	InsertCore  = storage.InsertCore
+)
+
+// FsyncPolicy selects when a durable network's stores force appended records
+// to stable storage (Options.Fsync; meaningful with Options.DataDir set).
+type FsyncPolicy = wal.FsyncPolicy
+
+// Fsync policies for Options.Fsync: FsyncInterval (default) flushes on a
+// background cadence, FsyncAlways makes every write durable before it
+// returns (group-committed), FsyncNever leaves flushing to seals and Close.
+const (
+	FsyncInterval = wal.FsyncInterval
+	FsyncAlways   = wal.FsyncAlways
+	FsyncNever    = wal.FsyncNever
 )
 
 // SemiNaiveMode selects how sources evaluate subscription re-answers when
