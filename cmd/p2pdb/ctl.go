@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cq"
+	"repro/internal/stats"
+)
+
+// cmdCtl is the remote control plane: one invocation joins the cluster under
+// the reserved coordinator name, runs one verb against the live serve
+// processes, and leaves. Quiescence and closure are detected purely through
+// the wire — polled peer counters and state reports — because no global
+// oracle exists across processes.
+func cmdCtl(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: p2pdb ctl <net-file> <verb> [args...]\n" +
+			"verbs: status | discover | update | quiesce | query <node> <conj> |\n" +
+			"       stats | reset | broadcast <file> | addlink <rule> | dellink <node> <rule-id>")
+	}
+	def, err := loadNet(args[0])
+	if err != nil {
+		return err
+	}
+	verb, rest := args[1], args[2:]
+	joins, err := parseJoin(*joinFlag)
+	if err != nil {
+		return err
+	}
+	listen := *listenAddr
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	coord, err := cluster.NewCoordinator(def, listen, joins, cluster.CoordinatorOptions{
+		Membership: clusterOpts(),
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Give the join handshake a bounded head start towards every declared
+	// node; missing members are reported, not fatal — a partial cluster is
+	// an operator's call.
+	waitCtx, waitCancel := context.WithTimeout(ctx, 5*time.Second)
+	if err := coord.WaitMembers(waitCtx, len(def.Nodes)); err != nil {
+		fmt.Fprintf(os.Stderr, "ctl: not all declared nodes joined: %v\n", err)
+	}
+	waitCancel()
+
+	switch verb {
+	case "status":
+		return ctlStatus(ctx, coord)
+	case "discover":
+		if err := coord.Discover(ctx); err != nil {
+			return err
+		}
+		fmt.Println("discovery quiescent")
+		return nil
+	case "update":
+		t0 := time.Now()
+		if err := coord.Update(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("update closed in %v\n", time.Since(t0).Round(time.Millisecond))
+		return nil
+	case "quiesce":
+		return coord.Quiesce(ctx)
+	case "query":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: p2pdb ctl <net-file> query <node> <conj>")
+		}
+		conj, err := cq.ParseConjunction(rest[1])
+		if err != nil {
+			return err
+		}
+		outVars := conj.Vars()
+		rows, err := coord.Query(ctx, rest[0], rest[1], outVars)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s @ %s: %d rows over %v\n", rest[1], rest[0], len(rows), outVars)
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		return nil
+	case "stats":
+		snaps, err := coord.CollectStats(ctx)
+		if err != nil {
+			return err
+		}
+		list := make([]stats.Snapshot, 0, len(snaps))
+		for _, s := range snaps {
+			list = append(list, s)
+		}
+		fmt.Println(stats.Table(list))
+		return nil
+	case "reset":
+		coord.ResetStats()
+		return nil
+	case "broadcast":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: p2pdb ctl <net-file> broadcast <file>")
+		}
+		text, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		return coord.Broadcast(string(text))
+	case "addlink":
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: p2pdb ctl <net-file> addlink <rule-text>")
+		}
+		return coord.AddLink(strings.Join(rest, " "))
+	case "dellink":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: p2pdb ctl <net-file> dellink <node> <rule-id>")
+		}
+		return coord.DeleteLink(rest[0], rest[1])
+	default:
+		return fmt.Errorf("unknown ctl verb %q", verb)
+	}
+}
+
+// ctlStatus prints the member table and, for the alive peers, their polled
+// protocol states.
+func ctlStatus(ctx context.Context, coord *cluster.Coordinator) error {
+	states, err := coord.States(ctx)
+	if err != nil {
+		return err
+	}
+	members := coord.Transport().Members()
+	sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+	for _, m := range members {
+		line := fmt.Sprintf("%-12s %-8s %s", m.Name, m.Status, m.Addr)
+		if st, ok := states[m.Name]; ok {
+			state := "open"
+			if st.Closed {
+				state = "closed"
+			}
+			line += fmt.Sprintf("   epoch=%d state=%s paths_ready=%v tuples=%d", st.Epoch, state, st.PathsReady, st.Tuples)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}

@@ -11,12 +11,19 @@
 //	p2pdb qdu <net-file> <node> <q>     # query-dependent update only
 //	p2pdb trace <net-file>              # message sequence chart (Figure 1)
 //	p2pdb tcp <net-file>                # run the update over TCP sockets
+//	p2pdb serve <net-file> <node>       # host ONE peer in this process (cluster member)
+//	p2pdb ctl <net-file> <verb> [...]   # remote control plane against serve processes
 //	p2pdb recover <data-dir> [node]     # print a durable store's contents
 //	p2pdb example                       # print the paper's running example
 //
-// Flags (before the subcommand): -delta, -sync, -seed, -timeout, and the
+// Flags (before the subcommand): -delta, -sync, -seed, -timeout, the
 // durability pair -data (per-node write-ahead-log directory; networks built
-// with it survive restarts and crashes) and -fsync (always, interval, never).
+// with it survive restarts and crashes) and -fsync (always, interval, never),
+// and the cluster flags -listen, -join, -metrics, -hb, -suspect (serve/ctl).
+//
+// serve and tcp catch SIGINT/SIGTERM and shut down cleanly: watchers drain,
+// the cluster is told goodbye, durable stores seal with a clean-close record
+// so the next start recovers delta-only.
 package main
 
 import (
@@ -58,7 +65,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (run, paths, query, qdu, trace, tcp, recover, analyze, example)")
+		return fmt.Errorf("missing subcommand (run, paths, query, qdu, trace, tcp, serve, ctl, recover, analyze, example)")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -77,6 +84,10 @@ func run(args []string) error {
 		return cmdTrace(rest)
 	case "tcp":
 		return cmdTCP(rest)
+	case "serve":
+		return cmdServe(rest)
+	case "ctl":
+		return cmdCtl(rest)
 	case "recover":
 		return cmdRecover(rest)
 	case "analyze":

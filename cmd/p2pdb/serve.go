@@ -1,0 +1,124 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Multi-process deployment: `p2pdb serve <net-file> <node>` hosts exactly one
+// peer of the network in this OS process, over the cluster membership
+// transport — the deployment story the paper sketches with JXTA, with the
+// net-file's addr lines as the address book and a join handshake for
+// everything the book does not cover. Orchestration comes from outside:
+// `p2pdb ctl` (ctl.go) speaks the wire control verbs against the serve
+// processes.
+
+var (
+	listenAddr   = flag.String("listen", "", "serve/ctl listen address (default: the net-file's addr for the node, else 127.0.0.1:0)")
+	joinFlag     = flag.String("join", "", "extra address-book entries, NODE=host:port[,NODE=host:port...]")
+	metricsAddr  = flag.String("metrics", "", "serve observability endpoint (host:port; empty = off)")
+	hbEvery      = flag.Duration("hb", time.Second, "cluster heartbeat cadence")
+	suspectAfter = flag.Duration("suspect", 0, "silence window before suspecting a member (0 = 3×hb)")
+)
+
+// parseJoin parses the -join flag ("A=127.0.0.1:7101,B=...").
+func parseJoin(s string) (map[string]string, error) {
+	out := map[string]string{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -join entry %q (want NODE=host:port)", part)
+		}
+		out[name] = addr
+	}
+	return out, nil
+}
+
+// clusterOpts builds the membership tuning from the flags.
+func clusterOpts() cluster.Options {
+	return cluster.Options{HeartbeatEvery: *hbEvery, SuspectAfter: *suspectAfter}
+}
+
+// cmdServe hosts one node of the network in this process until SIGINT or
+// SIGTERM, then closes cleanly: watchers drain, the cluster says Goodbye,
+// and the durable store (with -data) seals with a clean-close record so the
+// next start recovers and re-joins delta-only.
+func cmdServe(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: p2pdb serve <net-file> <node>")
+	}
+	def, err := loadNet(args[0])
+	if err != nil {
+		return err
+	}
+	node := args[1]
+	if _, ok := def.Node(node); !ok {
+		return fmt.Errorf("node %q not declared in %s", node, args[0])
+	}
+	joins, err := parseJoin(*joinFlag)
+	if err != nil {
+		return err
+	}
+	book := map[string]string{}
+	for name, addr := range def.Addrs {
+		book[name] = addr
+	}
+	for name, addr := range joins {
+		book[name] = addr
+	}
+	listen := *listenAddr
+	if listen == "" {
+		listen = def.Addrs[node]
+	}
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+
+	tr, err := cluster.New(node, listen, book, clusterOpts())
+	if err != nil {
+		return err
+	}
+	o, err := opts(nil)
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	o.Transport = tr
+	o.Hosted = []string{node}
+	n, err := core.Build(def, o) // Build owns tr from here (closes it on error)
+	if err != nil {
+		return err
+	}
+	tr.Announce()
+
+	if *metricsAddr != "" {
+		maddr, closeMetrics, err := cluster.StartMetrics(*metricsAddr, func() cluster.NodeMetrics {
+			return cluster.CollectNodeMetrics(n, tr, node)
+		})
+		if err != nil {
+			_ = n.Close()
+			return err
+		}
+		defer func() { _ = closeMetrics() }()
+		fmt.Printf("metrics at http://%s/metrics\n", maddr)
+	}
+
+	fmt.Printf("serving %s at %s (pid %d)\n", node, tr.Addr(), os.Getpid())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	signal.Stop(sig)
+	fmt.Printf("%s: closing %s cleanly\n", s, node)
+	return n.Close()
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rules"
+)
+
+// End-to-end lifecycle of the multi-process deployment, with real child
+// processes: three `p2pdb serve` instances, orchestration via ctl, a SIGTERM
+// kill of one member (clean close), a restart from its WAL, and
+// re-convergence — the acceptance path of the cluster subsystem.
+
+// buildBinary compiles cmd/p2pdb once per test binary.
+var buildOnce struct {
+	sync.Once
+	path string
+	err  error
+}
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "p2pdb-bin")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "p2pdb")
+		cmd := exec.Command("go", "build", "-o", bin, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildOnce.err = fmt.Errorf("go build: %v\n%s", err, out)
+			return
+		}
+		buildOnce.path = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatal(buildOnce.err)
+	}
+	return buildOnce.path
+}
+
+// freePorts reserves n distinct loopback ports.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return ports
+}
+
+const serveChainNet = `
+node A { rel a(x,y) }
+node B { rel b(x,y) }
+node C { rel c(x,y) }
+rule rb: C:c(X,Y) -> B:b(X,Y)
+rule ra: B:b(X,Y) -> A:a(Y,X)
+fact C:c('1','2')
+fact C:c('3','4')
+super A
+`
+
+// serveProc is one spawned serve child.
+type serveProc struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// startServe spawns `p2pdb serve` for one node and waits for its readiness
+// line.
+func startServe(t *testing.T, bin, netFile, dataDir, node string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-delta", "-data", dataDir, "-hb", "100ms", "serve", netFile, node)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, done: make(chan error, 1)}
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		signalled := false
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "serving ") && !signalled {
+				signalled = true
+				close(ready)
+			}
+		}
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	go func() { p.done <- cmd.Wait() }()
+	select {
+	case <-ready:
+	case err := <-p.done:
+		t.Fatalf("serve %s exited before becoming ready: %v", node, err)
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("serve %s never became ready", node)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			<-p.done
+		}
+	})
+	return p
+}
+
+// terminate sends SIGTERM and asserts a clean (exit 0) shutdown.
+func (p *serveProc) terminate(t *testing.T, node string) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-p.done:
+		if err != nil {
+			t.Fatalf("serve %s did not exit cleanly on SIGTERM: %v", node, err)
+		}
+	case <-time.After(30 * time.Second):
+		_ = p.cmd.Process.Kill()
+		t.Fatalf("serve %s ignored SIGTERM", node)
+	}
+}
+
+func TestServeClusterLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process cluster lifecycle skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	ports := freePorts(t, 3)
+	dir := t.TempDir()
+	netFile := filepath.Join(dir, "cluster.net")
+	netText := serveChainNet + fmt.Sprintf("addr A 127.0.0.1:%d\naddr B 127.0.0.1:%d\naddr C 127.0.0.1:%d\n",
+		ports[0], ports[1], ports[2])
+	if err := os.WriteFile(netFile, []byte(netText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataRoot := filepath.Join(dir, "data")
+
+	procs := map[string]*serveProc{}
+	for _, node := range []string{"A", "B", "C"} {
+		procs[node] = startServe(t, bin, netFile, dataRoot, node)
+	}
+
+	// Orchestrate through the ctl CLI path (each call is its own
+	// coordinator join, verb, goodbye — the real multi-invocation usage).
+	for _, verb := range [][]string{
+		{"ctl", netFile, "status"},
+		{"ctl", netFile, "discover"},
+		{"ctl", netFile, "update"},
+		{"ctl", netFile, "query", "A", "a(X,Y)"},
+		{"ctl", netFile, "stats"},
+	} {
+		if err := run(verb); err != nil {
+			t.Fatalf("run(%v): %v", verb, err)
+		}
+	}
+
+	// Assert the fix-point through a direct coordinator.
+	def := mustParseNet(t, netText)
+	assertRows := func(want int) {
+		t.Helper()
+		coord, err := cluster.NewCoordinator(def, "127.0.0.1:0", nil, cluster.CoordinatorOptions{
+			Membership: cluster.Options{HeartbeatEvery: 100 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := coord.WaitMembers(ctx, 3); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := coord.Query(ctx, "A", "a(X,Y)", []string{"X", "Y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != want {
+			t.Fatalf("A answers %d rows, want %d", len(rows), want)
+		}
+	}
+	assertRows(2)
+
+	// SIGTERM B: the graceful-shutdown path must exit 0 after sealing the
+	// WAL (satellite: child-process kill test).
+	procs["B"].terminate(t, "B")
+
+	// Restart B from its WAL and re-converge.
+	procs["B"] = startServe(t, bin, netFile, dataRoot, "B")
+	if err := run([]string{"ctl", netFile, "update"}); err != nil {
+		t.Fatalf("post-restart update: %v", err)
+	}
+	assertRows(2)
+
+	// Everyone shuts down cleanly.
+	for _, node := range []string{"A", "B", "C"} {
+		procs[node].terminate(t, node)
+	}
+
+	// The sealed stores are inspectable afterwards.
+	if err := run([]string{"recover", dataRoot}); err != nil {
+		t.Fatalf("recover after shutdown: %v", err)
+	}
+}
+
+func mustParseNet(t *testing.T, text string) *rules.Network {
+	t.Helper()
+	def, err := rules.ParseNetwork(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+// TestParseJoinFlag covers the -join book syntax.
+func TestParseJoinFlag(t *testing.T) {
+	got, err := parseJoin("A=127.0.0.1:1, B=127.0.0.1:2")
+	if err != nil || got["A"] != "127.0.0.1:1" || got["B"] != "127.0.0.1:2" {
+		t.Fatalf("parseJoin = %v, %v", got, err)
+	}
+	if _, err := parseJoin("junk"); err == nil {
+		t.Fatal("bad entry must fail")
+	}
+	if got, err := parseJoin(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty join = %v, %v", got, err)
+	}
+}
+
+// TestCtlErrors covers the ctl argument surface without a live cluster.
+func TestCtlErrors(t *testing.T) {
+	path := writeExample(t)
+	cases := [][]string{
+		{"ctl", path},                     // missing verb
+		{"serve", path},                   // missing node
+		{"serve", path, "NOPE"},           // undeclared node
+		{"ctl", "/no/such.net", "status"}, // unreadable net-file
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -2,7 +2,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/transport"
@@ -33,15 +37,27 @@ func cmdTCP(args []string) error {
 		return err
 	}
 	defer n.Close()
+	// SIGINT/SIGTERM cancel the context instead of killing the process, so
+	// the deferred Close still drains watchers and seals durable stores.
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fmt.Printf("running %d peers over TCP (super-peer %s at %s)\n",
 		len(n.Nodes()), n.Super(), mesh.Addr(n.Super()))
 	if err := n.Discover(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("interrupted: closing cleanly")
+			return nil
+		}
 		return err
 	}
 	if err := n.Update(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("interrupted: closing cleanly")
+			return nil
+		}
 		return err
 	}
 	for _, id := range n.Nodes() {

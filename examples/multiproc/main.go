@@ -1,0 +1,188 @@
+// Multiproc: the multi-process deployment end to end, as real OS processes.
+// The launcher builds cmd/p2pdb, writes a 3-node net-file whose addr lines
+// form the cluster's address book, and starts one `p2pdb serve` per node —
+// each process hosts exactly one peer over the TCP wire protocol, with a
+// join handshake and heartbeats replacing the paper's JXTA peer group. A
+// `p2pdb ctl` coordinator then drives discovery and the global update from
+// outside, detecting quiescence and closure purely through polled wire
+// counters. Finally one member is SIGKILLed (a crash, not a clean close),
+// restarted from its write-ahead log, and the cluster re-converges.
+//
+// Run from the repository root:
+//
+//	go run ./examples/multiproc
+//
+// The CI smoke job runs exactly this.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const network = `
+node Library   { rel book(key, title) }
+node Press     { rel title(key, name) }
+node Archive   { rel record(key, title) }
+
+rule r1: Press:title(K, N) -> Library:book(K, N)
+rule r2: Library:book(K, T) -> Archive:record(K, T)
+
+fact Press:title('a1', 'Peer Data Management')
+fact Press:title('a2', 'Distributed Agreement')
+
+super Library
+`
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "p2pdb-multiproc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "p2pdb")
+	step("building p2pdb")
+	mustRun(exec.Command("go", "build", "-o", bin, "./cmd/p2pdb"))
+
+	// Three reserved loopback ports become the net-file's address book.
+	nodes := []string{"Library", "Press", "Archive"}
+	ports := freePorts(len(nodes))
+	text := network
+	for i, node := range nodes {
+		text += fmt.Sprintf("addr %s 127.0.0.1:%d\n", node, ports[i])
+	}
+	netFile := filepath.Join(dir, "cluster.net")
+	if err := os.WriteFile(netFile, []byte(text), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	dataRoot := filepath.Join(dir, "data")
+
+	step("starting one serve process per node")
+	procs := map[string]*exec.Cmd{}
+	for _, node := range nodes {
+		procs[node] = serve(bin, netFile, dataRoot, node)
+	}
+	defer func() {
+		for _, cmd := range procs {
+			if cmd.ProcessState == nil {
+				_ = cmd.Process.Kill()
+				_ = cmd.Wait()
+			}
+		}
+	}()
+
+	ctl := func(args ...string) {
+		mustRun(exec.Command(bin, append([]string{"-timeout", "60s", "ctl", netFile}, args...)...))
+	}
+	step("ctl: discover + update + query")
+	ctl("status")
+	ctl("discover")
+	ctl("update")
+	ctl("query", "Archive", "record(K, T)")
+
+	step("SIGKILL the Press process (crash, no clean close)")
+	if err := procs["Press"].Process.Kill(); err != nil {
+		log.Fatal(err)
+	}
+	_ = procs["Press"].Wait()
+
+	step("restarting Press from its write-ahead log")
+	procs["Press"] = serve(bin, netFile, dataRoot, "Press")
+
+	step("ctl: re-converge after the crash restart")
+	ctl("update")
+	ctl("query", "Archive", "record(K, T)")
+	ctl("stats")
+
+	step("clean shutdown (SIGTERM all)")
+	for _, node := range nodes {
+		if err := procs[node].Process.Signal(syscall.SIGTERM); err != nil {
+			log.Fatal(err)
+		}
+		if err := procs[node].Wait(); err != nil {
+			log.Fatalf("%s did not exit cleanly: %v", node, err)
+		}
+	}
+	fmt.Println("\nmultiproc deployment converged, crashed, recovered and shut down cleanly")
+}
+
+func step(msg string) { fmt.Printf("\n== %s\n", msg) }
+
+// serve starts one member process and waits for its readiness line.
+func serve(bin, netFile, dataRoot, node string) *exec.Cmd {
+	cmd := exec.Command(bin, "-delta", "-data", dataRoot, "-hb", "250ms", "serve", netFile, node)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ready := make(chan struct{})
+	go func() {
+		buf := make([]byte, 4096)
+		var seen strings.Builder
+		for {
+			n, err := stdout.Read(buf)
+			if n > 0 {
+				os.Stdout.Write(buf[:n])
+				if seen.Len() < 1<<16 {
+					seen.Write(buf[:n])
+				}
+				if strings.Contains(seen.String(), "serving ") {
+					select {
+					case <-ready:
+					default:
+						close(ready)
+					}
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		log.Fatalf("serve %s never became ready", node)
+	}
+	return cmd
+}
+
+func mustRun(cmd *exec.Cmd) {
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		log.Fatalf("%s: %v", strings.Join(cmd.Args, " "), err)
+	}
+}
+
+// freePorts reserves n distinct loopback ports (all listeners held open
+// until every port is taken, so no two reservations collide).
+func freePorts(n int) []int {
+	ports := make([]int, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return ports
+}

@@ -1,0 +1,429 @@
+// Package cluster turns the reproduction into a deployable system: it hosts
+// one database peer per OS process over the TCP wire protocol, replacing the
+// paper's JXTA peer-group layer with three pieces.
+//
+// The membership transport (Transport) wraps a transport.TCP listener with a
+// member table: a starting process seeds the table from its address book
+// (the net-file's addr lines), dials the members it knows, announces itself
+// with its listen address (Join), learns transitively reachable members from
+// the acknowledgments (JoinAck gossip), and keeps liveness fresh with
+// heartbeats — a member that falls silent is marked suspect rather than hung
+// on, a member that says Goodbye is marked left, and a restarted member
+// re-joining under a fresh port overrides the stale address everywhere it
+// announces. Membership frames are intercepted below the peer runtime: the
+// hosted peer never sees them and they never touch the protocol counters
+// that quiescence polling reads.
+//
+// The coordinator (Coordinator) is the remote control plane: a thin client
+// that joins the cluster under a reserved name and speaks the wire control
+// verbs against the live serve processes — broadcast rules, start discovery
+// and update waves, add and delete links, collect statistics, evaluate
+// remote queries, and detect quiescence and closure by polling the peers'
+// protocol counters and states over the wire, exactly the fallback the
+// in-process orchestration uses when its transport offers no global oracle.
+//
+// Because Transport implements transport.Transport, core.Build and the peer
+// runtime run unchanged inside each serve process (Options.Hosted restricts
+// a build to the local node), including Options.DataDir: each process
+// recovers its own write-ahead log on restart and re-joins delta-only after
+// a clean close.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// CoordinatorName is the reserved member name of the control-plane
+// coordinator. The "@" prefix keeps it out of the database namespace: node
+// names in network descriptions should not start with '@'.
+const CoordinatorName = "@ctl"
+
+// Status is a member's liveness as seen by one process.
+type Status uint8
+
+// Member statuses.
+const (
+	// StatusBook members are known from the address book or gossip but have
+	// never been heard from directly; join announcements retry each tick.
+	StatusBook Status = iota
+	// StatusAlive members sent a Join, JoinAck or Heartbeat recently.
+	StatusAlive
+	// StatusSuspect members fell silent for longer than the suspicion
+	// window. Sends still reach for them (they may return); the dial
+	// backoff bounds what an actually-dead process costs.
+	StatusSuspect
+	// StatusLeft members said Goodbye. They re-enter as alive on re-join.
+	StatusLeft
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusSuspect:
+		return "suspect"
+	case StatusLeft:
+		return "left"
+	default:
+		return "book"
+	}
+}
+
+// Member is one row of the member table.
+type Member struct {
+	Name     string
+	Addr     string
+	Status   Status
+	LastSeen time.Time // zero for members never heard from
+}
+
+// Options tunes the membership layer.
+type Options struct {
+	// HeartbeatEvery is the liveness and join-retry cadence (default 1s).
+	HeartbeatEvery time.Duration
+	// SuspectAfter is the silence window after which an alive member becomes
+	// suspect (default 3×HeartbeatEvery).
+	SuspectAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = time.Second
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 3 * o.HeartbeatEvery
+	}
+	return o
+}
+
+// member is the mutable table entry behind a Member row.
+type member struct {
+	addr     string
+	status   Status
+	lastSeen time.Time
+}
+
+// Transport is the cluster membership transport: a transport.Transport that
+// hosts exactly one local name (the process's database peer, or the
+// coordinator) and routes every other name through the member table.
+type Transport struct {
+	self string
+	opts Options
+	tcp  *transport.TCP
+
+	mu      sync.Mutex
+	members map[string]*member
+	handler transport.Handler // the hosted peer's handler (nil until Register)
+	closed  bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a cluster member: a TCP listener on listenAddr and a member
+// table seeded from the address book (node -> host:port; typically the
+// net-file's addr lines). The returned transport is ready for core.Build
+// with Options.Hosted = []string{self}; call Announce once the peer is
+// registered to run the join handshake.
+func New(self, listenAddr string, book map[string]string, opts Options) (*Transport, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: empty member name")
+	}
+	opts = opts.withDefaults()
+	tcp, err := transport.NewTCP(listenAddr, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &Transport{
+		self:    self,
+		opts:    opts,
+		tcp:     tcp,
+		members: map[string]*member{},
+		quit:    make(chan struct{}),
+	}
+	for node, addr := range book {
+		if node == self || addr == "" {
+			continue
+		}
+		c.members[node] = &member{addr: addr, status: StatusBook}
+		tcp.SetPeerAddr(node, addr)
+	}
+	if err := tcp.Register(self, c.dispatch); err != nil {
+		_ = tcp.Close()
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// Self returns the local member name.
+func (c *Transport) Self() string { return c.self }
+
+// Addr returns the local listen address.
+func (c *Transport) Addr() string { return c.tcp.Addr() }
+
+// Members snapshots the member table, sorted by name. The local member is
+// not listed.
+func (c *Transport) Members() []Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Member, 0, len(c.members))
+	for name, m := range c.members {
+		out = append(out, Member{Name: name, Addr: m.addr, Status: m.status, LastSeen: m.lastSeen})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Announce runs the join handshake: a Join (name, listen address, gossiped
+// member table) to every known member. Acknowledgments and their gossip feed
+// the table, and the heartbeat loop keeps re-announcing to members that have
+// not answered yet, so a process started before its dependencies converges
+// once they come up.
+func (c *Transport) Announce() {
+	for _, name := range c.targets(func(m *member) bool { return m.status != StatusLeft }) {
+		c.sendJoin(name)
+	}
+}
+
+// targets lists member names matching the filter. It takes and releases the
+// lock: callers send outside it.
+func (c *Transport) targets(keep func(*member) bool) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.members))
+	for name, m := range c.members {
+		if keep(m) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bookSnapshot renders the member table as gossip (name -> address),
+// including the local member. Departed members are withheld: gossiping a
+// Goodbye'd member's dead address would make every later joiner adopt it
+// and retry joins against it forever (a returning member re-announces
+// itself directly, which overrides Left everywhere it matters).
+func (c *Transport) bookSnapshot() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.members)+1)
+	out[c.self] = c.tcp.Addr()
+	for name, m := range c.members {
+		if m.addr != "" && m.status != StatusLeft {
+			out[name] = m.addr
+		}
+	}
+	return out
+}
+
+func (c *Transport) sendJoin(to string) {
+	_ = c.tcp.Send(c.self, to, wire.Join{Node: c.self, Addr: c.tcp.Addr(), Members: c.bookSnapshot()})
+}
+
+// dispatch is the TCP handler of the local name: membership frames are
+// consumed here, everything else goes to the hosted peer (and is dropped
+// before it registers — the protocol tolerates lost messages by design).
+func (c *Transport) dispatch(env wire.Envelope) {
+	switch m := env.Msg.(type) {
+	case wire.Join:
+		c.observe(m.Node, m.Addr)
+		c.merge(m.Members)
+		_ = c.tcp.Send(c.self, m.Node, wire.JoinAck{Members: c.bookSnapshot()})
+		return
+	case wire.JoinAck:
+		c.observe(env.From, "") // address already known: we dialled it
+		c.merge(m.Members)
+		return
+	case wire.Heartbeat:
+		c.observe(m.Node, m.Addr)
+		return
+	case wire.Goodbye:
+		c.mu.Lock()
+		if entry, ok := c.members[m.Node]; ok {
+			entry.status = StatusLeft
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	h := c.handler
+	c.mu.Unlock()
+	if h != nil {
+		h(env)
+	}
+}
+
+// observe records direct contact with a member: it becomes alive and, when
+// it asserted an address, that address wins over anything gossiped or stale
+// (the restarted-process case).
+func (c *Transport) observe(node, addr string) {
+	if node == c.self || node == "" {
+		return
+	}
+	c.mu.Lock()
+	m, ok := c.members[node]
+	if !ok {
+		m = &member{}
+		c.members[node] = m
+	}
+	if addr != "" {
+		m.addr = addr
+	}
+	m.status = StatusAlive
+	m.lastSeen = time.Now()
+	addr = m.addr
+	c.mu.Unlock()
+	if addr != "" {
+		c.tcp.SetPeerAddr(node, addr)
+	}
+}
+
+// merge folds gossiped book entries in. Gossip only fills names this process
+// has never seen — it never overwrites a known address, so a stale gossiped
+// entry cannot undo a direct observation.
+func (c *Transport) merge(book map[string]string) {
+	var added []string
+	c.mu.Lock()
+	for name, addr := range book {
+		if name == c.self || addr == "" {
+			continue
+		}
+		if _, known := c.members[name]; known {
+			continue
+		}
+		c.members[name] = &member{addr: addr, status: StatusBook}
+		added = append(added, name)
+	}
+	c.mu.Unlock()
+	for _, name := range added {
+		c.tcp.SetPeerAddr(name, book[name])
+		c.sendJoin(name) // transitive announce: the new member learns us too
+	}
+}
+
+// heartbeatLoop keeps liveness fresh: alive members get heartbeats, members
+// never (or no longer) confirmed get join retries, silent members become
+// suspect.
+func (c *Transport) heartbeatLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		type task struct {
+			name string
+			join bool
+		}
+		var tasks []task
+		c.mu.Lock()
+		for name, m := range c.members {
+			switch m.status {
+			case StatusAlive:
+				if now.Sub(m.lastSeen) > c.opts.SuspectAfter {
+					m.status = StatusSuspect
+					tasks = append(tasks, task{name, true})
+				} else {
+					tasks = append(tasks, task{name, false})
+				}
+			case StatusBook, StatusSuspect:
+				tasks = append(tasks, task{name, true})
+			}
+		}
+		c.mu.Unlock()
+		addr := c.tcp.Addr()
+		for _, tk := range tasks {
+			if tk.join {
+				c.sendJoin(tk.name)
+			} else {
+				_ = c.tcp.Send(c.self, tk.name, wire.Heartbeat{Node: c.self, Addr: addr})
+			}
+		}
+	}
+}
+
+// Register implements transport.Transport. A cluster transport hosts exactly
+// one peer — the process's own node (or the coordinator) — whose name was
+// fixed at New.
+func (c *Transport) Register(node string, h transport.Handler) error {
+	if node != c.self {
+		return fmt.Errorf("cluster: this process hosts %q, cannot register %q", c.self, node)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return transport.ErrClosed
+	}
+	if c.handler != nil {
+		return fmt.Errorf("cluster: %q already registered", node)
+	}
+	c.handler = h
+	return nil
+}
+
+// Send implements transport.Transport: the member table has already fed the
+// TCP address book, so sends resolve through it. Unknown members are an
+// addressing error the protocol tolerates.
+func (c *Transport) Send(from, to string, msg wire.Message) error {
+	return c.tcp.Send(from, to, msg)
+}
+
+// Close implements transport.Transport: a clean leave. Alive members get a
+// Goodbye (so they mark this process left instead of suspecting it), the
+// heartbeat loop stops, and the listener closes.
+func (c *Transport) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.quit)
+	c.wg.Wait()
+	for _, name := range c.targets(func(m *member) bool { return m.status == StatusAlive }) {
+		_ = c.tcp.Send(c.self, name, wire.Goodbye{Node: c.self})
+	}
+	return c.tcp.Close()
+}
+
+// Abandon closes the listener without a Goodbye — the crash path. Remaining
+// members must detect the loss through heartbeat suspicion. (Tests and crash
+// simulation; a real crash needs no call at all.)
+func (c *Transport) Abandon() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.quit)
+	c.wg.Wait()
+	return c.tcp.Close()
+}
+
+// TCP exposes the underlying socket transport (deadline/backoff tuning).
+func (c *Transport) TCP() *transport.TCP { return c.tcp }
+
+// IsCoordinator reports whether a member name belongs to the control plane
+// rather than the database network.
+func IsCoordinator(name string) bool { return strings.HasPrefix(name, "@") }
+
+var _ transport.Transport = (*Transport)(nil)

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Observability for serve processes (the optional -metrics endpoint): one
+// JSON snapshot per scrape at /metrics, built from the modules the node
+// already keeps — the statistical module of Section 5 (internal/stats), the
+// peer's protocol state, the watcher registry, the durable store's record
+// high water and the member table — plus the Go runtime's expvar surface at
+// /debug/vars.
+
+// NodeMetrics is one serve process's observability snapshot.
+type NodeMetrics struct {
+	Node       string         `json:"node"`
+	Addr       string         `json:"addr"`
+	Epoch      uint64         `json:"epoch"`
+	State      string         `json:"state"`
+	PathsReady bool           `json:"paths_ready"`
+	Tuples     int            `json:"tuples"`
+	Watchers   int            `json:"watchers"`
+	WalSeq     uint64         `json:"wal_seq"` // 0 without a durable store
+	Stats      stats.Snapshot `json:"stats"`
+	Members    []Member       `json:"members"`
+}
+
+// CollectNodeMetrics snapshots a hosted node of a running network over a
+// cluster transport.
+func CollectNodeMetrics(n *core.Network, tr *Transport, node string) NodeMetrics {
+	m := NodeMetrics{Node: node, Addr: tr.Addr(), Members: tr.Members()}
+	if p := n.Peer(node); p != nil {
+		m.Epoch = p.Epoch()
+		m.State = p.State().String()
+		m.PathsReady = p.PathsReady()
+		m.Tuples = p.DB().TotalTuples()
+		m.Watchers = p.WatcherCount()
+		m.Stats = p.Counters().Snapshot()
+	}
+	if st := n.Store(node); st != nil {
+		m.WalSeq = st.Seq()
+	}
+	return m
+}
+
+// StartMetrics serves the observability endpoint on listenAddr ("host:0"
+// picks an ephemeral port): GET /metrics returns the collected NodeMetrics
+// as JSON, GET /debug/vars the process's expvar registry. It returns the
+// bound address and a closer.
+func StartMetrics(listenAddr string, collect func() NodeMetrics) (string, func() error, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(collect())
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

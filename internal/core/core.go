@@ -84,6 +84,18 @@ type Options struct {
 	// WatchDedupCap bounds every watcher's delivered-tuple dedup cache (see
 	// peer.Options.WatchDedupCap). Zero keeps the exact, unbounded cache.
 	WatchDedupCap int
+	// Hosted, when non-empty, restricts the network to hosting only the named
+	// nodes of the definition: only their peers are built, seeded and (with
+	// DataDir) given durable stores, while the full definition still
+	// validates and supplies the rule topology. This is the multi-process
+	// deployment mode (internal/cluster, cmd/p2pdb serve): each OS process
+	// hosts one peer over a shared transport that routes the remaining node
+	// names to other processes. Orchestration methods only see the hosted
+	// peers — Quiesce polls their counters alone and Discover/Update require
+	// the super-peer to be hosted — so cluster-wide orchestration belongs to
+	// a coordinator speaking the wire control verbs. Empty hosts every node,
+	// as before.
+	Hosted []string
 }
 
 // SemiNaiveMode selects the delta-mode evaluation strategy; re-exported from
@@ -130,6 +142,18 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 	}
 	n := &Network{def: def, tr: tr, peers: map[string]*peer.Peer{}, stores: map[string]*wal.Store{}, opts: opts}
 
+	// Hosted-subset mode: build only the named peers; everything else in the
+	// definition is a remote node reached through the transport.
+	hosted := map[string]bool{}
+	for _, name := range opts.Hosted {
+		if _, ok := def.Node(name); !ok {
+			tr.Close()
+			return nil, fmt.Errorf("core: hosted node %q not in the definition", name)
+		}
+		hosted[name] = true
+	}
+	isHosted := func(name string) bool { return len(hosted) == 0 || hosted[name] }
+
 	// Durable backends: one store per node, opened before the peers so the
 	// recovered epochs can be aligned (each node persists its own; the
 	// maximum becomes everyone's restart epoch, keeping the next update wave
@@ -150,6 +174,9 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 	cleanRestart := true
 	if opts.DataDir != "" {
 		for _, decl := range def.Nodes {
+			if !isHosted(decl.Name) {
+				continue
+			}
 			st, rec, err := wal.Open(filepath.Join(opts.DataDir, decl.Name), wal.Options{
 				Fsync:      opts.Fsync,
 				FsyncEvery: opts.FsyncEvery,
@@ -175,6 +202,9 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 		byHead[r.HeadNode] = append(byHead[r.HeadNode], r)
 	}
 	for _, decl := range def.Nodes {
+		if !isHosted(decl.Name) {
+			continue
+		}
 		pOpts := peer.Options{
 			Delta:         opts.Delta,
 			SemiNaive:     opts.SemiNaive,
@@ -208,15 +238,23 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 	}
 	sort.Strings(n.order)
 
-	// Pipes exist in both rule directions (Section 5 of the paper).
+	// Pipes exist in both rule directions (Section 5 of the paper). In
+	// hosted-subset mode only the local ends are wired; the remote ends are
+	// wired by the processes hosting them.
 	for _, r := range def.Rules {
-		head := n.peers[r.HeadNode]
 		for _, src := range r.SourceNodes() {
-			head.AddNeighbor(src)
-			n.peers[src].AddNeighbor(r.HeadNode)
+			if head := n.peers[r.HeadNode]; head != nil {
+				head.AddNeighbor(src)
+			}
+			if sp := n.peers[src]; sp != nil {
+				sp.AddNeighbor(r.HeadNode)
+			}
 		}
 	}
 	for _, f := range def.Facts {
+		if !isHosted(f.Node) {
+			continue
+		}
 		if err := n.peers[f.Node].Seed(f.Rel, f.Tuple); err != nil {
 			closeStores()
 			tr.Close()
@@ -283,6 +321,11 @@ func (n *Network) Super() string { return n.super }
 // Peer returns a peer by name (nil if absent).
 func (n *Network) Peer(id string) *peer.Peer { return n.peers[id] }
 
+// Store returns a hosted node's durable store (nil without Options.DataDir
+// or for a node this process does not host). Exposed for observability: the
+// serve metrics endpoint reports each store's appended-record high water.
+func (n *Network) Store(id string) *wal.Store { return n.stores[id] }
+
 // Nodes returns all node names, sorted.
 func (n *Network) Nodes() []string { return append([]string(nil), n.order...) }
 
@@ -326,18 +369,23 @@ func (n *Network) Quiesce(ctx context.Context) error {
 
 // quiesceByPolling approximates quiescence without a transport oracle: the
 // sums of every peer's sent and received message counters must hold still
-// for several consecutive samples. Messages a transport still holds (socket
-// buffers, delayed deliveries) surface as counter movement on arrival and
-// reset the window, so a premature verdict needs a delivery stalled longer
-// than the whole settle window on an otherwise silent network — ~200ms for
-// a loopback hop that normally takes microseconds. The probe loops in
-// Update and UpdateStaged additionally absorb any residue, just as they
-// absorb swallowed cascades; bare Quiesce callers (Insert-then-Quiesce)
-// rely on the window alone.
+// for several consecutive samples. When the totals balance (every message
+// sent was received) the base window suffices — on a fully hosted network a
+// zero deficit with still counters is quiescence. When they do not balance,
+// messages may still be in flight (stalled in a socket buffer, crossing to a
+// slow peer) or lost to a dead one, and the two are indistinguishable from
+// counters alone; the window is then extended several-fold, so a delivery
+// must stall longer than the extended window — not merely the base one — to
+// draw a premature verdict, while traffic genuinely lost to dead or remote
+// peers (the deficit never clears) still terminates the wait. The probe
+// loops in Update and UpdateStaged additionally absorb any residue, just as
+// they absorb swallowed cascades; bare Quiesce callers (Insert-then-Quiesce)
+// rely on the windows alone.
 func (n *Network) quiesceByPolling(ctx context.Context) error {
 	const (
-		interval = 20 * time.Millisecond
-		settle   = 10 // consecutive still samples ≈ 200ms of silence
+		interval      = 20 * time.Millisecond
+		settle        = 10 // consecutive still samples ≈ 200ms of silence
+		settleDeficit = 50 // sent != recv: ≈ 1s — stalled or lost, give it time
 	)
 	var last [2]uint64
 	stable := 0
@@ -352,7 +400,11 @@ func (n *Network) quiesceByPolling(ctx context.Context) error {
 		cur := [2]uint64{sent, recv}
 		if !first && cur == last {
 			stable++
-			if stable >= settle {
+			need := settle
+			if sent != recv {
+				need = settleDeficit
+			}
+			if stable >= need {
 				return nil
 			}
 		} else {
@@ -526,6 +578,15 @@ func (n *Network) ValidateAgainstCentralized() error {
 	})
 	if err != nil {
 		return err
+	}
+	if len(n.opts.Hosted) > 0 {
+		// A hosted-subset process can only vouch for its own peers; remote
+		// nodes' databases live in other processes.
+		trimmed := make(map[string]*storage.DB, len(n.peers))
+		for id := range n.peers {
+			trimmed[id] = want.DBs[id]
+		}
+		want.DBs = trimmed
 	}
 	got := n.Snapshot()
 	if ok, node := baseline.Equal(got, want.DBs); !ok {

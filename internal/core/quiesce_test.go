@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relalg"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Polling-quiescence fallback under adversarial delivery timing (the cluster
+// deployment's only quiescence mechanism). A slowTransport models a TCP peer
+// whose deliveries stall in transit — longer than the base settle window —
+// without offering any of the in-memory router's capabilities, so Quiesce
+// must run in its polling fallback and must not conclude early while the
+// stalled messages are still on their way.
+
+// slowTransport wraps a transport, delaying every delivery by a fixed lag.
+// It deliberately implements only the base Transport interface: no Quiescer,
+// no Stepper, no FaultInjector — orchestration sees a bare real-world pipe.
+type slowTransport struct {
+	inner transport.Transport
+	lag   time.Duration
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newSlowTransport(lag time.Duration) *slowTransport {
+	return &slowTransport{inner: transport.NewMem(transport.MemOptions{}), lag: lag}
+}
+
+func (s *slowTransport) Register(node string, h transport.Handler) error {
+	return s.inner.Register(node, func(env wire.Envelope) {
+		s.mu.Lock()
+		closed := s.closed
+		if !closed {
+			s.wg.Add(1)
+		}
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		defer s.wg.Done()
+		time.Sleep(s.lag)
+		h(env)
+	})
+}
+
+func (s *slowTransport) Send(from, to string, msg wire.Message) error {
+	return s.inner.Send(from, to, msg)
+}
+
+func (s *slowTransport) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.inner.Close()
+	s.wg.Wait()
+	return err
+}
+
+// TestPollingQuiesceSlowPeer drives an update and a live insert over a
+// transport whose every hop stalls for longer than the base settle window
+// (200ms). A premature quiescence verdict would return while derived data is
+// still in flight and the centralized cross-check would catch the divergence.
+func TestPollingQuiesceSlowPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deliberately slow transport skipped in -short mode")
+	}
+	def := mustParse(t, chainNet)
+	n, err := BuildWith(def, newSlowTransport(300*time.Millisecond), Options{Delta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	c, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := n.RunToFixpoint(c); err != nil {
+		t.Fatal(err)
+	}
+	if !n.AllClosed() {
+		t.Fatalf("open peers after update: %v", n.OpenPeers())
+	}
+	if err := n.ValidateAgainstCentralized(); err != nil {
+		t.Fatalf("update concluded before slow deliveries landed: %v", err)
+	}
+
+	// A bare Insert+Quiesce has no probe loop to absorb residue: the polled
+	// verdict alone must cover the two slow hops C→B→A.
+	if _, err := n.Node("C").Insert(c, "c", relalg.Tuple{relalg.S("9"), relalg.S("10")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Quiesce(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ValidateAgainstCentralized(); err != nil {
+		t.Fatalf("quiesce returned early under a slow peer: %v", err)
+	}
+}
+
+// TestPollingQuiesceHonorsContext cancels mid-wait: the polling loop must
+// return the context error promptly instead of spinning to a verdict.
+func TestPollingQuiesceHonorsContext(t *testing.T) {
+	def := mustParse(t, chainNet)
+	n, err := BuildWith(def, newSlowTransport(250*time.Millisecond), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Keep traffic perpetually in flight so no verdict can be reached before
+	// the cancellation fires.
+	n.Peer(n.Super()).StartUpdateWave()
+	c, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = n.Quiesce(c)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Quiesce = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled Quiesce returned after %v", elapsed)
+	}
+	// Let the wave finish cleanly before Close tears the transport down.
+	c2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if err := n.Update(c2); err != nil {
+		t.Fatal(err)
+	}
+}

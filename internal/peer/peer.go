@@ -553,7 +553,54 @@ func (p *Peer) Handle(env wire.Envelope) {
 		p.statsReports[m.Snapshot.Node] = m.Snapshot
 	case wire.StatsReset:
 		p.ct.Reset()
+	case wire.DiscoverRequest:
+		p.startDiscoveryLocked()
+	case wire.UpdateRequest:
+		p.activateLocked(p.epoch+1, "")
+	case wire.ProbeRequest:
+		if p.activated && p.stateU == Open {
+			p.sendQueriesLocked(nil, false, nil)
+		}
+	case wire.StateRequest:
+		p.send(env.From, wire.StateReport{
+			Node:       p.id,
+			Epoch:      p.epoch,
+			Activated:  p.activated,
+			Closed:     p.stateU == Closed,
+			PathsReady: p.pathsReady,
+			Tuples:     p.db.TotalTuples(),
+		})
+	case wire.QueryRequest:
+		p.handleQueryRequest(env.From, m)
 	}
+}
+
+// handleQueryRequest evaluates a remote local query (the coordinator's form
+// of Definition 4) and ships the rows — or the error — back. Callers hold mu.
+func (p *Peer) handleQueryRequest(from string, m wire.QueryRequest) {
+	res := wire.QueryResult{ID: m.ID, Columns: m.Cols}
+	conj, err := cq.ParseConjunction(m.Body)
+	if err != nil {
+		res.Err = err.Error()
+		p.send(from, res)
+		return
+	}
+	p.ct.AddQueries(1)
+	rows, err := cq.Eval(p.db, conj, m.Cols)
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Tuples = rows
+	}
+	p.send(from, res)
+}
+
+// WatcherCount reports the number of live continuous-query watchers (exposed
+// by the serve metrics endpoint).
+func (p *Peer) WatcherCount() int {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return len(p.watchers)
 }
 
 func subKey(dependent, ruleID string) string { return dependent + "\x00" + ruleID }

@@ -29,8 +29,9 @@ type Network struct {
 	Nodes []NodeDecl
 	Rules []Rule
 	Facts []Fact
-	Maps  []*DomainMap // domain relations (future-work extension of §2)
-	Super string       // optional designated super-peer
+	Maps  []*DomainMap      // domain relations (future-work extension of §2)
+	Super string            // optional designated super-peer
+	Addrs map[string]string // optional listen addresses (multi-process deployment)
 }
 
 // Node returns the declaration for the named node, if any.
@@ -112,6 +113,14 @@ func (n *Network) Validate() error {
 	if n.Super != "" && !names[n.Super] {
 		return fmt.Errorf("rules: super-peer %q undeclared", n.Super)
 	}
+	for node, addr := range n.Addrs {
+		if !names[node] {
+			return fmt.Errorf("rules: addr for undeclared node %q", node)
+		}
+		if addr == "" {
+			return fmt.Errorf("rules: empty addr for node %q", node)
+		}
+	}
 	return nil
 }
 
@@ -150,6 +159,14 @@ func (n *Network) Format() string {
 		b.WriteString(m.Format())
 		b.WriteString("\n")
 	}
+	addrNodes := make([]string, 0, len(n.Addrs))
+	for node := range n.Addrs {
+		addrNodes = append(addrNodes, node)
+	}
+	sort.Strings(addrNodes)
+	for _, node := range addrNodes {
+		fmt.Fprintf(&b, "addr %s %s\n", node, n.Addrs[node])
+	}
 	if n.Super != "" {
 		fmt.Fprintf(&b, "super %s\n", n.Super)
 	}
@@ -164,7 +181,12 @@ func (n *Network) Format() string {
 //	}
 //	rule r1: E:e(X,Y) -> B:b(X,Y)
 //	fact A:a('k1', 'v1')
+//	addr A 127.0.0.1:7101
 //	super A
+//
+// addr lines are optional: they seed the address book of the multi-process
+// deployment (cmd/p2pdb serve / ctl), mapping a node to the listen address
+// of the process hosting it.
 //
 // Rule heads may be conjunctions of atoms at one node; head atoms may be
 // written with or without the node qualifier ("-> C:c(X), C:f(X)" or the
@@ -205,6 +227,18 @@ func ParseNetwork(src string) (*Network, error) {
 				return nil, fmt.Errorf("line %d: %w", i, err)
 			}
 			net.Maps = append(net.Maps, m)
+		case strings.HasPrefix(line, "addr "):
+			fields := strings.Fields(strings.TrimPrefix(line, "addr "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: addr wants 'addr NODE host:port', got %q", i, line)
+			}
+			if net.Addrs == nil {
+				net.Addrs = map[string]string{}
+			}
+			if _, dup := net.Addrs[fields[0]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate addr for node %q", i, fields[0])
+			}
+			net.Addrs[fields[0]] = fields[1]
 		case strings.HasPrefix(line, "super "):
 			net.Super = strings.TrimSpace(strings.TrimPrefix(line, "super "))
 		default:

@@ -75,6 +75,9 @@ func TestParseNetworkValidationErrors(t *testing.T) {
 		{"node A { rel a(x) }\nsuper Z", "super-peer"},
 		{"bogus directive", "unrecognised"},
 		{"node A { rel a(x) }\nfact A:a(X)", "variable"},
+		{"node A { rel a(x) }\naddr Z 127.0.0.1:1", "addr for undeclared node"},
+		{"node A { rel a(x) }\naddr A", "addr wants"},
+		{"node A { rel a(x) }\naddr A 127.0.0.1:1\naddr A 127.0.0.1:2", "duplicate addr"},
 	}
 	for _, c := range cases {
 		_, err := ParseNetwork(c.src)
@@ -96,6 +99,31 @@ func TestNetworkFormatRoundTrip(t *testing.T) {
 	}
 	if len(again.Rules) != len(net.Rules) || len(again.Facts) != len(net.Facts) {
 		t.Error("round trip lost declarations")
+	}
+}
+
+func TestParseNetworkAddrs(t *testing.T) {
+	src := `
+node A { rel a(x) }
+node B { rel b(x) }
+rule r1: B:b(X) -> A:a(X)
+addr A 127.0.0.1:7101
+addr B 127.0.0.1:7102
+super A
+`
+	net, err := ParseNetwork(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Addrs["A"] != "127.0.0.1:7101" || net.Addrs["B"] != "127.0.0.1:7102" {
+		t.Fatalf("addrs = %v", net.Addrs)
+	}
+	again, err := ParseNetwork(net.Format())
+	if err != nil {
+		t.Fatalf("re-parse of Format output: %v\n%s", err, net.Format())
+	}
+	if len(again.Addrs) != 2 || again.Addrs["B"] != "127.0.0.1:7102" {
+		t.Fatalf("addrs lost in round trip: %v", again.Addrs)
 	}
 }
 

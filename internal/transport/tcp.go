@@ -24,11 +24,31 @@ type TCP struct {
 	local    map[string]Handler
 	conns    map[string]net.Conn
 	accepted map[net.Conn]bool
+	fails    map[string]*dialFailure // node -> reconnect backoff state
 	closed   bool
 	wg       sync.WaitGroup
 
 	// DialTimeout bounds connection attempts (default 2s).
 	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write, so a stalled remote whose socket
+	// buffer filled up cannot wedge a sender indefinitely (default 5s).
+	WriteTimeout time.Duration
+	// ReadTimeout bounds reading a frame body once its length header has
+	// arrived (default 10s). Idle connections — no header in flight — carry
+	// no deadline: silence between frames is normal on a quiescent network.
+	ReadTimeout time.Duration
+	// MaxBackoff caps the exponential reconnect backoff after failed dials
+	// (default 2s). During the backoff window sends to the unreachable peer
+	// fail immediately instead of re-dialling, so a dead process costs one
+	// timed-out dial per window rather than one per message.
+	MaxBackoff time.Duration
+}
+
+// dialFailure tracks the reconnect backoff for one unreachable peer.
+type dialFailure struct {
+	at    time.Time // when the last dial failed
+	count int       // consecutive failures
+	err   error     // the failure returned while backing off
 }
 
 // NewTCP starts listening on listenAddr and routes to remote peers using the
@@ -39,13 +59,17 @@ func NewTCP(listenAddr string, book map[string]string) (*TCP, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
 	}
 	t := &TCP{
-		self:        ln.Addr().String(),
-		listener:    ln,
-		book:        map[string]string{},
-		local:       map[string]Handler{},
-		conns:       map[string]net.Conn{},
-		accepted:    map[net.Conn]bool{},
-		DialTimeout: 2 * time.Second,
+		self:         ln.Addr().String(),
+		listener:     ln,
+		book:         map[string]string{},
+		local:        map[string]Handler{},
+		conns:        map[string]net.Conn{},
+		accepted:     map[net.Conn]bool{},
+		fails:        map[string]*dialFailure{},
+		DialTimeout:  2 * time.Second,
+		WriteTimeout: 5 * time.Second,
+		ReadTimeout:  10 * time.Second,
+		MaxBackoff:   2 * time.Second,
 	}
 	for k, v := range book {
 		t.book[k] = v
@@ -58,11 +82,25 @@ func NewTCP(listenAddr string, book map[string]string) (*TCP, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (t *TCP) Addr() string { return t.self }
 
-// SetPeerAddr adds or updates an address book entry.
+// SetPeerAddr adds or updates an address book entry. A changed address also
+// clears the node's reconnect backoff and cached connection: a restarted
+// process announcing a fresh port must be dialled immediately, not after the
+// old address's backoff window.
 func (t *TCP) SetPeerAddr(node, addr string) {
 	t.mu.Lock()
+	var stale net.Conn
+	if prev, ok := t.book[node]; ok && prev != addr {
+		delete(t.fails, node)
+		if c, ok := t.conns[node]; ok {
+			stale = c
+			delete(t.conns, node)
+		}
+	}
 	t.book[node] = addr
 	t.mu.Unlock()
+	if stale != nil {
+		_ = stale.Close()
+	}
 }
 
 // Register implements Transport for peers hosted in this process.
@@ -121,6 +159,7 @@ func (t *TCP) write(node, addr string, data []byte) error {
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
+	_ = conn.SetWriteDeadline(time.Now().Add(t.WriteTimeout))
 	if _, err := conn.Write(frame); err != nil {
 		// Drop the cached connection and retry once with a fresh dial.
 		t.dropConn(node)
@@ -128,6 +167,7 @@ func (t *TCP) write(node, addr string, data []byte) error {
 		if derr != nil {
 			return derr
 		}
+		_ = conn.SetWriteDeadline(time.Now().Add(t.WriteTimeout))
 		if _, werr := conn.Write(frame); werr != nil {
 			t.dropConn(node)
 			return fmt.Errorf("transport: write to %s: %w", node, werr)
@@ -136,20 +176,47 @@ func (t *TCP) write(node, addr string, data []byte) error {
 	return nil
 }
 
+// backoffFor returns the reconnect delay after n consecutive dial failures:
+// 50ms doubling per failure, capped at MaxBackoff.
+func (t *TCP) backoffFor(n int) time.Duration {
+	d := 50 * time.Millisecond
+	for i := 1; i < n && d < t.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > t.MaxBackoff {
+		d = t.MaxBackoff
+	}
+	return d
+}
+
 func (t *TCP) conn(node, addr string) (net.Conn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[node]; ok {
 		t.mu.Unlock()
 		return c, nil
 	}
+	if f, ok := t.fails[node]; ok && time.Since(f.at) < t.backoffFor(f.count) {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: %s backing off after %d failed dial(s): %w", node, f.count, f.err)
+	}
 	timeout := t.DialTimeout
 	t.mu.Unlock()
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s (%s): %w", node, addr, err)
+		err = fmt.Errorf("transport: dial %s (%s): %w", node, addr, err)
+		t.mu.Lock()
+		if f, ok := t.fails[node]; ok {
+			f.at, f.err = time.Now(), err
+			f.count++
+		} else {
+			t.fails[node] = &dialFailure{at: time.Now(), count: 1, err: err}
+		}
+		t.mu.Unlock()
+		return nil, err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	delete(t.fails, node)
 	if t.closed {
 		_ = c.Close()
 		return nil, ErrClosed
@@ -201,7 +268,17 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}()
 	header := make([]byte, 4)
 	for {
-		if _, err := io.ReadFull(conn, header); err != nil {
+		// Waiting for the first byte of the next frame may take arbitrarily
+		// long (an idle but healthy connection); once a frame has started,
+		// the rest of the header and the body must arrive within the read
+		// timeout — a sender that stalls mid-frame would otherwise pin this
+		// goroutine and the connection forever.
+		_ = conn.SetReadDeadline(time.Time{})
+		if _, err := io.ReadFull(conn, header[:1]); err != nil {
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(t.ReadTimeout))
+		if _, err := io.ReadFull(conn, header[1:]); err != nil {
 			return
 		}
 		size := binary.BigEndian.Uint32(header)

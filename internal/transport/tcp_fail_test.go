@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -107,6 +108,112 @@ func TestTCPReconnectAfterDrop(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("send after broken connection never delivered")
+		}
+	}
+}
+
+// TestTCPDialBackoff pins the bounded-reconnect behaviour: after a failed
+// dial, further sends inside the backoff window fail immediately without
+// re-dialling, and a successful dial (or a changed address) clears the state.
+func TestTCPDialBackoff(t *testing.T) {
+	tr, err := NewTCP("127.0.0.1:0", map[string]string{"ghost": deadAddr(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.DialTimeout = 250 * time.Millisecond
+	tr.MaxBackoff = 10 * time.Second
+	if err := tr.Register("A", func(wire.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("A", "ghost", wire.StartUpdate{}); err == nil {
+		t.Fatal("send to a dead peer must fail")
+	}
+	// Drive the failure count up so the window is comfortably long (the 5th
+	// failure opens an 800ms window; the fail-fast check below runs within it).
+	for i := 0; i < 4; i++ {
+		time.Sleep(tr.backoffFor(i + 1))
+		_ = tr.Send("A", "ghost", wire.StartUpdate{})
+	}
+	start := time.Now()
+	err = tr.Send("A", "ghost", wire.StartUpdate{})
+	if err == nil {
+		t.Fatal("send during backoff must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("backed-off send took %v; it must fail fast, not re-dial", elapsed)
+	}
+	if !strings.Contains(err.Error(), "backing off") {
+		t.Fatalf("backed-off send error = %v", err)
+	}
+
+	// A live listener appearing under a NEW address (the restarted-process
+	// case) must be reachable immediately: SetPeerAddr clears the backoff.
+	live, err := NewTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	got := make(chan wire.Envelope, 1)
+	if err := live.Register("ghost", func(env wire.Envelope) { got <- env }); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetPeerAddr("ghost", live.Addr())
+	if err := tr.Send("A", "ghost", wire.StartUpdate{Epoch: 9}); err != nil {
+		t.Fatalf("send after address change: %v", err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("send after address change not delivered")
+	}
+}
+
+// TestTCPWriteDeadlineUnwedgesStalledReceiver fills a stalled receiver's
+// socket until writes block, and checks the write deadline turns the wedge
+// into a bounded error instead of an indefinite hang.
+func TestTCPWriteDeadlineUnwedgesStalledReceiver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket-buffer filling skipped in -short mode")
+	}
+	// A listener that accepts and then never reads: the OS buffers fill and
+	// the sender's Write eventually blocks.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(30 * time.Second) // stall far beyond the test horizon
+	}()
+
+	tr, err := NewTCP("127.0.0.1:0", map[string]string{"stalled": ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.WriteTimeout = 250 * time.Millisecond
+	if err := tr.Register("A", func(wire.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Each 1MB frame either lands in socket buffers (fast) or blocks on the
+	// stalled receiver until the deadline fires; in both cases the call must
+	// return within the bound. Without SetWriteDeadline the first blocked
+	// write would hang for the receiver's full 30s stall. The deadline path
+	// drops the connection and retries on a fresh dial, so errors here are
+	// the bounded failure the protocol tolerates, not a test failure.
+	payload := make([]byte, 1<<20)
+	for i := 0; i < 12; i++ {
+		start := time.Now()
+		_ = tr.write("stalled", ln.Addr().String(), payload)
+		// Worst case: two deadline-bounded writes plus a loopback redial.
+		if elapsed := time.Since(start); elapsed > 4*tr.WriteTimeout {
+			t.Fatalf("write %d blocked %v despite a %v deadline", i, elapsed, tr.WriteTimeout)
 		}
 	}
 }

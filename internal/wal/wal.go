@@ -263,6 +263,14 @@ func (s *Store) SetStateSource(fn func() State) {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Seq returns the number of records appended this generation (the commit
+// cohort high water). Exposed for observability (metrics endpoints).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendSeq
+}
+
 // Err returns the sticky I/O error, if any append has failed.
 func (s *Store) Err() error {
 	s.mu.Lock()

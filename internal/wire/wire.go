@@ -260,6 +260,207 @@ func (StatsReset) Kind() string { return "statsReset" }
 func (StatsReset) Size() int { return 8 }
 
 // ---------------------------------------------------------------------------
+// Cluster membership (multi-process deployment)
+//
+// These frames replace the paper's JXTA peer-discovery layer when every
+// database peer runs as its own OS process (cmd/p2pdb serve): a starting
+// process dials the members it knows from its address book, announces itself
+// with its listen address, learns the transitively reachable member set from
+// the acknowledgments, and keeps liveness fresh with heartbeats. They are
+// handled by the cluster transport itself, below the peer runtime — a peer
+// never sees them and they never touch the protocol counters the polling
+// quiescence fallback reads.
+
+// Join announces the sender as a cluster member: its node name, its listen
+// address, and everything it currently knows about other members (gossip).
+type Join struct {
+	Node    string
+	Addr    string
+	Members map[string]string // node -> listen address
+}
+
+// Kind implements Message.
+func (Join) Kind() string { return "join" }
+
+// Size implements Message.
+func (m Join) Size() int { return 16 + len(m.Node) + len(m.Addr) + mapSize(m.Members) }
+
+// JoinAck acknowledges a Join with the receiver's merged member table, so the
+// joiner learns members reachable only transitively.
+type JoinAck struct {
+	Members map[string]string
+}
+
+// Kind implements Message.
+func (JoinAck) Kind() string { return "joinAck" }
+
+// Size implements Message.
+func (m JoinAck) Size() int { return 12 + mapSize(m.Members) }
+
+// Heartbeat keeps a membership entry alive; Addr re-asserts the sender's
+// listen address so a restarted process corrects stale book entries.
+type Heartbeat struct {
+	Node string
+	Addr string
+}
+
+// Kind implements Message.
+func (Heartbeat) Kind() string { return "heartbeat" }
+
+// Size implements Message.
+func (m Heartbeat) Size() int { return 12 + len(m.Node) + len(m.Addr) }
+
+// Goodbye is a clean leave: receivers mark the member as departed instead of
+// waiting out the suspicion window.
+type Goodbye struct {
+	Node string
+}
+
+// Kind implements Message.
+func (Goodbye) Kind() string { return "goodbye" }
+
+// Size implements Message.
+func (m Goodbye) Size() int { return 10 + len(m.Node) }
+
+func mapSize(m map[string]string) int {
+	n := 0
+	for k, v := range m {
+		n += len(k) + len(v) + 2
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Remote control plane (cluster coordinator verbs)
+//
+// A thin coordinator (cmd/p2pdb ctl) orchestrates live serve processes over
+// the wire: it kicks discovery and update waves, probes open nodes, polls
+// protocol state for closure detection, and evaluates remote local queries.
+// These frames go through Peer.Handle like every other message; the
+// coordinator's quiescence polling excludes their kinds from the counter
+// sums (a poll must not look like protocol traffic).
+
+// DiscoverRequest asks the receiver to start a topology-discovery wave with
+// itself as origin (the remote form of the super-peer's A1 kick-off).
+type DiscoverRequest struct{}
+
+// Kind implements Message.
+func (DiscoverRequest) Kind() string { return "discoverRequest" }
+
+// Size implements Message.
+func (DiscoverRequest) Size() int { return 8 }
+
+// UpdateRequest asks the receiver to become the update super-node: bump the
+// epoch and flood the kick-off (the remote form of StartUpdateWave).
+type UpdateRequest struct{}
+
+// Kind implements Message.
+func (UpdateRequest) Kind() string { return "updateRequest" }
+
+// Size implements Message.
+func (UpdateRequest) Size() int { return 8 }
+
+// ProbeRequest asks a still-open receiver to re-issue its own queries (the
+// remote form of the closure probe orchestration uses after quiescence).
+type ProbeRequest struct{}
+
+// Kind implements Message.
+func (ProbeRequest) Kind() string { return "probeRequest" }
+
+// Size implements Message.
+func (ProbeRequest) Size() int { return 8 }
+
+// StateRequest asks a peer for its protocol state (answered with a
+// StateReport to the sender).
+type StateRequest struct{}
+
+// Kind implements Message.
+func (StateRequest) Kind() string { return "stateRequest" }
+
+// Size implements Message.
+func (StateRequest) Size() int { return 8 }
+
+// StateReport carries one peer's protocol state to the coordinator: the
+// update epoch, whether the node joined the current wave, whether it reached
+// its fix-point, whether its discovery completed, and its tuple count.
+type StateReport struct {
+	Node       string
+	Epoch      uint64
+	Activated  bool
+	Closed     bool
+	PathsReady bool
+	Tuples     int
+}
+
+// Kind implements Message.
+func (StateReport) Kind() string { return "stateReport" }
+
+// Size implements Message.
+func (m StateReport) Size() int { return 32 + len(m.Node) }
+
+// QueryRequest evaluates a conjunctive query against the receiver's local
+// database (Definition 4 through the wire; sound and complete globally once
+// the network is quiescent). ID matches the QueryResult to the caller.
+type QueryRequest struct {
+	ID   uint64
+	Body string
+	Cols []string
+}
+
+// Kind implements Message.
+func (QueryRequest) Kind() string { return "queryRequest" }
+
+// Size implements Message.
+func (m QueryRequest) Size() int {
+	n := 18 + len(m.Body)
+	for _, c := range m.Cols {
+		n += len(c) + 1
+	}
+	return n
+}
+
+// QueryResult returns a QueryRequest's rows (or its error).
+type QueryResult struct {
+	ID      uint64
+	Columns []string
+	Tuples  []relalg.Tuple
+	Err     string
+}
+
+// Kind implements Message.
+func (QueryResult) Kind() string { return "queryResult" }
+
+// Size implements Message.
+func (m QueryResult) Size() int {
+	n := 20 + len(m.Err)
+	for _, c := range m.Columns {
+		n += len(c) + 1
+	}
+	for _, t := range m.Tuples {
+		for _, v := range t {
+			n += v.EncodedSize()
+		}
+		n += 2
+	}
+	return n
+}
+
+// ControlKinds is the set of message kinds that belong to the remote control
+// plane rather than the distributed algorithm itself: statistics collection
+// and the coordinator verbs above. Quiescence detection by counter polling
+// must exclude them — the polling itself generates them, and their replies
+// flow to a coordinator that keeps no counters, so including them would
+// either never settle or register as a permanent send/receive deficit.
+func ControlKinds() map[string]bool {
+	return map[string]bool{
+		"statsRequest": true, "statsReport": true, "statsReset": true,
+		"discoverRequest": true, "updateRequest": true, "probeRequest": true,
+		"stateRequest": true, "stateReport": true,
+		"queryRequest": true, "queryResult": true,
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Encoding (TCP transport)
 
 func init() {
@@ -276,6 +477,17 @@ func init() {
 	gob.Register(StatsRequest{})
 	gob.Register(StatsReport{})
 	gob.Register(StatsReset{})
+	gob.Register(Join{})
+	gob.Register(JoinAck{})
+	gob.Register(Heartbeat{})
+	gob.Register(Goodbye{})
+	gob.Register(DiscoverRequest{})
+	gob.Register(UpdateRequest{})
+	gob.Register(ProbeRequest{})
+	gob.Register(StateRequest{})
+	gob.Register(StateReport{})
+	gob.Register(QueryRequest{})
+	gob.Register(QueryResult{})
 }
 
 // Encode serialises an envelope with gob.

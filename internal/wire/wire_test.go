@@ -28,6 +28,17 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		SetNetwork{Text: "node A { rel a(x) }"},
 		StatsRequest{},
 		StatsReset{},
+		Join{Node: "A", Addr: "127.0.0.1:7101", Members: map[string]string{"B": "127.0.0.1:7102"}},
+		JoinAck{Members: map[string]string{"A": "127.0.0.1:7101", "C": "127.0.0.1:7103"}},
+		Heartbeat{Node: "B", Addr: "127.0.0.1:7102"},
+		Goodbye{Node: "C"},
+		DiscoverRequest{},
+		UpdateRequest{},
+		ProbeRequest{},
+		StateRequest{},
+		StateReport{Node: "A", Epoch: 4, Activated: true, Closed: true, PathsReady: true, Tuples: 12},
+		QueryRequest{ID: 7, Body: "a(X,Y)", Cols: []string{"X", "Y"}},
+		QueryResult{ID: 7, Columns: []string{"X"}, Tuples: []relalg.Tuple{{relalg.S("v")}}, Err: ""},
 	}
 	for _, m := range msgs {
 		env := Envelope{From: "X", To: "Y", Msg: m}
@@ -86,6 +97,9 @@ func TestSizesArePositiveAndMonotone(t *testing.T) {
 		RequestNodes{}, DiscoveryAnswer{}, StartUpdate{}, Query{}, Answer{},
 		Unsubscribe{}, AddRuleNotice{}, DeleteRuleNotice{}, TopoChanged{},
 		SetNetwork{}, StatsRequest{}, StatsReport{}, StatsReset{},
+		Join{}, JoinAck{}, Heartbeat{}, Goodbye{},
+		DiscoverRequest{}, UpdateRequest{}, ProbeRequest{},
+		StateRequest{}, StateReport{}, QueryRequest{}, QueryResult{},
 	}
 	kinds := map[string]bool{}
 	for _, m := range all {
@@ -96,6 +110,29 @@ func TestSizesArePositiveAndMonotone(t *testing.T) {
 			t.Errorf("duplicate kind %s", m.Kind())
 		}
 		kinds[m.Kind()] = true
+	}
+}
+
+// TestControlKindsCoverControlPlane pins the exclusion set the polling
+// quiescers rely on: every control-plane kind is in it, no protocol kind is.
+func TestControlKindsCoverControlPlane(t *testing.T) {
+	ck := ControlKinds()
+	for _, m := range []Message{
+		StatsRequest{}, StatsReport{}, StatsReset{},
+		DiscoverRequest{}, UpdateRequest{}, ProbeRequest{},
+		StateRequest{}, StateReport{}, QueryRequest{}, QueryResult{},
+	} {
+		if !ck[m.Kind()] {
+			t.Errorf("control kind %s missing from ControlKinds", m.Kind())
+		}
+	}
+	for _, m := range []Message{
+		RequestNodes{}, DiscoveryAnswer{}, StartUpdate{}, Query{}, Answer{},
+		Unsubscribe{}, AddRuleNotice{}, DeleteRuleNotice{}, TopoChanged{}, SetNetwork{},
+	} {
+		if ck[m.Kind()] {
+			t.Errorf("protocol kind %s must not be excluded from quiescence sums", m.Kind())
+		}
 	}
 }
 

@@ -44,6 +44,13 @@
 // case orchestration — lacking a global quiescence oracle, exactly as in the
 // paper's JXTA deployment — falls back to polling peer states and counters.
 //
+// The network also deploys as one peer per OS process: Options.Hosted
+// restricts a Build to a subset of the definition's nodes, and
+// internal/cluster supplies the membership transport (net-file address book,
+// join handshake, heartbeats and dead-peer suspicion) plus a remote control
+// plane speaking the wire control verbs — see `p2pdb serve` / `p2pdb ctl`
+// and the README's Deployment walkthrough.
+//
 // Options.Delta enables the paper's delta optimisation (ship only unsent
 // tuples per subscription); with it, Options.SemiNaive (default on) selects
 // semi-naive evaluation: sources track per-relation high-water marks per
