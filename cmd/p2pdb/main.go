@@ -53,6 +53,7 @@ var (
 	saveDir  = flag.String("save", "", "directory to write per-node database snapshots after a run")
 	dataDir  = flag.String("data", "", "durable backend: write-ahead-log directory (one store per node; empty = in-memory)")
 	fsyncStr = flag.String("fsync", "interval", "fsync policy of the durable backend: always, interval or never")
+	resend   = flag.Duration("resend", 0, "re-ship unacknowledged subscription deltas after this silence (serve defaults to 1s; 0 keeps the other, deterministic modes off; negative disables in serve too)")
 )
 
 func main() {
@@ -155,6 +156,10 @@ func opts(rec *trace.Recorder) (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
+	resendEvery := *resend
+	if resendEvery < 0 {
+		resendEvery = 0
+	}
 	return core.Options{
 		Seed:        *seed,
 		Delta:       *delta,
@@ -162,6 +167,7 @@ func opts(rec *trace.Recorder) (core.Options, error) {
 		Recorder:    rec,
 		DataDir:     *dataDir,
 		Fsync:       policy,
+		ResendEvery: resendEvery,
 	}, nil
 }
 

@@ -94,12 +94,27 @@ func cmdServe(args []string) error {
 		_ = tr.Close()
 		return err
 	}
+	// A long-lived serve process defaults the ack-resend loop on (losses the
+	// membership layer cannot see still heal); the deterministic one-shot
+	// modes leave it off unless asked. Negative -resend disables it here too.
+	if *resend == 0 {
+		o.ResendEvery = time.Second
+	}
 	o.Transport = tr
 	o.Hosted = []string{node}
 	n, err := core.Build(def, o) // Build owns tr from here (closes it on error)
 	if err != nil {
 		return err
 	}
+	// A member coming back from suspicion or a clean leave is a dependent
+	// whose acknowledgments stopped: re-ship everything past its acked
+	// frontier now, instead of waiting for the resend timeout or the next
+	// epoch.
+	tr.SetOnMemberUp(func(member string) {
+		if p := n.Peer(node); p != nil {
+			p.ResendUnackedTo(member)
+		}
+	})
 	tr.Announce()
 
 	if *metricsAddr != "" {

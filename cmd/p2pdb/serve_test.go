@@ -133,6 +133,19 @@ func startServe(t *testing.T, bin, netFile, dataDir, node string) *serveProc {
 	return p
 }
 
+// kill SIGKILLs the child: no goodbye, no WAL seal — the crash path.
+func (p *serveProc) kill(t *testing.T, node string) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-p.done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve %s survived SIGKILL", node)
+	}
+}
+
 // terminate sends SIGTERM and asserts a clean (exit 0) shutdown.
 func (p *serveProc) terminate(t *testing.T, node string) {
 	t.Helper()
@@ -229,6 +242,91 @@ func TestServeClusterLifecycle(t *testing.T) {
 	// The sealed stores are inspectable afterwards.
 	if err := run([]string{"recover", dataRoot}); err != nil {
 		t.Fatalf("recover after shutdown: %v", err)
+	}
+}
+
+// TestServeCrashRestartDeltaOnly is the lost-delta-window regression at
+// cluster level: a member is SIGKILLed (no goodbye, no WAL seal), restarted
+// from its write-ahead log, and the post-restart update must re-converge
+// WITHOUT re-materialising anything — the acknowledgment frontiers persisted
+// as marks records make even a crash rejoin delta-only, where it used to
+// re-answer in full. Part of the crash matrix the full CI race job runs.
+func TestServeCrashRestartDeltaOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash lifecycle skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	ports := freePorts(t, 3)
+	dir := t.TempDir()
+	netFile := filepath.Join(dir, "crash.net")
+	netText := serveChainNet + fmt.Sprintf("addr A 127.0.0.1:%d\naddr B 127.0.0.1:%d\naddr C 127.0.0.1:%d\n",
+		ports[0], ports[1], ports[2])
+	if err := os.WriteFile(netFile, []byte(netText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataRoot := filepath.Join(dir, "data")
+
+	procs := map[string]*serveProc{}
+	for _, node := range []string{"A", "B", "C"} {
+		procs[node] = startServe(t, bin, netFile, dataRoot, node)
+	}
+	for _, verb := range [][]string{
+		{"ctl", netFile, "discover"},
+		{"ctl", netFile, "update"},
+	} {
+		if err := run(verb); err != nil {
+			t.Fatalf("run(%v): %v", verb, err)
+		}
+	}
+
+	// SIGKILL the middle of the chain — a dependent of C and a source of A.
+	procs["B"].kill(t, "B")
+	// Restart it from its (unsealed) WAL.
+	procs["B"] = startServe(t, bin, netFile, dataRoot, "B")
+
+	def := mustParseNet(t, netText)
+	coord, err := cluster.NewCoordinator(def, "127.0.0.1:0", nil, cluster.CoordinatorOptions{
+		Membership: cluster.Options{HeartbeatEvery: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := coord.WaitMembers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Zero the counters, then run the post-crash epoch: the re-join must be
+	// delta-only — B recovered everything from its log and the sources
+	// resume from the acked frontiers, so nothing is re-materialised.
+	coord.ResetStats()
+	if err := coord.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Update(ctx); err != nil {
+		t.Fatalf("post-crash update: %v", err)
+	}
+	rows, err := coord.Query(ctx, "A", "a(X,Y)", []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("A answers %d rows after the crash restart, want 2", len(rows))
+	}
+	snaps, err := coord.CollectStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inserted uint64
+	for _, s := range snaps {
+		inserted += s.TuplesInserted
+	}
+	if inserted != 0 {
+		t.Fatalf("crash rejoin re-materialised %d tuples, want 0 (delta-only from acked frontiers)", inserted)
+	}
+	for _, node := range []string{"A", "B", "C"} {
+		procs[node].terminate(t, node)
 	}
 }
 

@@ -92,6 +92,13 @@ type Options struct {
 	// SuspectAfter is the silence window after which an alive member becomes
 	// suspect (default 3×HeartbeatEvery).
 	SuspectAfter time.Duration
+	// OutboxSize bounds the per-member asynchronous send queue of the
+	// underlying TCP transport (default 256 frames): a slow or dead member
+	// costs its dedicated writer goroutine the dial/write timeouts instead
+	// of stalling the handler that sends to it, and an overflowing queue
+	// drops its oldest frames (counted; the acknowledgment frontier re-ships
+	// lost deltas). Negative restores synchronous sends.
+	OutboxSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SuspectAfter <= 0 {
 		o.SuspectAfter = 3 * o.HeartbeatEvery
+	}
+	if o.OutboxSize == 0 {
+		o.OutboxSize = 256
 	}
 	return o
 }
@@ -119,10 +129,11 @@ type Transport struct {
 	opts Options
 	tcp  *transport.TCP
 
-	mu      sync.Mutex
-	members map[string]*member
-	handler transport.Handler // the hosted peer's handler (nil until Register)
-	closed  bool
+	mu         sync.Mutex
+	members    map[string]*member
+	handler    transport.Handler // the hosted peer's handler (nil until Register)
+	onMemberUp func(node string) // fired when a suspect/left member returns alive
+	closed     bool
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -141,6 +152,9 @@ func New(self, listenAddr string, book map[string]string, opts Options) (*Transp
 	tcp, err := transport.NewTCP(listenAddr, nil)
 	if err != nil {
 		return nil, err
+	}
+	if opts.OutboxSize > 0 {
+		tcp.OutboxSize = opts.OutboxSize
 	}
 	c := &Transport{
 		self:    self,
@@ -265,6 +279,20 @@ func (c *Transport) dispatch(env wire.Envelope) {
 	}
 }
 
+// SetOnMemberUp registers a callback fired when a member previously marked
+// suspect or left comes back alive (a rejoin or a healed partition, as seen
+// from this process). Orchestration wires it to the hosted peer's
+// ResendUnackedTo: the returning member is exactly the dependent whose
+// acknowledgments stopped, so whatever accumulated past its acked frontier
+// while it was gone ships now instead of waiting for the next epoch. The
+// callback runs on transport goroutines, outside the member-table lock; keep
+// it non-blocking towards the cluster layer.
+func (c *Transport) SetOnMemberUp(fn func(node string)) {
+	c.mu.Lock()
+	c.onMemberUp = fn
+	c.mu.Unlock()
+}
+
 // observe records direct contact with a member: it becomes alive and, when
 // it asserted an address, that address wins over anything gossiped or stale
 // (the restarted-process case).
@@ -278,15 +306,22 @@ func (c *Transport) observe(node, addr string) {
 		m = &member{}
 		c.members[node] = m
 	}
+	// First contact (book entries, brand-new members) is not a rejoin: only
+	// a member this process had already written off coming back counts.
+	rejoined := ok && (m.status == StatusSuspect || m.status == StatusLeft)
 	if addr != "" {
 		m.addr = addr
 	}
 	m.status = StatusAlive
 	m.lastSeen = time.Now()
 	addr = m.addr
+	up := c.onMemberUp
 	c.mu.Unlock()
 	if addr != "" {
 		c.tcp.SetPeerAddr(node, addr)
+	}
+	if rejoined && up != nil {
+		up(node)
 	}
 }
 

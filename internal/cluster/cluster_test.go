@@ -378,3 +378,57 @@ func waitFor(t *testing.T, max time.Duration, cond func() bool, msg string) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestOnMemberUpFiresOnRejoin pins the re-send trigger: a member that was
+// suspected (or said goodbye) and then comes back alive must fire the
+// OnMemberUp callback exactly for that member — the hook serve wires to
+// peer.ResendUnackedTo, so deltas evaluated while the member was down ship
+// the moment it returns.
+func TestOnMemberUpFiresOnRejoin(t *testing.T) {
+	a, err := New("A", "127.0.0.1:0", nil, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	up := make(chan string, 16)
+	a.SetOnMemberUp(func(node string) { up <- node })
+
+	b, err := New("B", "127.0.0.1:0", map[string]string{"A": a.Addr()}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Announce()
+	waitFor(t, 2*time.Second, func() bool { return statusOf(a, "B") == StatusAlive }, "A never saw B alive")
+	// First contact is not a rejoin: the callback must stay silent.
+	select {
+	case node := <-up:
+		t.Fatalf("OnMemberUp fired on first contact with %q", node)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// Crash B (no goodbye) and let A suspect it.
+	if err := b.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return statusOf(a, "B") == StatusSuspect }, "A never suspected B")
+
+	// Restart B under a fresh port: its announcement must fire the callback.
+	b2, err := New("B", "127.0.0.1:0", map[string]string{"A": a.Addr()}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	b2.Announce()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case node := <-up:
+			if node != "B" {
+				t.Fatalf("OnMemberUp fired for %q, want B", node)
+			}
+			return
+		case <-deadline:
+			t.Fatal("OnMemberUp never fired for the rejoined member")
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"expvar"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -17,18 +19,26 @@ import (
 // high water and the member table — plus the Go runtime's expvar surface at
 // /debug/vars.
 
-// NodeMetrics is one serve process's observability snapshot.
+// NodeMetrics is one serve process's observability snapshot. The message-loss
+// surface — SendErrors from the peer's statistical module, the TCP outbox's
+// overflow and write-error counters — is lifted to the top level: a lost
+// delta used to be invisible (peer.send swallowed transport errors), and
+// these are the numbers an operator watches to see the lost-delta window the
+// acknowledgment handshake then closes.
 type NodeMetrics struct {
-	Node       string         `json:"node"`
-	Addr       string         `json:"addr"`
-	Epoch      uint64         `json:"epoch"`
-	State      string         `json:"state"`
-	PathsReady bool           `json:"paths_ready"`
-	Tuples     int            `json:"tuples"`
-	Watchers   int            `json:"watchers"`
-	WalSeq     uint64         `json:"wal_seq"` // 0 without a durable store
-	Stats      stats.Snapshot `json:"stats"`
-	Members    []Member       `json:"members"`
+	Node        string         `json:"node"`
+	Addr        string         `json:"addr"`
+	Epoch       uint64         `json:"epoch"`
+	State       string         `json:"state"`
+	PathsReady  bool           `json:"paths_ready"`
+	Tuples      int            `json:"tuples"`
+	Watchers    int            `json:"watchers"`
+	WalSeq      uint64         `json:"wal_seq"`      // 0 without a durable store
+	SendErrors  uint64         `json:"send_errors"`  // peer-level failed sends
+	OutboxDrops uint64         `json:"outbox_drops"` // frames dropped on outbox overflow
+	OutboxErrs  uint64         `json:"outbox_errs"`  // frames lost to write/dial errors
+	Stats       stats.Snapshot `json:"stats"`
+	Members     []Member       `json:"members"`
 }
 
 // CollectNodeMetrics snapshots a hosted node of a running network over a
@@ -42,11 +52,34 @@ func CollectNodeMetrics(n *core.Network, tr *Transport, node string) NodeMetrics
 		m.Tuples = p.DB().TotalTuples()
 		m.Watchers = p.WatcherCount()
 		m.Stats = p.Counters().Snapshot()
+		m.SendErrors = m.Stats.SendErrors
 	}
+	m.OutboxDrops, m.OutboxErrs = tr.TCP().OutboxStats()
 	if st := n.Store(node); st != nil {
 		m.WalSeq = st.Seq()
 	}
 	return m
+}
+
+// expvar surface: one process-wide "p2pdb" variable rendering the latest
+// collector's NodeMetrics. Publish exactly once — expvar panics on duplicate
+// names and tests start several metrics endpoints per process — and route
+// through an atomic so the newest endpoint wins.
+var (
+	expvarOnce    sync.Once
+	expvarCollect atomic.Value // func() NodeMetrics
+)
+
+func publishExpvar(collect func() NodeMetrics) {
+	expvarCollect.Store(collect)
+	expvarOnce.Do(func() {
+		expvar.Publish("p2pdb", expvar.Func(func() any {
+			if f, ok := expvarCollect.Load().(func() NodeMetrics); ok {
+				return f()
+			}
+			return nil
+		}))
+	})
 }
 
 // StartMetrics serves the observability endpoint on listenAddr ("host:0"
@@ -58,6 +91,7 @@ func StartMetrics(listenAddr string, collect func() NodeMetrics) (string, func()
 	if err != nil {
 		return "", nil, err
 	}
+	publishExpvar(collect)
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {

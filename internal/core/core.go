@@ -68,11 +68,18 @@ type Options struct {
 	// DataDir, when set, makes the network durable: every node opens a
 	// log-structured store under DataDir/<node> (see internal/wal), inserts
 	// are logged as they commit, and a rebuilt network recovers each node's
-	// relations, epoch, subscriptions and part results from disk. After a
-	// clean Close, restored subscriptions keep their high-water marks, so
-	// sources re-answer only post-restart deltas; after a crash the marks
-	// are conservatively dropped (in-flight answers may have been lost) and
-	// sources re-answer in full, which receivers deduplicate. Empty keeps
+	// relations, epoch, subscriptions and part results from disk. The
+	// persisted subscription marks are the durability-confirmed frontiers of
+	// the acknowledgment handshake (dependents confirm each answer's
+	// sequence range with wire.AnswerAck; only acks sent after the
+	// dependent's store synced carry the Durable flag that lets a frontier
+	// be persisted), so in the default Delta+semi-naive configuration BOTH
+	// clean and crash restarts re-answer delta-only: the re-send after a
+	// crash is exactly the unconfirmed suffix, which receivers deduplicate.
+	// Under wal.FsyncNever acks are not durability-gated, so the persisted
+	// frontier only advances at clean closes and a crash restart re-answers
+	// (close to) in full; without the handshake (Delta off, SemiNaiveOff)
+	// crash restarts drop the subscriptions entirely. Empty DataDir keeps
 	// the network purely in-memory, as before.
 	DataDir string
 	// Fsync selects the stores' durability policy (wal.FsyncInterval
@@ -84,6 +91,12 @@ type Options struct {
 	// WatchDedupCap bounds every watcher's delivered-tuple dedup cache (see
 	// peer.Options.WatchDedupCap). Zero keeps the exact, unbounded cache.
 	WatchDedupCap int
+	// ResendEvery, when positive, starts a per-peer background loop that
+	// re-ships unacknowledged subscription deltas from the acked frontier
+	// (see peer.Options.ResendEvery). Deployments (cmd/p2pdb serve) enable
+	// it so a delta lost to a dead or unreachable member ships again without
+	// waiting for the next epoch; deterministic in-process runs leave it 0.
+	ResendEvery time.Duration
 	// Hosted, when non-empty, restricts the network to hosting only the named
 	// nodes of the definition: only their peers are built, seeded and (with
 	// DataDir) given durable stores, while the full definition still
@@ -157,9 +170,14 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 	// Durable backends: one store per node, opened before the peers so the
 	// recovered epochs can be aligned (each node persists its own; the
 	// maximum becomes everyone's restart epoch, keeping the next update wave
-	// strictly newer than anything in flight before the shutdown). Restored
-	// subscription marks are trusted only when every store closed cleanly —
-	// a crash anywhere may have lost answers in flight to anyone.
+	// strictly newer than anything in flight before the shutdown). In the
+	// acknowledgment configuration (Delta + semi-naive, fsync not never) the
+	// persisted marks are acked frontiers and stay trusted even after a
+	// crash — a frontier was only ever advanced by a dependent that had the
+	// data on stable storage; peers clamp it to their recovered relation
+	// seqs on restore. Outside that configuration a crash anywhere may have
+	// lost answers in flight to anyone, so the marks are dropped and sources
+	// re-answer in full.
 	recovered := map[string]*wal.Recovered{}
 	// A failed Build abandons the stores with Abort, never Close: Close
 	// would append a clean-close record carrying the recovered state, which
@@ -201,6 +219,15 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 	for _, r := range def.Rules {
 		byHead[r.HeadNode] = append(byHead[r.HeadNode], r)
 	}
+	// ackedRecovery: the handshake is in force, so persisted marks are
+	// durability-confirmed frontiers and survive crashes under ANY fsync
+	// policy — the gating happens at write time, not restore time: only
+	// acks from dependents that synced first (AnswerAck.Durable) ever
+	// advance the persisted frontier, and clean closes promote
+	// receipt-confirmed frontiers only while sealing every store. Marks
+	// written under a different or laxer policy in a previous run are
+	// therefore still trustworthy now.
+	ackedRecovery := opts.Delta && opts.SemiNaive.Enabled()
 	for _, decl := range def.Nodes {
 		if !isHosted(decl.Name) {
 			continue
@@ -213,12 +240,24 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 			Maps:          def.MapSet(),
 			Recorder:      opts.Recorder,
 			WatchDedupCap: opts.WatchDedupCap,
+			ResendEvery:   opts.ResendEvery,
+		}
+		if st := n.stores[decl.Name]; st != nil {
+			// Acknowledgment durability hooks: part tuples are logged before
+			// the ack, the store syncs before the ack leaves (except under
+			// FsyncNever, whose contract is to never force the disk), and an
+			// advanced frontier is appended as a marks record.
+			pOpts.PersistParts = func(pd wal.PartState) { _ = st.AppendParts(pd) }
+			pOpts.PersistMarks = func() { _ = st.SaveMarks() }
+			if opts.Fsync != wal.FsyncNever {
+				pOpts.SyncForAck = st.Sync
+			}
 		}
 		if rec := recovered[decl.Name]; rec != nil {
 			pOpts.DB = rec.DB
 			restore := rec.State
 			restore.Epoch = restartEpoch
-			if !cleanRestart {
+			if !cleanRestart && !ackedRecovery {
 				restore.Subs = nil // distrusted marks: sources re-answer in full
 			}
 			pOpts.Restore = &restore
@@ -232,6 +271,7 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 		if st := n.stores[decl.Name]; st != nil {
 			st.Attach(p.DB())
 			st.SetStateSource(p.DurableState)
+			st.SetMarksSource(p.DurableSubs)
 		}
 		n.peers[decl.Name] = p
 		n.order = append(n.order, decl.Name)
@@ -289,6 +329,11 @@ func (n *Network) Close() error {
 	err := n.tr.Close()
 	for _, id := range n.order {
 		if st := n.stores[id]; st != nil {
+			// Clean close: receipt-confirmed frontiers become durability
+			// grade (the network-wide close seals every dependent's store,
+			// making received data durable) before the state is captured.
+			// Crash() deliberately skips this promotion.
+			n.peers[id].SealFrontiers()
 			if cerr := st.Close(); cerr != nil && err == nil {
 				err = cerr
 			}

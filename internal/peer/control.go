@@ -48,11 +48,12 @@ func (p *Peer) handleAddRule(m wire.AddRuleNotice) {
 				continue
 			}
 			p.send(src, wire.Query{
-				Epoch:  p.epoch,
-				RuleID: r.ID,
-				Conj:   part.String(),
-				Cols:   cols,
-				Path:   []string{p.id},
+				Epoch:       p.epoch,
+				RuleID:      r.ID,
+				Conj:        part.String(),
+				Cols:        cols,
+				Path:        []string{p.id},
+				Incarnation: p.inc,
 			})
 		}
 	}

@@ -112,11 +112,12 @@ type Options struct {
 	DB *storage.DB
 	// Restore, when set, reloads protocol state persisted by a durable
 	// store: the update epoch, the subscriptions this node serves (with
-	// their high-water marks, so re-answers stay delta-only across a
-	// restart) and the accumulated part results of its rules (so
-	// multi-source old×new joins survive, exactly as across epoch bumps).
-	// Orchestration clears the subscriptions' marks after an unclean
-	// shutdown — see wal.Recovered.Clean.
+	// their ACKED frontiers, clamped to the recovered relation seqs, so
+	// re-answers stay delta-only across both clean and crash restarts) and
+	// the accumulated part results of its rules (so multi-source old×new
+	// joins survive, exactly as across epoch bumps). Orchestration clears
+	// the subscriptions after an unclean shutdown only when the
+	// acknowledgment handshake was not in force — see wal.Recovered.Clean.
 	Restore *wal.State
 	// WatchDedupCap, when positive, bounds every watcher's delivered-tuple
 	// dedup cache: once a streamed batch has been delivered, the oldest
@@ -126,20 +127,77 @@ type Options struct {
 	// the trade that lets a node carry thousands of standing queries without
 	// unbounded per-watcher memory. Zero keeps the exact, unbounded cache.
 	WatchDedupCap int
+	// SyncForAck, when set, runs before this peer acknowledges a received
+	// answer (AnswerAck): orchestration wires it to the durable store's Sync,
+	// so the acknowledged tuples are on stable storage before the source is
+	// allowed to advance its durable marks past them. A returned error
+	// withholds the acknowledgment — the source re-sends later. Nil
+	// acknowledges on receipt (pure in-memory durability).
+	SyncForAck func() error
+	// PersistParts, when set, receives the tuples newly merged into a rule
+	// part's accumulated result set, before the answer is acknowledged
+	// (orchestration wires it to wal.Store.AppendParts). Without it a crash
+	// would lose acknowledged part tuples the source will never re-send.
+	PersistParts func(p wal.PartState)
+	// PersistMarks, when set, runs after an acknowledgment advances a
+	// subscription's durable frontier (orchestration wires it to
+	// wal.Store.SaveMarks), outside the peer mutex.
+	PersistMarks func()
+	// ResendEvery, when positive, starts a background loop re-answering
+	// subscriptions whose shipped frontier stayed unacknowledged for a full
+	// tick: the re-answer rewinds to the acked frontier, so a delta lost to a
+	// transport error or a dead dependent ships again. Retries per stalled
+	// frontier are bounded (an explicit trigger — acknowledgment progress,
+	// member rejoin, a new epoch — resets the budget), so a permanently dead
+	// dependent cannot keep the network chattering forever. Only meaningful
+	// with Delta + semi-naive marks; zero disables the loop (deterministic
+	// in-process runs rely on epoch-bump re-pulls instead).
+	ResendEvery time.Duration
 }
 
 // subscription is the source-side registration created by a Query: the
 // paper's owner relation. The source re-answers its subscribers whenever its
 // data changes (A5).
+//
+// In semi-naive delta mode the frontier is split in three, each advanced by
+// a different class of evidence: marks is the in-flight frontier — advanced
+// the moment an evaluation extracts a delta, whether or not the send
+// survives the transport; acked is the receipt-confirmed frontier —
+// extended contiguously by AnswerAcks carrying this subscription's id (an
+// ack whose Base the frontier does not cover is a gap left by a dropped
+// earlier answer and is ignored); and ackedDurable is the
+// durability-confirmed frontier — extended the same way, but only by acks
+// whose sender synced its store first (AnswerAck.Durable). Live
+// retransmission (timeouts, same-incarnation epoch bumps) rewinds to acked;
+// persistence, recovery, and re-sends to a possibly-restarted dependent
+// (member rejoin, incarnation change) use ackedDurable — so neither a lost
+// send, a dropped answer in a sequence, nor a dependent that crashed after
+// acknowledging without durability can leave tuples below a frontier that
+// skips them.
 type subscription struct {
-	dependent string
-	ruleID    string
-	epoch     uint64
-	conj      cq.Conjunction
-	cols      []string
-	sent      map[string]bool // tuple keys already shipped (delta mode, semi-naive off)
-	marks     storage.Marks   // per-relation high-water marks (delta mode, semi-naive on)
-	primed    bool            // full evaluation done; marks are authoritative
+	dependent    string
+	ruleID       string
+	id           uint64 // instance id echoed by AnswerAck (stale-ack guard)
+	epoch        uint64
+	conj         cq.Conjunction
+	cols         []string
+	sent         map[string]bool // tuple keys already shipped (delta mode, semi-naive off)
+	marks        storage.Marks   // in-flight frontier (delta mode, semi-naive on)
+	acked        storage.Marks   // receipt-confirmed frontier (contiguous ack extension)
+	ackedDurable storage.Marks   // durability-confirmed frontier (Durable acks only; persisted)
+	primed       bool            // full evaluation done; marks are authoritative
+
+	lastInc     uint64    // dependent incarnation of the last carried query
+	lastSent    time.Time // last answer carrying a frontier
+	resendTries int       // bounded retransmit budget for the current stalled frontier
+}
+
+// pendingAck is an acknowledgment owed for an answer applied under the peer
+// mutex; it is sent after the mutex is released (and after the durability
+// hooks ran), so an fsync never blocks the actor.
+type pendingAck struct {
+	to  string
+	msg wire.AnswerAck
 }
 
 // partResult accumulates the result set received for one body part of a
@@ -160,10 +218,11 @@ type discWave struct {
 
 // Peer is one node of the P2P database network.
 type Peer struct {
-	id string
-	db *storage.DB
-	tr transport.Transport
-	ct *stats.Counters
+	id  string
+	inc uint64 // incarnation nonce: fresh per process lifetime (stamped on queries)
+	db  *storage.DB
+	tr  transport.Transport
+	ct  *stats.Counters
 
 	mu   sync.Mutex
 	opts Options
@@ -190,8 +249,16 @@ type Peer struct {
 	ruleComplete map[string]map[string]bool // ruleID -> part -> sender complete
 	parts        map[string]map[string]*partResult
 	subs         map[string]*subscription // key dependent+"\x00"+ruleID
+	subSeq       uint64                   // subscription instance ids (AnswerAck matching)
 	started      time.Time
 	cyclic       bool // some maximal path returns to this node
+
+	// Acknowledgment side effects collected under mu during Handle and
+	// flushed after it unlocks: part persistence, fsync, the acks themselves,
+	// and the durable-frontier persist hook.
+	pendingAcks  []pendingAck
+	pendingParts []wal.PartState
+	ackDirty     bool // an AnswerAck advanced a durable frontier
 
 	// Dynamic-change bookkeeping.
 	seenChanges  map[string]bool
@@ -204,6 +271,10 @@ type Peer struct {
 	watchSeq       uint64
 	watchersClosed bool  // CloseWatchers ran: no further registrations
 	nwatchers      int32 // atomic fast path for the insert listener
+
+	// Ack-resend loop (Options.ResendEvery): stopped by CloseWatchers.
+	resendQuit chan struct{}
+	resendOnce sync.Once
 }
 
 // New creates a peer with its schemas and the rules targeting it.
@@ -219,6 +290,7 @@ func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.
 	}
 	p := &Peer{
 		id:           id,
+		inc:          uint64(time.Now().UnixNano()),
 		db:           db,
 		tr:           tr,
 		ct:           stats.NewCounters(id),
@@ -245,7 +317,12 @@ func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.
 		p.applyRestore(opts.Restore)
 	}
 	p.db.AddInsertListener(func(rel string, _ relalg.Tuple, _ uint64) { p.notifyWatchers(rel) })
+	if opts.ResendEvery > 0 && opts.Delta && opts.SemiNaive.Enabled() {
+		p.resendQuit = make(chan struct{})
+		go p.resendLoop(opts.ResendEvery)
+	}
 	if err := tr.Register(id, p.Handle); err != nil {
+		p.stopResend()
 		return nil, err
 	}
 	return p, nil
@@ -255,6 +332,12 @@ func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.
 // during construction, before the transport can deliver messages.
 func (p *Peer) applyRestore(st *wal.State) {
 	p.epoch = st.Epoch
+	// Offset the subscription-id namespace by the restart epoch: ids are the
+	// AnswerAck stale-instance guard, and a fresh process counting from 1
+	// could collide with a previous lifetime's ids — a late ack still queued
+	// somewhere (a dependent's outbox) across a fast restart would then
+	// advance a frontier it does not describe.
+	p.subSeq = st.Epoch << 20
 	for _, rs := range st.Subs {
 		conj, err := cq.ParseConjunction(rs.Conj)
 		if err != nil {
@@ -269,10 +352,30 @@ func (p *Peer) applyRestore(st *wal.State) {
 		}
 		if p.opts.Delta {
 			if p.opts.SemiNaive.Enabled() {
-				sub.marks = storage.Marks{}
+				// The persisted marks are the acknowledged frontier. Clamp
+				// each one to the recovered relation's actual sequence high
+				// water: a crash may have lost log tail the frontier record
+				// outlived, and tuples re-derived after the restart would
+				// reuse the lost sequence range — a frontier above it would
+				// silently skip them. Clamping only re-sends more, never
+				// less, and receivers deduplicate.
+				m := storage.Marks{}
 				for rel, seq := range rs.Marks {
-					sub.marks[rel] = seq
+					m[rel] = seq
 				}
+				rels := make([]string, 0, len(m))
+				for rel := range m {
+					rels = append(rels, rel)
+				}
+				have := p.db.MarksFor(rels)
+				for rel, seq := range m {
+					if cur := have[rel]; seq > cur {
+						m[rel] = cur
+					}
+				}
+				sub.marks = m
+				sub.acked = m.Clone()
+				sub.ackedDurable = m.Clone()
 				sub.primed = rs.Primed
 			} else {
 				// The legacy sent-set is not persisted: the first re-answer
@@ -280,6 +383,8 @@ func (p *Peer) applyRestore(st *wal.State) {
 				sub.sent = map[string]bool{}
 			}
 		}
+		p.subSeq++
+		sub.id = p.subSeq
 		p.subs[subKey(rs.Dependent, rs.RuleID)] = sub
 	}
 	for _, rp := range st.Parts {
@@ -299,20 +404,20 @@ func (p *Peer) applyRestore(st *wal.State) {
 	}
 }
 
-// DurableState snapshots the protocol state a durable store persists beside
-// the database: the update epoch, the subscriptions this node serves with
-// their per-relation high-water marks, and the accumulated part results of
-// its rules. Orchestration wires it as the store's state source, so
-// checkpoints and clean closes carry it to disk.
-func (p *Peer) DurableState() wal.State {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := wal.State{Epoch: p.epoch}
+// durableSubsLocked renders the subscriptions in their durable form, sorted.
+// The persisted marks are the DURABILITY-confirmed frontier (ackedDurable),
+// not the in-flight or merely receipt-confirmed ones: a restart may only
+// trust what dependents confirmed having on stable storage — everything
+// beyond that frontier must ship again. SealFrontiers promotes receipt to
+// durability grade at a clean close, where the sealing store makes it so.
+// Callers hold mu.
+func (p *Peer) durableSubsLocked() []wal.SubState {
 	subKeys := make([]string, 0, len(p.subs))
 	for k := range p.subs {
 		subKeys = append(subKeys, k)
 	}
 	sort.Strings(subKeys)
+	out := make([]wal.SubState, 0, len(subKeys))
 	for _, k := range subKeys {
 		sub := p.subs[k]
 		ss := wal.SubState{
@@ -325,12 +430,52 @@ func (p *Peer) DurableState() wal.State {
 		}
 		if sub.marks != nil {
 			ss.Marks = storage.Marks{}
-			for rel, seq := range sub.marks {
+			for rel, seq := range sub.ackedDurable {
 				ss.Marks[rel] = seq
 			}
 		}
-		st.Subs = append(st.Subs, ss)
+		out = append(out, ss)
 	}
+	return out
+}
+
+// SealFrontiers promotes every subscription's receipt-confirmed frontier to
+// durability grade. Orchestration calls it on the clean-close path, after
+// the transport stopped and before the stores seal: a clean network-wide
+// close seals every dependent's store too (under every fsync policy), which
+// upgrades everything they confirmed receiving into something they durably
+// hold — the same reasoning the pre-handshake design used for trusting
+// clean-close marks, now scoped to receipt-confirmed data only. Never call
+// it on a crash path — that is exactly the laundering the two-frontier
+// split exists to prevent.
+func (p *Peer) SealFrontiers() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, sub := range p.subs {
+		if sub.acked != nil {
+			sub.ackedDurable = sub.acked.Clone()
+		}
+	}
+}
+
+// DurableSubs snapshots the subscriptions with their acknowledged frontiers
+// (the payload of the store's marks records; see wal.Store.SaveMarks).
+func (p *Peer) DurableSubs() []wal.SubState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.durableSubsLocked()
+}
+
+// DurableState snapshots the protocol state a durable store persists beside
+// the database: the update epoch, the subscriptions this node serves with
+// their acknowledged frontiers, and the accumulated part results of its
+// rules. Orchestration wires it as the store's state source, so checkpoints
+// and clean closes carry it to disk.
+func (p *Peer) DurableState() wal.State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := wal.State{Epoch: p.epoch}
+	st.Subs = p.durableSubsLocked()
 	ruleIDs := make([]string, 0, len(p.parts))
 	for id := range p.parts {
 		ruleIDs = append(ruleIDs, id)
@@ -514,17 +659,69 @@ func (p *Peer) send(to string, m wire.Message) {
 		p.opts.Recorder.Record(p.id, to, m.Kind(), note)
 	}
 	if err := p.tr.Send(p.id, to, m); err != nil {
-		// Unknown or unreachable peers are a dynamic-network fact of life;
-		// the protocol tolerates lost links (Section 4).
-		return
+		// Unknown or unreachable peers are a dynamic-network fact of life
+		// the protocol tolerates (Section 4) — but a lost message must be
+		// observable, not invisible: the statistical module counts it and
+		// the recorder traces it. Payload recovery is the acknowledgment
+		// frontier's job: an answer that never arrives is never acked, so
+		// its tuples ship again from the acked marks.
+		p.ct.AddSendErrors(1)
+		if p.opts.Recorder != nil {
+			p.opts.Recorder.Record(p.id, to, "sendError", m.Kind()+": "+err.Error())
+		}
 	}
 }
 
-// Handle processes one incoming envelope; transports call it serially.
+// Handle processes one incoming envelope; transports call it serially. The
+// protocol reaction runs under the mutex; acknowledgment side effects (part
+// persistence, the pre-ack fsync, the AnswerAck sends, the durable-frontier
+// persist) run after it is released — an fsync must not block the actor —
+// but still inside Handle, so transports that track in-flight work (the
+// quiescence oracle) cover them.
 func (p *Peer) Handle(env wire.Envelope) {
 	p.ct.Received(env.Msg.Kind(), env.Msg.Size())
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.dispatchLocked(env)
+	acks := p.pendingAcks
+	parts := p.pendingParts
+	dirty := p.ackDirty
+	p.pendingAcks, p.pendingParts, p.ackDirty = nil, nil, false
+	syncForAck := p.opts.SyncForAck
+	persistParts := p.opts.PersistParts
+	persistMarks := p.opts.PersistMarks
+	p.mu.Unlock()
+
+	if persistParts != nil {
+		for _, pd := range parts {
+			persistParts(pd)
+		}
+	}
+	if len(acks) > 0 {
+		ok := true
+		if syncForAck != nil {
+			// Durability gate: acknowledge only what is on stable storage.
+			// On failure the ack is withheld; the source re-sends later.
+			ok = syncForAck() == nil
+		}
+		if ok {
+			for _, a := range acks {
+				// Durable is an honest signal, not a promise: only an ack
+				// that passed a sync gate may advance the source's PERSISTED
+				// frontier. Ungated acks (no store, or FsyncNever) still
+				// advance the in-memory receipt frontier that drives live
+				// retransmission.
+				a.msg.Durable = syncForAck != nil
+				p.send(a.to, a.msg)
+			}
+		}
+	}
+	if dirty && persistMarks != nil {
+		persistMarks()
+	}
+}
+
+// dispatchLocked routes one envelope to its protocol handler. Callers hold mu.
+func (p *Peer) dispatchLocked(env wire.Envelope) {
 	switch m := env.Msg.(type) {
 	case wire.RequestNodes:
 		p.handleRequestNodes(env.From, m)
@@ -536,6 +733,8 @@ func (p *Peer) Handle(env wire.Envelope) {
 		p.handleQuery(env.From, m)
 	case wire.Answer:
 		p.handleAnswer(env.From, m)
+	case wire.AnswerAck:
+		p.handleAnswerAck(env.From, m)
 	case wire.Unsubscribe:
 		delete(p.subs, subKey(env.From, m.RuleID))
 	case wire.AddRuleNotice:
@@ -604,6 +803,106 @@ func (p *Peer) WatcherCount() int {
 }
 
 func subKey(dependent, ruleID string) string { return dependent + "\x00" + ruleID }
+
+// ---------------------------------------------------------------------------
+// Acknowledgment-driven retransmission
+
+// maxAckResends bounds the timeout-driven retransmits per stalled frontier:
+// a dependent that is gone for good must not keep the network chattering
+// (and polling quiescence detectors churning) forever. The budget resets
+// whenever the frontier makes progress, a member rejoins, or a new epoch
+// re-pulls.
+const maxAckResends = 3
+
+// resendLoop periodically re-ships unacknowledged deltas (Options.
+// ResendEvery). Stopped by CloseWatchers (orchestration shutdown).
+func (p *Peer) resendLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.resendQuit:
+			return
+		case <-t.C:
+			p.resendStale(every)
+		}
+	}
+}
+
+func (p *Peer) stopResend() {
+	p.resendOnce.Do(func() {
+		if p.resendQuit != nil {
+			close(p.resendQuit)
+		}
+	})
+}
+
+// resendStale rewinds every subscription whose shipped frontier has been
+// waiting unacknowledged for at least minAge back to the acked frontier and
+// re-answers it, within the per-frontier retry budget.
+func (p *Peer) resendStale(minAge time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	for _, k := range p.subKeysLocked() {
+		sub := p.subs[k]
+		if sub.marks == nil || !sub.primed || sub.acked.Covers(sub.marks) {
+			continue
+		}
+		if now.Sub(sub.lastSent) < minAge || sub.resendTries >= maxAckResends {
+			continue
+		}
+		sub.resendTries++
+		p.resendFromLocked(sub, sub.acked)
+	}
+}
+
+// ResendUnackedTo rewinds every subscription of one dependent to its
+// DURABILITY-confirmed frontier and re-answers immediately, resetting the
+// retry budget. The cluster layer calls it when a suspected or departed
+// member comes back alive: the return may be a healed partition (the member
+// still holds everything it received) or a crash restart (it only holds
+// what its durability gate confirmed), and the transport cannot tell the
+// two apart — so the re-send covers the larger window and the member
+// deduplicates the overlap.
+func (p *Peer) ResendUnackedTo(dependent string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, k := range p.subKeysLocked() {
+		sub := p.subs[k]
+		if sub.dependent != dependent || sub.marks == nil || !sub.primed {
+			continue
+		}
+		if sub.ackedDurable.Covers(sub.marks) {
+			continue
+		}
+		sub.resendTries = 0
+		p.resendFromLocked(sub, sub.ackedDurable)
+	}
+}
+
+// resendFromLocked re-evaluates a subscription from a confirmed frontier:
+// the in-flight marks rewind to it, so the evaluation re-ships exactly the
+// unconfirmed suffix (receivers deduplicate any overlap with answers that
+// did arrive). Callers hold mu.
+func (p *Peer) resendFromLocked(sub *subscription, frontier storage.Marks) {
+	sub.marks = frontier.Clone()
+	if sub.marks == nil {
+		sub.marks = storage.Marks{}
+	}
+	p.evalAndSendLocked(sub, []string{p.id})
+}
+
+// subKeysLocked lists the subscription keys in deterministic order. Callers
+// hold mu.
+func (p *Peer) subKeysLocked() []string {
+	keys := make([]string, 0, len(p.subs))
+	for k := range p.subs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // refreshOwnEdges recomputes this node's self-asserted dependency edges from
 // its rule set and bumps the version.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/relalg"
 	"repro/internal/rules"
 	"repro/internal/storage"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -113,12 +114,13 @@ func (p *Peer) sendQueriesLocked(basePath []string, scoped bool, needRels map[st
 				continue
 			}
 			p.send(src, wire.Query{
-				Epoch:  p.epoch,
-				RuleID: r.ID,
-				Conj:   part.String(),
-				Cols:   cols,
-				Path:   path,
-				Scoped: scoped,
+				Epoch:       p.epoch,
+				RuleID:      r.ID,
+				Conj:        part.String(),
+				Cols:        cols,
+				Path:        path,
+				Scoped:      scoped,
+				Incarnation: p.inc,
 			})
 		}
 	}
@@ -175,9 +177,46 @@ func (p *Peer) handleQuery(from string, m wire.Query) {
 		carry = carry && sameCols(prev.cols, m.Cols) && prev.conj.String() == sub.conj.String()
 		if p.opts.SemiNaive.Enabled() {
 			if carry && prev.marks != nil {
-				sub.marks, sub.primed = prev.marks, prev.primed
+				sub.id = prev.id
+				sub.acked = prev.acked
+				sub.ackedDurable = prev.ackedDurable
+				sub.primed = prev.primed
+				sub.lastInc = m.Incarnation
+				switch {
+				case m.Incarnation != prev.lastInc:
+					// The requester runs in a fresh process lifetime: it
+					// only still holds what reached its stable storage, so
+					// the re-answer resumes from the DURABILITY-confirmed
+					// frontier. A cleanly restarted dependent costs nothing
+					// (its close sealed everything it had received); a
+					// crashed one gets exactly what its durability gate
+					// never confirmed.
+					sub.marks = sub.ackedDurable.Clone()
+				case m.Epoch > prev.epoch:
+					// A fresh epoch within one requester lifetime re-pulls
+					// from the RECEIPT-confirmed frontier, not the in-flight
+					// one: everything evaluated but never acknowledged —
+					// sends that failed while the dependent was unreachable,
+					// answers a transport dropped — ships again here. On a
+					// healthy network the frontiers coincide at the epoch
+					// bump (quiescence drained the acks), so this costs
+					// nothing; same-epoch re-queries keep the in-flight
+					// marks, so chatty cyclic cascades do not re-ship data
+					// whose ack is merely still in flight.
+					sub.marks = sub.acked.Clone()
+				default:
+					sub.marks = prev.marks
+				}
+				if sub.marks == nil {
+					sub.marks = storage.Marks{}
+				}
 			} else {
 				sub.marks = storage.Marks{}
+				sub.acked = storage.Marks{}
+				sub.ackedDurable = storage.Marks{}
+				sub.lastInc = m.Incarnation
+				p.subSeq++
+				sub.id = p.subSeq
 			}
 		} else if carry && prev.sent != nil {
 			sub.sent = prev.sent
@@ -188,8 +227,9 @@ func (p *Peer) handleQuery(from string, m wire.Query) {
 	p.subs[key] = sub
 
 	// Immediate answer with the current evaluation (A4's first step).
+	base := sub.marks.Clone()
 	tuples := p.evalForSub(sub)
-	p.send(from, wire.Answer{
+	ans := wire.Answer{
 		Epoch:    m.Epoch,
 		RuleID:   m.RuleID,
 		Part:     p.id,
@@ -198,7 +238,9 @@ func (p *Peer) handleQuery(from string, m wire.Query) {
 		Complete: p.stateU == Closed,
 		Delta:    p.opts.Delta,
 		Route:    []string{p.id},
-	})
+	}
+	sub.stamp(&ans, base)
+	p.send(from, ans)
 
 	// Forward own queries while open and not already on the chain (A4).
 	// In delta mode the forwarding is deduplicated per epoch: re-forwarding
@@ -218,6 +260,35 @@ func (p *Peer) handleQuery(from string, m wire.Query) {
 		}
 		p.sendQueriesLocked(m.Path, m.Scoped, need)
 	}
+}
+
+// stamp marks an answer with the subscription instance and the sequence
+// range its payload covers: base is the frontier the evaluation started
+// from (captured BEFORE evalForSub advanced the marks), the current marks
+// are the frontier it reaches. The dependent echoes the whole stamp back in
+// an AnswerAck once the payload is applied (and, on a durable node,
+// persisted); the base is what lets the source extend its confirmed
+// frontiers contiguously, so an ack for a later answer cannot conceal an
+// earlier one that was dropped. A no-op for subscriptions without marks
+// (faithful mode, sent-set delta mode) or not yet primed.
+func (sub *subscription) stamp(a *wire.Answer, base storage.Marks) {
+	if sub.marks == nil || !sub.primed {
+		return
+	}
+	a.SubID = sub.id
+	a.Base = seqsOf(base)
+	a.Seqs = seqsOf(sub.marks)
+	sub.lastSent = time.Now()
+}
+
+// seqsOf renders marks as a wire frontier map (always non-nil on the sender
+// side; gob delivers an empty map as nil, which readers treat as all-zero).
+func seqsOf(m storage.Marks) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for rel, seq := range m {
+		out[rel] = seq
+	}
+	return out
 }
 
 func sameCols(a, b []string) bool {
@@ -334,13 +405,26 @@ func (p *Peer) handleAnswer(from string, m wire.Answer) {
 	semiNaive := p.opts.Delta && p.opts.SemiNaive.Enabled()
 	dm := p.opts.Maps.For(m.Part, p.id)
 	var fresh []relalg.Tuple
+	collectFresh := semiNaive || p.opts.PersistParts != nil
 	for _, t := range m.Tuples {
 		t = dm.TranslateTuple(t)
 		k := t.Key()
-		if _, dup := pr.tuples[k]; !dup && semiNaive {
+		if _, dup := pr.tuples[k]; !dup && collectFresh {
 			fresh = append(fresh, t)
 		}
 		pr.tuples[k] = t
+	}
+	if p.opts.PersistParts != nil && len(fresh) > 0 {
+		// Persist the newly accumulated part tuples before the answer is
+		// acknowledged: the source will never re-send below the acked
+		// frontier, so anything backing future multi-source joins must be
+		// recoverable here, not only at the next checkpoint.
+		p.pendingParts = append(p.pendingParts, wal.PartState{
+			RuleID: m.RuleID,
+			Part:   m.Part,
+			Cols:   append([]string(nil), pr.cols...),
+			Tuples: append([]relalg.Tuple(nil), fresh...),
+		})
 	}
 
 	// A6: chase the rule with the joined parts. Semi-naively, only bindings
@@ -358,6 +442,17 @@ func (p *Peer) handleAnswer(from string, m wire.Answer) {
 	})
 	if err != nil {
 		return
+	}
+	if m.Seqs != nil {
+		// The answer carried a sequence range: owe the source an
+		// acknowledgment echoing it. It is sent after the mutex is released
+		// — and, on a durable node, after the store synced, which is also
+		// when its Durable flag is decided — so the source's persisted
+		// frontier never runs ahead of what this node can actually recover.
+		p.pendingAcks = append(p.pendingAcks, pendingAck{
+			to:  from,
+			msg: wire.AnswerAck{RuleID: m.RuleID, SubID: m.SubID, Base: m.Base, Seqs: m.Seqs},
+		})
 	}
 	news := res.Added > 0
 	p.ct.AddInserted(uint64(res.Added))
@@ -415,6 +510,40 @@ func (p *Peer) handleAnswer(from string, m wire.Answer) {
 	}
 }
 
+// handleAnswerAck extends a subscription's confirmed frontiers: the
+// dependent has confirmed receiving — and, when Durable, persisting — the
+// answer covering the echoed range (Base, Seqs]. Each frontier extends per
+// relation only where it already covers the range's base: an ack whose base
+// lies beyond the frontier is the shadow of an earlier answer that was
+// dropped (outbox overflow, write error), and skipping past it would bury
+// the dropped delta below the frontier forever — instead the gap stays
+// open and the retransmission paths re-ship it from the frontier. A stale
+// instance id — the subscription was re-primed or re-created with a
+// different question since the answer shipped — is ignored: acknowledged
+// seqs of the old question say nothing about what of the new one has
+// arrived. Callers hold mu.
+func (p *Peer) handleAnswerAck(from string, m wire.AnswerAck) {
+	sub, ok := p.subs[subKey(from, m.RuleID)]
+	if !ok || sub.id != m.SubID || sub.acked == nil {
+		return
+	}
+	advanced := false
+	for rel, seq := range m.Seqs {
+		base := m.Base[rel] // nil-safe: a missing base reads as zero
+		if sub.acked[rel] >= base && seq > sub.acked[rel] {
+			sub.acked[rel] = seq
+			advanced = true
+		}
+		if m.Durable && sub.ackedDurable != nil && sub.ackedDurable[rel] >= base && seq > sub.ackedDurable[rel] {
+			sub.ackedDurable[rel] = seq
+			p.ackDirty = true // Handle persists the new durable frontier after unlock
+		}
+	}
+	if advanced {
+		sub.resendTries = 0
+	}
+}
+
 // joinPartsLocked joins the accumulated part results of a rule into bindings
 // over the rule's export variables (in ExportVars order). Callers hold mu.
 func (p *Peer) joinPartsLocked(r rules.Rule) []relalg.Tuple {
@@ -463,40 +592,38 @@ func (p *Peer) joinPartsDeltaLocked(r rules.Rule, part string, fresh []relalg.Tu
 // pushToSubsLocked re-answers every subscriber with the current evaluation
 // (A5's owner push), extending the route. Callers hold mu.
 func (p *Peer) pushToSubsLocked(route []string) {
-	keys := make([]string, 0, len(p.subs))
-	for k := range p.subs {
-		keys = append(keys, k)
+	for _, k := range p.subKeysLocked() {
+		p.evalAndSendLocked(p.subs[k], route)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		sub := p.subs[k]
-		tuples := p.evalForSub(sub)
-		epoch := sub.epoch
-		if p.epoch > epoch {
-			epoch = p.epoch
-		}
-		p.send(sub.dependent, wire.Answer{
-			Epoch:    epoch,
-			RuleID:   sub.ruleID,
-			Part:     p.id,
-			Columns:  sub.cols,
-			Tuples:   tuples,
-			Complete: p.stateU == Closed,
-			Delta:    p.opts.Delta,
-			Route:    route,
-		})
+}
+
+// evalAndSendLocked re-evaluates one subscription and ships the answer,
+// stamped with the sequence range the evaluation covered. Callers hold mu.
+func (p *Peer) evalAndSendLocked(sub *subscription, route []string) {
+	base := sub.marks.Clone()
+	tuples := p.evalForSub(sub)
+	epoch := sub.epoch
+	if p.epoch > epoch {
+		epoch = p.epoch
 	}
+	a := wire.Answer{
+		Epoch:    epoch,
+		RuleID:   sub.ruleID,
+		Part:     p.id,
+		Columns:  sub.cols,
+		Tuples:   tuples,
+		Complete: p.stateU == Closed,
+		Delta:    p.opts.Delta,
+		Route:    route,
+	}
+	sub.stamp(&a, base)
+	p.send(sub.dependent, a)
 }
 
 // notifySubsLocked ships empty state-change notifications (closure or
 // re-opening) to all subscribers. Callers hold mu.
 func (p *Peer) notifySubsLocked(complete bool) {
-	keys := make([]string, 0, len(p.subs))
-	for k := range p.subs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range p.subKeysLocked() {
 		sub := p.subs[k]
 		epoch := sub.epoch
 		if p.epoch > epoch {

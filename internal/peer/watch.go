@@ -323,8 +323,11 @@ func (p *Peer) reprimeWatchers() {
 
 // CloseWatchers closes every live watcher and rejects future registrations
 // (used by orchestration shutdown; a Watch racing it either joins this close
-// or fails cleanly, never leaks an unclosable stream).
+// or fails cleanly, never leaks an unclosable stream). It also stops the
+// acknowledgment-resend loop, being the one shutdown hook orchestration
+// already calls on every peer.
 func (p *Peer) CloseWatchers() {
+	p.stopResend()
 	p.wmu.Lock()
 	p.watchersClosed = true
 	ws := make([]*Watcher, 0, len(p.watchers))

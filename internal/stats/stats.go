@@ -35,6 +35,7 @@ type Snapshot struct {
 	TuplesDuplicate  uint64 // answers carrying no new data
 	DuplicateQueries uint64 // repeated query for the same (rule, wave)
 	Truncated        uint64 // null-depth-bound hits
+	SendErrors       uint64 // transport sends that returned an error (message lost)
 
 	DiscoveryClosed time.Duration // time from start to state_d = closed
 	UpdateClosed    time.Duration // time from start to state_u = closed
@@ -85,6 +86,11 @@ func (c *Counters) AddDuplicateQueries(n uint64) {
 
 // AddTruncated counts null-depth-bound hits.
 func (c *Counters) AddTruncated(n uint64) { c.add(func(s *Snapshot) { s.Truncated += n }) }
+
+// AddSendErrors counts transport sends that failed: the message is lost (the
+// protocol tolerates that by design, Section 4), but losing it silently made
+// the lost-delta window invisible — operators read this counter to see it.
+func (c *Counters) AddSendErrors(n uint64) { c.add(func(s *Snapshot) { s.SendErrors += n }) }
 
 // SetDiscoveryClosed records the discovery closure latency (first wins).
 func (c *Counters) SetDiscoveryClosed(d time.Duration) {
@@ -172,6 +178,7 @@ func Merge(snaps []Snapshot) Snapshot {
 		out.TuplesDuplicate += s.TuplesDuplicate
 		out.DuplicateQueries += s.DuplicateQueries
 		out.Truncated += s.Truncated
+		out.SendErrors += s.SendErrors
 		if s.DiscoveryClosed > out.DiscoveryClosed {
 			out.DiscoveryClosed = s.DiscoveryClosed
 		}
@@ -191,12 +198,12 @@ func Table(snaps []Snapshot) string {
 
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "node\tsent\trecv\tbytes_out\tqueries\tinserted\tdup\tdupq\tclosed_ms")
+	fmt.Fprintln(w, "node\tsent\trecv\tbytes_out\tqueries\tinserted\tdup\tdupq\tsend_err\tclosed_ms")
 	for _, s := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
 			s.Node, s.TotalSent(), s.TotalReceived(), s.BytesSent,
 			s.QueriesExecuted, s.TuplesInserted, s.TuplesDuplicate, s.DuplicateQueries,
-			float64(s.UpdateClosed.Microseconds())/1000.0)
+			s.SendErrors, float64(s.UpdateClosed.Microseconds())/1000.0)
 	}
 	_ = w.Flush()
 	return b.String()

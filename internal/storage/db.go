@@ -269,6 +269,30 @@ func (db *DB) Stats() (inserts, rejected uint64) {
 // for a particular subscriber ("delta optimization").
 type Marks map[string]uint64
 
+// Clone returns an independent copy (nil stays nil).
+func (m Marks) Clone() Marks {
+	if m == nil {
+		return nil
+	}
+	out := make(Marks, len(m))
+	for rel, seq := range m {
+		out[rel] = seq
+	}
+	return out
+}
+
+// Covers reports whether m is at or beyond o on every relation o marks (the
+// acknowledgment check: a durable frontier covering the in-flight frontier
+// means nothing shipped remains unconfirmed).
+func (m Marks) Covers(o Marks) bool {
+	for rel, seq := range o {
+		if m[rel] < seq {
+			return false
+		}
+	}
+	return true
+}
+
 // MarksFor returns the current high-water marks of the named relations
 // (undeclared relations are omitted and read back as mark 0), without
 // materialising any delta. Use it to prime a subscriber's marks after a full

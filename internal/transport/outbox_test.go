@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Async-outbox tests (ROADMAP "cluster hardening (a)"): with OutboxSize set,
+// a send to a slow or dead remote must return immediately — the dedicated
+// writer eats the dial/write cost — and an overflowing queue drops its
+// oldest frames into a counter instead of blocking or growing without bound.
+
+func newOutboxPair(t *testing.T, size int) (a, b *TCP, got chan wire.Envelope) {
+	t.Helper()
+	b, err := NewTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	got = make(chan wire.Envelope, 1024)
+	if err := b.Register("B", func(env wire.Envelope) { got <- env }); err != nil {
+		t.Fatal(err)
+	}
+	a, err = NewTCP("127.0.0.1:0", map[string]string{"B": b.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OutboxSize = size
+	t.Cleanup(func() { _ = a.Close() })
+	return a, b, got
+}
+
+func TestOutboxDeliversInOrder(t *testing.T) {
+	a, _, got := newOutboxPair(t, 64)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send("A", "B", wire.StartUpdate{Epoch: uint64(i + 1), Origin: "A"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case env := <-got:
+			if e := env.Msg.(wire.StartUpdate).Epoch; e != uint64(i+1) {
+				t.Fatalf("frame %d arrived with epoch %d: outbox reordered", i, e)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d frames arrived", i, n)
+		}
+	}
+	if dropped, werrs := a.OutboxStats(); dropped != 0 || werrs != 0 {
+		t.Fatalf("healthy link lost frames: dropped=%d writeErrs=%d", dropped, werrs)
+	}
+}
+
+func TestOutboxSendNeverBlocksOnDeadPeer(t *testing.T) {
+	// Reserve a port nobody listens on.
+	ghost, err := NewTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ghost.Addr()
+	_ = ghost.Close()
+
+	a, err := NewTCP("127.0.0.1:0", map[string]string{"D": deadAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.OutboxSize = 4
+	a.DialTimeout = 200 * time.Millisecond
+	a.MaxBackoff = 100 * time.Millisecond
+
+	start := time.Now()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := a.Send("A", "D", wire.StartUpdate{Epoch: uint64(i)}); err != nil {
+			t.Fatalf("async send surfaced %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("%d sends to a dead peer took %v: the outbox did not absorb the stall", n, elapsed)
+	}
+	// The writer keeps failing; overflow must show up as dropped-oldest or
+	// write errors, never as blocked senders.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dropped, werrs := a.OutboxStats()
+		if dropped+werrs >= n-4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loss counters never converged: dropped=%d writeErrs=%d", dropped, werrs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestOutboxDrainsOnClose(t *testing.T) {
+	a, _, got := newOutboxPair(t, 64)
+	if err := a.Send("A", "B", wire.Goodbye{Node: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	// Close immediately: the drain phase must flush the queued frame before
+	// the sockets are swept (this is how a clean leave's Goodbye survives).
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-got:
+		if _, ok := env.Msg.(wire.Goodbye); !ok {
+			t.Fatalf("drained frame was %T", env.Msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued frame was discarded by Close instead of drained")
+	}
+}
+
+func TestOutboxConcurrentSendersSafe(t *testing.T) {
+	a, _, got := newOutboxPair(t, 8)
+	var wg sync.WaitGroup
+	const senders, each = 8, 25
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = a.Send("A", "B", wire.Heartbeat{Node: "A"})
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain whatever arrived; with a tiny queue some frames may drop, but
+	// received + dropped must account for every send and nothing may hang.
+	deadline := time.Now().Add(5 * time.Second)
+	received := 0
+	for {
+		dropped, _ := a.OutboxStats()
+		if uint64(received)+dropped >= senders*each {
+			break
+		}
+		select {
+		case <-got:
+			received++
+		case <-time.After(100 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accounting never converged: received=%d dropped=%d", received, dropped)
+		}
+	}
+}

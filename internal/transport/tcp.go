@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -25,8 +26,14 @@ type TCP struct {
 	conns    map[string]net.Conn
 	accepted map[net.Conn]bool
 	fails    map[string]*dialFailure // node -> reconnect backoff state
-	closed   bool
+	outboxes map[string]*outbox      // node -> async send queue (OutboxSize > 0)
+	closed   bool                    // no new sends/registrations; outbox writers may still drain
+	tornDown bool                    // sockets are being swept; no new dials
 	wg       sync.WaitGroup
+	obWG     sync.WaitGroup // outbox writer goroutines (drained before teardown)
+
+	obDropped   atomic.Uint64 // frames dropped oldest-first on outbox overflow
+	obWriteErrs atomic.Uint64 // frames lost to write/dial errors in writer loops
 
 	// DialTimeout bounds connection attempts (default 2s).
 	DialTimeout time.Duration
@@ -42,6 +49,58 @@ type TCP struct {
 	// fail immediately instead of re-dialling, so a dead process costs one
 	// timed-out dial per window rather than one per message.
 	MaxBackoff time.Duration
+	// OutboxSize, when positive, makes remote sends asynchronous: each
+	// remote peer gets a bounded outbox drained by a dedicated writer
+	// goroutine, so a slow or dead remote costs its writer the dial/write
+	// timeouts instead of stalling the sending handler — the cluster
+	// hardening that keeps one wedged member from freezing everyone's
+	// actors. On overflow the OLDEST frame is dropped and counted
+	// (OutboxStats): the protocol tolerates loss by design and the
+	// acknowledgment frontier re-ships dropped deltas, while dropping the
+	// newest would starve fresh data behind a backlog destined to time out.
+	// Zero (the default) keeps sends synchronous: errors surface to the
+	// caller, as the in-process tests expect. Set before the first Send.
+	OutboxSize int
+}
+
+// outbox is one remote peer's bounded asynchronous send queue. The channel
+// is only ever closed under mu with closed set, and pushes hold mu too, so a
+// push can never race the close.
+type outbox struct {
+	mu     sync.Mutex
+	ch     chan []byte
+	closed bool
+}
+
+// push enqueues one frame, dropping the oldest queued frame when full. It
+// reports (dropped, ok); ok=false means the outbox is closed.
+func (ob *outbox) push(frame []byte) (dropped, ok bool) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	if ob.closed {
+		return false, false
+	}
+	for {
+		select {
+		case ob.ch <- frame:
+			return dropped, true
+		default:
+		}
+		select {
+		case <-ob.ch:
+			dropped = true
+		default:
+		}
+	}
+}
+
+func (ob *outbox) close() {
+	ob.mu.Lock()
+	if !ob.closed {
+		ob.closed = true
+		close(ob.ch)
+	}
+	ob.mu.Unlock()
 }
 
 // dialFailure tracks the reconnect backoff for one unreachable peer.
@@ -66,6 +125,7 @@ func NewTCP(listenAddr string, book map[string]string) (*TCP, error) {
 		conns:        map[string]net.Conn{},
 		accepted:     map[net.Conn]bool{},
 		fails:        map[string]*dialFailure{},
+		outboxes:     map[string]*outbox{},
 		DialTimeout:  2 * time.Second,
 		WriteTimeout: 5 * time.Second,
 		ReadTimeout:  10 * time.Second,
@@ -140,6 +200,7 @@ func (t *TCP) Send(from, to string, msg wire.Message) error {
 		return nil
 	}
 	addr, ok := t.book[to]
+	async := t.OutboxSize > 0
 	t.mu.Unlock()
 	if !ok {
 		return addressError("send to", to)
@@ -148,7 +209,76 @@ func (t *TCP) Send(from, to string, msg wire.Message) error {
 	if err != nil {
 		return err
 	}
+	if async {
+		return t.enqueue(to, data)
+	}
 	return t.write(to, addr, data)
+}
+
+// enqueue hands one encoded envelope to the peer's writer goroutine,
+// creating outbox and writer on first use. Enqueueing never blocks: a full
+// outbox drops its oldest frame (counted; the ack frontier re-ships lost
+// deltas).
+func (t *TCP) enqueue(node string, data []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	ob := t.outboxes[node]
+	if ob == nil {
+		ob = &outbox{ch: make(chan []byte, t.OutboxSize)}
+		t.outboxes[node] = ob
+		t.obWG.Add(1)
+		go t.writerLoop(node, ob)
+	}
+	t.mu.Unlock()
+	dropped, ok := ob.push(data)
+	if dropped {
+		t.obDropped.Add(1)
+	}
+	if !ok {
+		return ErrClosed
+	}
+	return nil
+}
+
+// writerLoop drains one peer's outbox onto the wire, resolving the address
+// per frame (a restarted member may have announced a new port between
+// enqueue and write). It exits when the outbox closes and is drained; while
+// the transport is closing, a first write failure discards the remaining
+// backlog instead of burning a timeout per frame.
+func (t *TCP) writerLoop(node string, ob *outbox) {
+	defer t.obWG.Done()
+	for data := range ob.ch {
+		t.mu.Lock()
+		addr, ok := t.book[node]
+		closing := t.closed
+		t.mu.Unlock()
+		var err error
+		if !ok {
+			err = addressError("send to", node)
+		} else {
+			err = t.write(node, addr, data)
+		}
+		if err != nil {
+			t.obWriteErrs.Add(1)
+			if closing {
+				for range ob.ch {
+					t.obWriteErrs.Add(1)
+				}
+				return
+			}
+		}
+	}
+}
+
+// OutboxStats reports the asynchronous send queues' loss counters: frames
+// dropped oldest-first on overflow and frames lost to write or dial errors.
+// Both are zero in synchronous mode (OutboxSize == 0), where errors surface
+// to the sender instead.
+func (t *TCP) OutboxStats() (dropped, writeErrs uint64) {
+	return t.obDropped.Load(), t.obWriteErrs.Load()
 }
 
 func (t *TCP) write(node, addr string, data []byte) error {
@@ -217,7 +347,10 @@ func (t *TCP) conn(node, addr string) (net.Conn, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.fails, node)
-	if t.closed {
+	// Dials are refused only once the socket sweep has begun: between Close
+	// and the sweep, outbox writers still drain their backlog (clean-leave
+	// frames ride there), and any connection cached here is swept after.
+	if t.tornDown {
 		_ = c.Close()
 		return nil, ErrClosed
 	}
@@ -315,6 +448,24 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
+	outboxes := make([]*outbox, 0, len(t.outboxes))
+	for _, ob := range t.outboxes {
+		outboxes = append(outboxes, ob)
+	}
+	t.mu.Unlock()
+
+	// Drain phase: closing an outbox lets its writer flush the backlog (a
+	// clean leave's Goodbye is typically the last frame queued) before the
+	// sockets go; a writer that hits an error now discards its remainder
+	// instead of burning a timeout per frame.
+	for _, ob := range outboxes {
+		ob.close()
+	}
+	t.obWG.Wait()
+
+	// Teardown phase: sweep every socket and stop the loops.
+	t.mu.Lock()
+	t.tornDown = true
 	ln := t.listener
 	conns := t.conns
 	t.conns = map[string]net.Conn{}

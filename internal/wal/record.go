@@ -22,12 +22,14 @@ import (
 
 // Record kinds.
 const (
-	recSchema   byte = 1 // relation declaration: name, attributes
-	recInsert   byte = 2 // one committed tuple: relation, seq, values
-	recState    byte = 3 // protocol state: epoch, subscriptions, part results
-	recSnapHead byte = 4 // snapshot header: the segment index it covers up to
-	recRelation byte = 5 // snapshot bulk: relation name + tuples in log order
-	recSnapEnd  byte = 6 // snapshot completeness marker
+	recSchema    byte = 1 // relation declaration: name, attributes
+	recInsert    byte = 2 // one committed tuple: relation, seq, values
+	recState     byte = 3 // protocol state: epoch, subscriptions, part results
+	recSnapHead  byte = 4 // snapshot header: the segment index it covers up to
+	recRelation  byte = 5 // snapshot bulk: relation name + tuples in log order
+	recSnapEnd   byte = 6 // snapshot completeness marker
+	recSubMarks  byte = 7 // subscriptions with their acked frontiers (marks only, no parts)
+	recPartDelta byte = 8 // newly received part tuples of one rule part
 )
 
 const (
@@ -262,6 +264,130 @@ func decodeInsert(r *reader) (rel string, seq uint64, t relalg.Tuple, err error)
 	return
 }
 
+// appendSubState encodes one subscription's durable form (shared by the full
+// state record and the marks-only record).
+func appendSubState(b []byte, sub SubState) []byte {
+	b = appendString(b, sub.Dependent)
+	b = appendString(b, sub.RuleID)
+	b = appendUvarint(b, sub.Epoch)
+	b = appendString(b, sub.Conj)
+	b = appendStrings(b, sub.Cols)
+	rels := make([]string, 0, len(sub.Marks))
+	for rel := range sub.Marks {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	b = appendUvarint(b, uint64(len(rels)))
+	for _, rel := range rels {
+		b = appendString(b, rel)
+		b = appendUvarint(b, sub.Marks[rel])
+	}
+	if sub.Primed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func (r *reader) subState() (SubState, error) {
+	var sub SubState
+	var err error
+	if sub.Dependent, err = r.str(); err != nil {
+		return sub, err
+	}
+	if sub.RuleID, err = r.str(); err != nil {
+		return sub, err
+	}
+	if sub.Epoch, err = r.uvarint(); err != nil {
+		return sub, err
+	}
+	if sub.Conj, err = r.str(); err != nil {
+		return sub, err
+	}
+	if sub.Cols, err = r.strings(); err != nil {
+		return sub, err
+	}
+	nmarks, err := r.uvarint()
+	if err != nil {
+		return sub, err
+	}
+	sub.Marks = make(storage.Marks, nmarks)
+	for j := uint64(0); j < nmarks; j++ {
+		rel, err := r.str()
+		if err != nil {
+			return sub, err
+		}
+		seq, err := r.uvarint()
+		if err != nil {
+			return sub, err
+		}
+		sub.Marks[rel] = seq
+	}
+	pb, err := r.byteval()
+	if err != nil {
+		return sub, err
+	}
+	sub.Primed = pb == 1
+	return sub, nil
+}
+
+// encodeSubMarks is the marks-only frontier record: the full subscription set
+// with acked marks, appended whenever an acknowledgment advances a frontier.
+// It deliberately omits part results — those are persisted incrementally by
+// recPartDelta records — so the per-ack append stays small.
+func encodeSubMarks(subs []SubState) []byte {
+	b := []byte{recSubMarks}
+	b = appendUvarint(b, uint64(len(subs)))
+	for _, sub := range subs {
+		b = appendSubState(b, sub)
+	}
+	return b
+}
+
+func decodeSubMarks(r *reader) ([]SubState, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]SubState, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sub, err := r.subState()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+	}
+	return subs, nil
+}
+
+// encodePartDelta records the tuples newly merged into one rule part's
+// accumulated result set, so crash recovery can rebuild the parts a node
+// acknowledged without a full re-answer from its sources.
+func encodePartDelta(p PartState) ([]byte, error) {
+	b := []byte{recPartDelta}
+	b = appendString(b, p.RuleID)
+	b = appendString(b, p.Part)
+	b = appendStrings(b, p.Cols)
+	return appendTuples(b, p.Tuples)
+}
+
+func decodePartDelta(r *reader) (PartState, error) {
+	var p PartState
+	var err error
+	if p.RuleID, err = r.str(); err != nil {
+		return p, err
+	}
+	if p.Part, err = r.str(); err != nil {
+		return p, err
+	}
+	if p.Cols, err = r.strings(); err != nil {
+		return p, err
+	}
+	p.Tuples, err = r.tuples()
+	return p, err
+}
+
 func encodeState(st State, clean bool) ([]byte, error) {
 	b := []byte{recState}
 	if clean {
@@ -273,26 +399,7 @@ func encodeState(st State, clean bool) ([]byte, error) {
 	b = appendUvarint(b, uint64(len(st.Subs)))
 	var err error
 	for _, sub := range st.Subs {
-		b = appendString(b, sub.Dependent)
-		b = appendString(b, sub.RuleID)
-		b = appendUvarint(b, sub.Epoch)
-		b = appendString(b, sub.Conj)
-		b = appendStrings(b, sub.Cols)
-		rels := make([]string, 0, len(sub.Marks))
-		for rel := range sub.Marks {
-			rels = append(rels, rel)
-		}
-		sort.Strings(rels)
-		b = appendUvarint(b, uint64(len(rels)))
-		for _, rel := range rels {
-			b = appendString(b, rel)
-			b = appendUvarint(b, sub.Marks[rel])
-		}
-		if sub.Primed {
-			b = append(b, 1)
-		} else {
-			b = append(b, 0)
-		}
+		b = appendSubState(b, sub)
 	}
 	b = appendUvarint(b, uint64(len(st.Parts)))
 	for _, part := range st.Parts {
@@ -331,43 +438,10 @@ func decodeState(r *reader) (st State, clean bool, err error) {
 		return st, false, err
 	}
 	for i := uint64(0); i < nsubs; i++ {
-		var sub SubState
-		if sub.Dependent, err = r.str(); err != nil {
-			return st, false, err
-		}
-		if sub.RuleID, err = r.str(); err != nil {
-			return st, false, err
-		}
-		if sub.Epoch, err = r.uvarint(); err != nil {
-			return st, false, err
-		}
-		if sub.Conj, err = r.str(); err != nil {
-			return st, false, err
-		}
-		if sub.Cols, err = r.strings(); err != nil {
-			return st, false, err
-		}
-		nmarks, err := r.uvarint()
+		sub, err := r.subState()
 		if err != nil {
 			return st, false, err
 		}
-		sub.Marks = make(storage.Marks, nmarks)
-		for j := uint64(0); j < nmarks; j++ {
-			rel, err := r.str()
-			if err != nil {
-				return st, false, err
-			}
-			seq, err := r.uvarint()
-			if err != nil {
-				return st, false, err
-			}
-			sub.Marks[rel] = seq
-		}
-		pb, err := r.byteval()
-		if err != nil {
-			return st, false, err
-		}
-		sub.Primed = pb == 1
 		st.Subs = append(st.Subs, sub)
 	}
 	nparts, err := r.uvarint()

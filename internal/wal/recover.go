@@ -135,7 +135,25 @@ func applyRecord(payload []byte, rec *Recovered) (ok, clean bool, err error) {
 			return false, false, nil
 		}
 		rec.State = st
+		rec.partIdx, rec.partSeen = nil, nil // parts replaced wholesale
 		return true, cl, nil
+	case recSubMarks:
+		subs, err := decodeSubMarks(r)
+		if err != nil {
+			return false, false, nil
+		}
+		// The newest frontier record wins. A marks record written before a
+		// later checkpoint replays after the snapshot state and understates
+		// the frontier — which only ever re-sends more, never less.
+		rec.State.Subs = subs
+		return true, false, nil
+	case recPartDelta:
+		pd, err := decodePartDelta(r)
+		if err != nil {
+			return false, false, nil
+		}
+		rec.mergePart(pd)
+		return true, false, nil
 	default:
 		return false, false, nil // unknown kind: written by a future version
 	}
@@ -143,7 +161,7 @@ func applyRecord(payload []byte, rec *Recovered) (ok, clean bool, err error) {
 
 // String summarises a recovered store for diagnostics (cmd/p2pdb recover).
 func (r *Recovered) String() string {
-	clean := "unclean (marks distrusted)"
+	clean := "unclean (marks = last acked frontier)"
 	if r.Clean {
 		clean = "clean"
 	}

@@ -21,9 +21,15 @@
 // Relation sequence numbers are the recovery cursor: they are the same
 // counters the delta optimisation's storage.Marks index, which is why a
 // recovered store can hand a source its subscriptions back and have it
-// re-answer only post-crash deltas. Marks are trusted only when the log ends
-// with a clean-close record: a crash may have lost answers in flight, so an
-// unclean store conservatively re-answers in full (receivers deduplicate).
+// re-answer only post-crash deltas. The marks persisted between checkpoints
+// are the ACKED frontiers of the answer-acknowledgment handshake (SaveMarks
+// appends one small record per advance; AppendParts logs the part tuples a
+// dependent acknowledged), so they stay trustworthy even when the log does
+// NOT end with a clean-close record: a frontier only ever advanced after
+// the dependent had the data on stable storage. Orchestration that runs
+// without the handshake (or under FsyncNever, whose acks are not
+// durability-gated) still distrusts unclean marks and re-answers in full
+// (receivers deduplicate).
 package wal
 
 import (
@@ -141,10 +147,12 @@ type Recovered struct {
 	// State is the last persisted protocol state (zero when none was ever
 	// written).
 	State State
-	// Clean reports whether the log ends with a clean-close record. Marks in
-	// State.Subs are only trustworthy when true: an unclean shutdown may have
-	// lost in-flight answers, so callers should resume subscriptions
-	// unprimed (full re-answer) instead.
+	// Clean reports whether the log ends with a clean-close record. When
+	// false, State.Subs holds the newest acked-frontier record instead of a
+	// close-time state; callers running the acknowledgment handshake may
+	// trust it (the frontier never ran ahead of dependent durability), while
+	// callers without the handshake should resume subscriptions unprimed
+	// (full re-answer).
 	Clean bool
 	// Segments and Records count the replayed log tail (diagnostics).
 	Segments int
@@ -152,6 +160,49 @@ type Recovered struct {
 	// SnapshotCounter identifies the snapshot recovery started from (0 =
 	// none).
 	SnapshotCounter uint64
+
+	// Replay-time merge indexes for incremental part records (recPartDelta):
+	// rebuilt lazily, invalidated whenever a full state record replaces
+	// State wholesale.
+	partIdx  map[string]int             // ruleID\x00part -> index into State.Parts
+	partSeen map[string]map[string]bool // ruleID\x00part -> tuple keys present
+}
+
+// mergePart folds one replayed part-delta record into the recovered state,
+// deduplicating by tuple key (re-sent answers append the same tuples again;
+// the merge is idempotent, like insert replay).
+func (r *Recovered) mergePart(pd PartState) {
+	if r.partIdx == nil {
+		r.partIdx = map[string]int{}
+		r.partSeen = map[string]map[string]bool{}
+		for i := range r.State.Parts {
+			p := &r.State.Parts[i]
+			key := p.RuleID + "\x00" + p.Part
+			r.partIdx[key] = i
+			seen := make(map[string]bool, len(p.Tuples))
+			for _, t := range p.Tuples {
+				seen[t.Key()] = true
+			}
+			r.partSeen[key] = seen
+		}
+	}
+	key := pd.RuleID + "\x00" + pd.Part
+	i, ok := r.partIdx[key]
+	if !ok {
+		r.State.Parts = append(r.State.Parts, PartState{RuleID: pd.RuleID, Part: pd.Part, Cols: pd.Cols})
+		i = len(r.State.Parts) - 1
+		r.partIdx[key] = i
+		r.partSeen[key] = map[string]bool{}
+	}
+	seen := r.partSeen[key]
+	for _, t := range pd.Tuples {
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		r.State.Parts[i].Tuples = append(r.State.Parts[i].Tuples, t)
+	}
 }
 
 // Store is an open write-ahead log for one node.
@@ -173,6 +224,7 @@ type Store struct {
 
 	stateMu   sync.Mutex
 	stateFn   func() State
+	marksFn   func() []SubState
 	lastState State
 
 	snapCounter atomic.Uint64
@@ -258,6 +310,69 @@ func (s *Store) SetStateSource(fn func() State) {
 	s.stateMu.Lock()
 	s.stateFn = fn
 	s.stateMu.Unlock()
+}
+
+// SetMarksSource registers the callback providing the subscriptions' durable
+// (acknowledged) frontiers for SaveMarks. Orchestration wires it to the
+// owning peer's DurableSubs.
+func (s *Store) SetMarksSource(fn func() []SubState) {
+	s.stateMu.Lock()
+	s.marksFn = fn
+	s.stateMu.Unlock()
+}
+
+// SaveMarks appends a marks-only frontier record: the subscriptions this node
+// serves with the per-relation sequence frontiers its dependents have
+// acknowledged. Recovery takes the newest such record, so a crash restart
+// resumes subscriptions from the last confirmed frontier instead of
+// distrusting the marks wholesale. The record is small (no part results), so
+// appending one per acknowledged advance is cheap; under FsyncAlways it is
+// made durable before returning, like any other append. A no-op until a
+// marks source is registered.
+func (s *Store) SaveMarks() error {
+	s.stateMu.Lock()
+	fn := s.marksFn
+	s.stateMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	payload := encodeSubMarks(fn())
+	s.mu.Lock()
+	n, ok := s.appendLocked(payload)
+	err := s.err
+	s.mu.Unlock()
+	if ok && s.opts.Fsync == FsyncAlways {
+		return s.syncTo(n)
+	}
+	return err
+}
+
+// AppendParts appends the tuples newly merged into one rule part's
+// accumulated result set. Together with SaveMarks this closes the crash half
+// of the acknowledgment handshake: a dependent only acknowledges an answer
+// after its derived inserts AND the part tuples backing future multi-source
+// joins are in the log, so a source's acked frontier never runs ahead of
+// what the dependent can actually recover. Under FsyncAlways the append is
+// durable before the call returns; under FsyncInterval the pre-ack Sync
+// covers it.
+func (s *Store) AppendParts(p PartState) error {
+	payload, err := encodePartDelta(p)
+	if err != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	n, ok := s.appendLocked(payload)
+	err = s.err
+	s.mu.Unlock()
+	if ok && s.opts.Fsync == FsyncAlways {
+		return s.syncTo(n)
+	}
+	return err
 }
 
 // Dir returns the store directory.
@@ -366,6 +481,12 @@ func (s *Store) syncTo(n uint64) error {
 	s.mu.Lock()
 	if s.closed || s.err != nil {
 		err := s.err
+		if err == nil {
+			// Closed without a sticky error: the requested cohorts may sit in
+			// a buffer that will never flush (Abort). Callers gating
+			// acknowledgments on durability must not read this as success.
+			err = errors.New("wal: store closed")
+		}
 		s.mu.Unlock()
 		return err
 	}

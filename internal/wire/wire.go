@@ -104,13 +104,19 @@ func (m StartUpdate) Size() int { return 24 + len(m.Origin) }
 // the result columns, and Path is the requester chain SN (most recent
 // requester first) used for loop control. Scoped queries (query-dependent
 // updates) restrict forwarding to rules relevant to the queried relations.
+// Incarnation is a nonce fresh per requester process lifetime: a source
+// carrying delta state across re-queries resumes from the receipt-confirmed
+// frontier while the incarnation is unchanged, but falls back to the
+// durability-confirmed frontier when it changes — a restarted requester
+// only still holds what it had on stable storage.
 type Query struct {
-	Epoch  uint64
-	RuleID string
-	Conj   string   // surface syntax of the body part local to the receiver
-	Cols   []string // variables the result tuples are projected onto
-	Path   []string // SN: requester chain, most recent first
-	Scoped bool
+	Epoch       uint64
+	RuleID      string
+	Conj        string   // surface syntax of the body part local to the receiver
+	Cols        []string // variables the result tuples are projected onto
+	Path        []string // SN: requester chain, most recent first
+	Scoped      bool
+	Incarnation uint64
 }
 
 // Kind implements Message.
@@ -118,7 +124,7 @@ func (Query) Kind() string { return "query" }
 
 // Size implements Message.
 func (m Query) Size() int {
-	n := 26 + len(m.RuleID) + len(m.Conj)
+	n := 34 + len(m.RuleID) + len(m.Conj)
 	for _, c := range m.Cols {
 		n += len(c) + 1
 	}
@@ -133,6 +139,17 @@ func (m Query) Size() int {
 // has passed through, oldest first; the fix-point rule of Section 3 — stop
 // propagating iff the receiver is on the route and the answer brings no new
 // data — and the path-flag closure both read it.
+//
+// Semi-naive sources additionally stamp each answer with the subscription
+// instance (SubID) and the per-relation sequence range the answer covers:
+// Base is the frontier the evaluation started from, Seqs the frontier it
+// reaches. The receiver echoes instance and range back in an AnswerAck once
+// it has applied — and, on a durable node, persisted — the result set; the
+// source advances a confirmed frontier only when it already covers the
+// acknowledged Base (contiguous extension), so an ack for a later answer
+// can never paper over an earlier answer that was dropped. Answers without
+// Seqs (faithful mode, sent-set delta mode, pure state-flag notifications)
+// need no acknowledgment.
 type Answer struct {
 	Epoch    uint64
 	RuleID   string
@@ -142,6 +159,9 @@ type Answer struct {
 	Complete bool // sender's state_u == closed
 	Delta    bool // tuples extend earlier answers instead of replacing them
 	Route    []string
+	SubID    uint64            // subscription instance the answer belongs to
+	Base     map[string]uint64 // per-relation frontier the delta starts from
+	Seqs     map[string]uint64 // per-relation frontier this answer reaches (nil = unacked)
 }
 
 // Kind implements Message.
@@ -161,6 +181,48 @@ func (m Answer) Size() int {
 			n += v.EncodedSize()
 		}
 		n += 2
+	}
+	for rel := range m.Base {
+		n += len(rel) + 9
+	}
+	for rel := range m.Seqs {
+		n += len(rel) + 9
+	}
+	return n
+}
+
+// AnswerAck confirms receipt — and, when Durable, persistence — of an
+// Answer's result set covering the sequence range (Base, Seqs]. The
+// dependent echoes the answer's SubID and range back to the source, which
+// extends a confirmed frontier per relation only where it already covers
+// the Base: a dropped earlier answer leaves a gap no later ack can close,
+// and the unacknowledged range ships again from the acked frontier (timeout
+// resend, member rejoin, or the next epoch's re-pull). Durable is set when
+// the dependent's store synced before the ack left; only durably confirmed
+// frontiers are sealed to disk, so a source's crash recovery never skips
+// data a dependent cannot actually recover. A stale SubID (the subscription
+// was re-primed meanwhile) is ignored. Acknowledgments are protocol
+// traffic: quiescence counting must include them, so a network is not
+// declared settled with frontiers still in flight.
+type AnswerAck struct {
+	RuleID  string
+	SubID   uint64
+	Base    map[string]uint64
+	Seqs    map[string]uint64
+	Durable bool
+}
+
+// Kind implements Message.
+func (AnswerAck) Kind() string { return "answerAck" }
+
+// Size implements Message.
+func (m AnswerAck) Size() int {
+	n := 23 + len(m.RuleID)
+	for rel := range m.Base {
+		n += len(rel) + 9
+	}
+	for rel := range m.Seqs {
+		n += len(rel) + 9
 	}
 	return n
 }
@@ -469,6 +531,7 @@ func init() {
 	gob.Register(StartUpdate{})
 	gob.Register(Query{})
 	gob.Register(Answer{})
+	gob.Register(AnswerAck{})
 	gob.Register(Unsubscribe{})
 	gob.Register(AddRuleNotice{})
 	gob.Register(DeleteRuleNotice{})
@@ -499,11 +562,17 @@ func Encode(env Envelope) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode deserialises an envelope produced by Encode.
+// Decode deserialises an envelope produced by Encode. An envelope whose Msg
+// is absent decodes without a gob error but is unusable — every receive path
+// calls Msg.Kind() — so it is rejected here instead of crashing a peer on a
+// corrupt or hostile frame (found by FuzzDecodeEnvelope).
 func Decode(data []byte) (Envelope, error) {
 	var env Envelope
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
 		return Envelope{}, fmt.Errorf("wire: decode: %w", err)
+	}
+	if env.Msg == nil {
+		return Envelope{}, fmt.Errorf("wire: decode: envelope carries no message")
 	}
 	return env, nil
 }

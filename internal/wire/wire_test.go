@@ -11,7 +11,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		RequestNodes{Wave: "A#1"},
 		DiscoveryAnswer{Wave: "A#1", Knowledge: []NodeEdges{{Node: "A", Version: 2, Targets: []string{"B", "C"}}}, Finished: true},
 		StartUpdate{Epoch: 3, Origin: "A"},
-		Query{Epoch: 3, RuleID: "r2", Conj: "B:b(X,Y), B:b(Y,Z)", Cols: []string{"X", "Z"}, Path: []string{"C", "A"}},
+		Query{Epoch: 3, RuleID: "r2", Conj: "B:b(X,Y), B:b(Y,Z)", Cols: []string{"X", "Z"}, Path: []string{"C", "A"}, Incarnation: 7},
 		Answer{
 			Epoch: 3, RuleID: "r2", Part: "B",
 			Columns: []string{"X", "Z"},
@@ -20,7 +20,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 				{relalg.Null("d1|r|V|k"), relalg.S("it's")},
 			},
 			Complete: true, Route: []string{"B", "C", "A"},
+			SubID: 9, Base: map[string]uint64{"b": 12}, Seqs: map[string]uint64{"b": 17, "c": 4},
 		},
+		AnswerAck{RuleID: "r2", SubID: 9, Base: map[string]uint64{"b": 12}, Seqs: map[string]uint64{"b": 17, "c": 4}, Durable: true},
 		Unsubscribe{RuleID: "r9"},
 		AddRuleNotice{RuleText: "r9: A:a(X) -> B:b(X)"},
 		TopoChanged{ChangeID: "c1"},
@@ -95,7 +97,7 @@ func TestSizesArePositiveAndMonotone(t *testing.T) {
 	}
 	all := []Message{
 		RequestNodes{}, DiscoveryAnswer{}, StartUpdate{}, Query{}, Answer{},
-		Unsubscribe{}, AddRuleNotice{}, DeleteRuleNotice{}, TopoChanged{},
+		AnswerAck{}, Unsubscribe{}, AddRuleNotice{}, DeleteRuleNotice{}, TopoChanged{},
 		SetNetwork{}, StatsRequest{}, StatsReport{}, StatsReset{},
 		Join{}, JoinAck{}, Heartbeat{}, Goodbye{},
 		DiscoverRequest{}, UpdateRequest{}, ProbeRequest{},
@@ -128,11 +130,53 @@ func TestControlKindsCoverControlPlane(t *testing.T) {
 	}
 	for _, m := range []Message{
 		RequestNodes{}, DiscoveryAnswer{}, StartUpdate{}, Query{}, Answer{},
-		Unsubscribe{}, AddRuleNotice{}, DeleteRuleNotice{}, TopoChanged{}, SetNetwork{},
+		AnswerAck{}, Unsubscribe{}, AddRuleNotice{}, DeleteRuleNotice{}, TopoChanged{}, SetNetwork{},
 	} {
 		if ck[m.Kind()] {
 			t.Errorf("protocol kind %s must not be excluded from quiescence sums", m.Kind())
 		}
+	}
+}
+
+// TestAnswerAckRoundTripPreservesFrontier pins the ack handshake's payload:
+// the echoed SubID and per-relation frontier must survive the gob hop intact,
+// since the source advances its durable marks from exactly these values.
+func TestAnswerAckRoundTripPreservesFrontier(t *testing.T) {
+	in := AnswerAck{RuleID: "r7", SubID: 42, Durable: true,
+		Base: map[string]uint64{"edge": 9}, Seqs: map[string]uint64{"edge": 1 << 40, "node": 3}}
+	data, err := Encode(Envelope{From: "H", To: "S", Msg: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := env.Msg.(AnswerAck)
+	if !ok {
+		t.Fatalf("decoded to %T", env.Msg)
+	}
+	if out.RuleID != in.RuleID || out.SubID != in.SubID {
+		t.Fatalf("identity lost: %+v", out)
+	}
+	if len(out.Seqs) != 2 || out.Seqs["edge"] != 1<<40 || out.Seqs["node"] != 3 {
+		t.Fatalf("frontier corrupted: %v", out.Seqs)
+	}
+	if out.Base["edge"] != 9 || !out.Durable {
+		t.Fatalf("range base or durability flag lost: %+v", out)
+	}
+	// An answer without a frontier must decode back to a nil map — the
+	// receiver's "no acknowledgment expected" signal.
+	data, err = Encode(Envelope{From: "S", To: "H", Msg: Answer{RuleID: "r"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err = Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := env.Msg.(Answer); a.Seqs != nil {
+		t.Fatalf("empty frontier became %v", a.Seqs)
 	}
 }
 

@@ -60,11 +60,16 @@
 //
 // Options.DataDir makes the network durable: every node runs over a
 // log-structured store (internal/wal) and a rebuilt network recovers its
-// relations, epoch, subscriptions and part results from disk — after a clean
-// Close the resumed subscriptions re-answer delta-only from their persisted
-// marks, and after a crash recovery replays the log's durable prefix and
-// re-converges. Options.Fsync picks the durability/throughput trade
-// (FsyncAlways, FsyncInterval, FsyncNever).
+// relations, epoch, subscriptions and part results from disk. Subscription
+// marks are governed by a per-subscription acknowledgment handshake
+// (wire.AnswerAck): dependents confirm each answer's sequence frontier
+// after applying — and persisting — it, sources persist only those acked
+// frontiers, and re-answers after restarts, timeouts or member rejoins
+// resume from them. Both clean Close and crash restarts therefore re-answer
+// delta-only (exactly the unacknowledged suffix); under FsyncNever a crash
+// falls back to a full re-answer, since its acks are not durability-gated.
+// Options.Fsync picks the durability/throughput trade (FsyncAlways,
+// FsyncInterval, FsyncNever).
 //
 // The facade re-exports the core orchestration API; the full surface
 // (relational engine, rule model, graph algorithms, transports, baselines,
