@@ -1,7 +1,8 @@
 // Command p2pbench regenerates every table and figure of the paper's
 // evaluation (experiments E1–E13; see DESIGN.md for the index) plus the
 // engine ablations that go beyond it (E14: semi-naive delta evaluation;
-// E15: durable backend at each fsync policy vs in-memory).
+// E15: durable backend at each fsync policy vs in-memory; E16: batched
+// wire protocol, frames per tuple with and without a batch window).
 //
 // Usage:
 //
@@ -9,9 +10,11 @@
 //	p2pbench -e E3,E5        # run selected experiments
 //	p2pbench -e E14          # semi-naive vs full-eval fix-point ablation
 //	p2pbench -e E15          # in-memory vs wal fsync always/interval/never
+//	p2pbench -e E16          # batched vs unbatched wire protocol
 //	p2pbench -records 1000   # paper-scale data (~1000 records per node)
 //	p2pbench -seed 7
 //	p2pbench -json BENCH_$(date +%Y%m%d).json   # machine-readable results
+//	p2pbench -e E5 -mpt-ceiling E5=60           # CI regression gate
 //
 // With -json, every protocol run's metrics (tuples/s, messages, bytes, wall
 // time) are written as one JSON document, so successive invocations
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,13 +51,20 @@ type benchExperiment struct {
 
 func main() {
 	var (
-		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E16) or 'all'")
 		records  = flag.Int("records", 50, "records per node (paper used ~1000)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-experiment timeout")
 		jsonPath = flag.String("json", "", "write machine-readable per-run results to this path")
+		ceilings = flag.String("mpt-ceiling", "", "fail when an experiment's worst messages-per-tuple exceeds its limit; comma-separated ID=limit (e.g. E5=60)")
 	)
 	flag.Parse()
+
+	limits, lerr := parseCeilings(*ceilings)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", lerr)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{RecordsPerNode: *records, Seed: *seed, Timeout: *timeout}
 
@@ -91,6 +102,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
 		os.Exit(1)
 	}
+	if err := checkCeilings(limits, results); err != nil {
+		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseCeilings parses the -mpt-ceiling flag ("E5=60,E16=1.5").
+func parseCeilings(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, lim, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("bad -mpt-ceiling entry %q (want ID=limit)", part)
+		}
+		v, err := strconv.ParseFloat(lim, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -mpt-ceiling limit %q (want a positive number)", lim)
+		}
+		out[strings.ToUpper(id)] = v
+	}
+	return out, nil
+}
+
+// checkCeilings enforces the messages-per-tuple regression gate: the worst
+// run of each gated experiment must stay under its checked-in ceiling. The
+// metric counts wire frames per inserted tuple, so an accidental return to
+// per-tuple messaging (or a batching regression) fails CI loudly instead of
+// drifting into the perf trajectory.
+func checkCeilings(limits map[string]float64, results []experiments.Result) error {
+	for _, r := range results {
+		lim, gated := limits[strings.ToUpper(r.ID)]
+		if !gated {
+			continue
+		}
+		worst := 0.0
+		for _, run := range r.Runs {
+			if run.MsgsPerTuple > worst {
+				worst = run.MsgsPerTuple
+			}
+		}
+		if worst > lim {
+			return fmt.Errorf("%s: messages-per-tuple regressed: worst run %.2f exceeds ceiling %.2f", r.ID, worst, lim)
+		}
+		fmt.Printf("%s messages-per-tuple ceiling ok: worst run %.2f <= %.2f\n", r.ID, worst, lim)
+	}
+	return nil
 }
 
 func writeJSON(path string, cfg experiments.Config, results []experiments.Result, runErr error) error {

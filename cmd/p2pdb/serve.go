@@ -27,6 +27,8 @@ var (
 	metricsAddr  = flag.String("metrics", "", "serve observability endpoint (host:port; empty = off)")
 	hbEvery      = flag.Duration("hb", time.Second, "cluster heartbeat cadence")
 	suspectAfter = flag.Duration("suspect", 0, "silence window before suspecting a member (0 = 3×hb)")
+	batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "coalesce answers/acks per member within this window into batched frames (0 = one frame per message)")
+	batchBytes   = flag.Int("batch-bytes", 64<<10, "flush a batch early past this payload size")
 )
 
 // parseJoin parses the -join flag ("A=127.0.0.1:7101,B=...").
@@ -45,9 +47,16 @@ func parseJoin(s string) (map[string]string, error) {
 	return out, nil
 }
 
-// clusterOpts builds the membership tuning from the flags.
+// clusterOpts builds the membership tuning from the flags. The batched wire
+// protocol lives in the cluster transport (not core.Options.BatchWindow), so
+// the membership plane's heartbeats share frames with the peer's traffic.
 func clusterOpts() cluster.Options {
-	return cluster.Options{HeartbeatEvery: *hbEvery, SuspectAfter: *suspectAfter}
+	return cluster.Options{
+		HeartbeatEvery: *hbEvery,
+		SuspectAfter:   *suspectAfter,
+		BatchWindow:    *batchWindow,
+		BatchBytes:     *batchBytes,
+	}
 }
 
 // cmdServe hosts one node of the network in this process until SIGINT or
@@ -96,8 +105,11 @@ func cmdServe(args []string) error {
 	}
 	// A long-lived serve process defaults the ack-resend loop on (losses the
 	// membership layer cannot see still heal); the deterministic one-shot
-	// modes leave it off unless asked. Negative -resend disables it here too.
-	if *resend == 0 {
+	// modes leave it off unless asked. Negative -resend disables it here
+	// too. Only with -delta: the resend loop re-ships from acked frontiers,
+	// which only the delta configuration maintains — core.Build rejects the
+	// combination loudly, so don't default into it.
+	if *resend == 0 && o.Delta {
 		o.ResendEvery = time.Second
 	}
 	o.Transport = tr

@@ -96,9 +96,20 @@ type Options struct {
 	// underlying TCP transport (default 256 frames): a slow or dead member
 	// costs its dedicated writer goroutine the dial/write timeouts instead
 	// of stalling the handler that sends to it, and an overflowing queue
-	// drops its oldest frames (counted; the acknowledgment frontier re-ships
-	// lost deltas). Negative restores synchronous sends.
+	// drops its oldest data frames (counted; the acknowledgment frontier
+	// re-ships lost deltas; control frames and acks are exempt from
+	// eviction). Negative restores synchronous sends.
 	OutboxSize int
+	// BatchWindow, when positive, batches the wire protocol: Answers and
+	// AnswerAcks bound for the same member coalesce into wire.AnswerBatch
+	// frames within this window, and pending heartbeats piggyback on those
+	// frames instead of paying their own (transport.NewBatcher, shared by
+	// the hosted peer's traffic and the membership plane). Zero keeps one
+	// frame per message.
+	BatchWindow time.Duration
+	// BatchBytes flushes a batch early once its payload estimate reaches
+	// this size (default 64KiB). Ignored without BatchWindow.
+	BatchBytes int
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +139,12 @@ type Transport struct {
 	self string
 	opts Options
 	tcp  *transport.TCP
+	// out is what every send goes through: the Batcher over tcp when
+	// Options.BatchWindow asked for the batched wire protocol (so the
+	// membership plane's heartbeats share frames with the hosted peer's
+	// answers and acks), plain tcp otherwise.
+	out     transport.Transport
+	batcher *transport.Batcher // non-nil when out is the Batcher
 
 	mu         sync.Mutex
 	members    map[string]*member
@@ -160,8 +177,16 @@ func New(self, listenAddr string, book map[string]string, opts Options) (*Transp
 		self:    self,
 		opts:    opts,
 		tcp:     tcp,
+		out:     tcp,
 		members: map[string]*member{},
 		quit:    make(chan struct{}),
+	}
+	if opts.BatchWindow > 0 {
+		c.batcher = transport.NewBatcher(tcp, transport.BatcherOptions{
+			Window:   opts.BatchWindow,
+			MaxBytes: opts.BatchBytes,
+		})
+		c.out = c.batcher
 	}
 	for node, addr := range book {
 		if node == self || addr == "" {
@@ -243,7 +268,7 @@ func (c *Transport) bookSnapshot() map[string]string {
 }
 
 func (c *Transport) sendJoin(to string) {
-	_ = c.tcp.Send(c.self, to, wire.Join{Node: c.self, Addr: c.tcp.Addr(), Members: c.bookSnapshot()})
+	_ = c.out.Send(c.self, to, wire.Join{Node: c.self, Addr: c.tcp.Addr(), Members: c.bookSnapshot()})
 }
 
 // dispatch is the TCP handler of the local name: membership frames are
@@ -254,7 +279,7 @@ func (c *Transport) dispatch(env wire.Envelope) {
 	case wire.Join:
 		c.observe(m.Node, m.Addr)
 		c.merge(m.Members)
-		_ = c.tcp.Send(c.self, m.Node, wire.JoinAck{Members: c.bookSnapshot()})
+		_ = c.out.Send(c.self, m.Node, wire.JoinAck{Members: c.bookSnapshot()})
 		return
 	case wire.JoinAck:
 		c.observe(env.From, "") // address already known: we dialled it
@@ -270,6 +295,17 @@ func (c *Transport) dispatch(env wire.Envelope) {
 		}
 		c.mu.Unlock()
 		return
+	case wire.AnswerBatch:
+		// A batched frame may carry a piggybacked heartbeat: consume the
+		// membership plane here (as for a bare Heartbeat) and forward the
+		// database-plane remainder — if any — to the hosted peer.
+		for _, hb := range m.Beats {
+			c.observe(hb.Node, hb.Addr)
+		}
+		if len(m.Answers) == 0 && len(m.Acks) == 0 {
+			return
+		}
+		env.Msg = wire.AnswerBatch{Answers: m.Answers, Acks: m.Acks}
 	}
 	c.mu.Lock()
 	h := c.handler
@@ -387,7 +423,10 @@ func (c *Transport) heartbeatLoop() {
 			if tk.join {
 				c.sendJoin(tk.name)
 			} else {
-				_ = c.tcp.Send(c.self, tk.name, wire.Heartbeat{Node: c.self, Addr: addr})
+				// Through out: with batching on, the heartbeat waits one
+				// window for a data frame to ride on (latest wins when
+				// several queue) instead of always paying its own frame.
+				_ = c.out.Send(c.self, tk.name, wire.Heartbeat{Node: c.self, Addr: addr})
 			}
 		}
 	}
@@ -413,15 +452,17 @@ func (c *Transport) Register(node string, h transport.Handler) error {
 }
 
 // Send implements transport.Transport: the member table has already fed the
-// TCP address book, so sends resolve through it. Unknown members are an
-// addressing error the protocol tolerates.
+// TCP address book, so sends resolve through it (via the Batcher when the
+// batched wire protocol is on). Unknown members are an addressing error the
+// protocol tolerates.
 func (c *Transport) Send(from, to string, msg wire.Message) error {
-	return c.tcp.Send(from, to, msg)
+	return c.out.Send(from, to, msg)
 }
 
 // Close implements transport.Transport: a clean leave. Alive members get a
 // Goodbye (so they mark this process left instead of suspecting it), the
-// heartbeat loop stops, and the listener closes.
+// heartbeat loop stops, and the listener closes. The Goodbye goes through
+// the Batcher, whose flush-on-Close drains it behind any held answers.
 func (c *Transport) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -433,14 +474,15 @@ func (c *Transport) Close() error {
 	close(c.quit)
 	c.wg.Wait()
 	for _, name := range c.targets(func(m *member) bool { return m.status == StatusAlive }) {
-		_ = c.tcp.Send(c.self, name, wire.Goodbye{Node: c.self})
+		_ = c.out.Send(c.self, name, wire.Goodbye{Node: c.self})
 	}
-	return c.tcp.Close()
+	return c.out.Close()
 }
 
 // Abandon closes the listener without a Goodbye — the crash path. Remaining
 // members must detect the loss through heartbeat suspicion. (Tests and crash
-// simulation; a real crash needs no call at all.)
+// simulation; a real crash needs no call at all.) Held batches are dropped
+// with the sockets, as a real crash would drop them.
 func (c *Transport) Abandon() error {
 	c.mu.Lock()
 	if c.closed {
@@ -451,11 +493,26 @@ func (c *Transport) Abandon() error {
 	c.mu.Unlock()
 	close(c.quit)
 	c.wg.Wait()
-	return c.tcp.Close()
+	err := c.tcp.Close()
+	if c.batcher != nil {
+		// Stop the flusher goroutine; its remaining flushes hit the closed
+		// TCP transport and are discarded, matching crash semantics.
+		_ = c.batcher.Close()
+	}
+	return err
 }
 
 // TCP exposes the underlying socket transport (deadline/backoff tuning).
 func (c *Transport) TCP() *transport.TCP { return c.tcp }
+
+// BatchStats reports the Batcher's frame accounting; ok is false when the
+// member runs unbatched (Options.BatchWindow zero).
+func (c *Transport) BatchStats() (transport.BatchStats, bool) {
+	if c.batcher == nil {
+		return transport.BatchStats{}, false
+	}
+	return c.batcher.Stats(), true
+}
 
 // IsCoordinator reports whether a member name belongs to the control plane
 // rather than the database network.

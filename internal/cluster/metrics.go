@@ -33,10 +33,14 @@ type NodeMetrics struct {
 	PathsReady  bool           `json:"paths_ready"`
 	Tuples      int            `json:"tuples"`
 	Watchers    int            `json:"watchers"`
-	WalSeq      uint64         `json:"wal_seq"`      // 0 without a durable store
-	SendErrors  uint64         `json:"send_errors"`  // peer-level failed sends
-	OutboxDrops uint64         `json:"outbox_drops"` // frames dropped on outbox overflow
-	OutboxErrs  uint64         `json:"outbox_errs"`  // frames lost to write/dial errors
+	WalSeq      uint64         `json:"wal_seq"`          // 0 without a durable store
+	SendErrors  uint64         `json:"send_errors"`      // peer-level failed sends
+	OutboxDrops uint64         `json:"outbox_drops"`     // frames dropped on outbox overflow
+	OutboxErrs  uint64         `json:"outbox_errs"`      // frames lost to write/dial errors
+	WireFrames  uint64         `json:"wire_frames"`      // frames shipped (batched protocol; 0 unbatched)
+	Coalesced   uint64         `json:"frames_coalesced"` // messages that shared a frame instead of paying their own
+	PiggyAcks   uint64         `json:"acks_piggybacked"` // acks that rode in a batched frame
+	PiggyBeats  uint64         `json:"beats_piggybacked"`
 	Stats       stats.Snapshot `json:"stats"`
 	Members     []Member       `json:"members"`
 }
@@ -55,6 +59,12 @@ func CollectNodeMetrics(n *core.Network, tr *Transport, node string) NodeMetrics
 		m.SendErrors = m.Stats.SendErrors
 	}
 	m.OutboxDrops, m.OutboxErrs = tr.TCP().OutboxStats()
+	if bs, ok := tr.BatchStats(); ok {
+		m.WireFrames = bs.Frames
+		m.Coalesced = bs.Coalesced
+		m.PiggyAcks = bs.PiggybackedAcks
+		m.PiggyBeats = bs.PiggybackedBeats
+	}
 	if st := n.Store(node); st != nil {
 		m.WalSeq = st.Seq()
 	}

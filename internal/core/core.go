@@ -76,11 +76,11 @@ type Options struct {
 	// be persisted), so in the default Delta+semi-naive configuration BOTH
 	// clean and crash restarts re-answer delta-only: the re-send after a
 	// crash is exactly the unconfirmed suffix, which receivers deduplicate.
-	// Under wal.FsyncNever acks are not durability-gated, so the persisted
-	// frontier only advances at clean closes and a crash restart re-answers
-	// (close to) in full; without the handshake (Delta off, SemiNaiveOff)
-	// crash restarts drop the subscriptions entirely. Empty DataDir keeps
-	// the network purely in-memory, as before.
+	// Under wal.FsyncNever routine appends skip fsync but acks still gate
+	// on a group-commit sync point (wal.Store.SyncPoint), so crash restarts
+	// are delta-only there too; without the handshake (Delta off,
+	// SemiNaiveOff) crash restarts drop the subscriptions entirely. Empty
+	// DataDir keeps the network purely in-memory, as before.
 	DataDir string
 	// Fsync selects the stores' durability policy (wal.FsyncInterval
 	// default; see wal.FsyncPolicy). Ignored without DataDir.
@@ -96,7 +96,22 @@ type Options struct {
 	// (see peer.Options.ResendEvery). Deployments (cmd/p2pdb serve) enable
 	// it so a delta lost to a dead or unreachable member ships again without
 	// waiting for the next epoch; deterministic in-process runs leave it 0.
+	// Build rejects it outside the Delta+semi-naive configuration: the
+	// resend loop re-ships from acked frontiers, which only exist there, so
+	// a misconfigured deployment fails loudly instead of silently never
+	// re-sending.
 	ResendEvery time.Duration
+	// BatchWindow, when positive, wraps the transport in a Batcher
+	// (transport.NewBatcher): Answers and AnswerAcks bound for the same peer
+	// coalesce into wire.AnswerBatch frames within this window, and pending
+	// acks piggyback on the next outgoing frame instead of paying their own
+	// — the batched, ack-piggybacked wire protocol. Zero sends every message
+	// as its own frame, as before. Ignored in Synchronous mode, whose BSP
+	// stepping needs every send delivered by the next round.
+	BatchWindow time.Duration
+	// BatchBytes flushes a batch early once its payload estimate reaches
+	// this size (default 64KiB). Ignored without BatchWindow.
+	BatchBytes int
 	// Hosted, when non-empty, restricts the network to hosting only the named
 	// nodes of the definition: only their peers are built, seeded and (with
 	// DataDir) given durable stores, while the full definition still
@@ -124,14 +139,15 @@ const (
 
 // Network is a running P2P database network over any transport.
 type Network struct {
-	defMu  sync.Mutex // guards def (Broadcast replaces it, Insert appends facts)
-	def    *rules.Network
-	tr     transport.Transport
-	peers  map[string]*peer.Peer
-	stores map[string]*wal.Store // durable backends (nil entries when DataDir unset)
-	order  []string
-	super  string
-	opts   Options
+	defMu   sync.Mutex // guards def (Broadcast replaces it, Insert appends facts)
+	def     *rules.Network
+	tr      transport.Transport // what peers send through (the Batcher when batching)
+	batcher *transport.Batcher  // non-nil when Options.BatchWindow wrapped the transport
+	peers   map[string]*peer.Peer
+	stores  map[string]*wal.Store // durable backends (nil entries when DataDir unset)
+	order   []string
+	super   string
+	opts    Options
 }
 
 // Build constructs peers, pipes and seed data from a network description.
@@ -145,6 +161,12 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 		}
 		return nil, err
 	}
+	if opts.ResendEvery > 0 && (!opts.Delta || !opts.SemiNaive.Enabled()) {
+		if opts.Transport != nil {
+			_ = opts.Transport.Close()
+		}
+		return nil, fmt.Errorf("core: ResendEvery requires Delta with semi-naive evaluation (the resend loop re-ships unacknowledged deltas from the acked frontiers, which only that configuration maintains)")
+	}
 	tr := opts.Transport
 	if tr == nil {
 		tr = transport.NewMem(transport.MemOptions{
@@ -153,7 +175,21 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 			Synchronous: opts.Synchronous,
 		})
 	}
-	n := &Network{def: def, tr: tr, peers: map[string]*peer.Peer{}, stores: map[string]*wal.Store{}, opts: opts}
+	var batcher *transport.Batcher
+	if opts.BatchWindow > 0 && !opts.Synchronous {
+		// The batched wire protocol: peers send through the Batcher, which
+		// coalesces Answers and piggybacks acks per destination. Capability
+		// asserts (quiescence, stepping, faults) go to the inner transport —
+		// see capTransport. Synchronous mode is exempt: BSP rounds require
+		// every send buffered for the NEXT Step, not held in a side buffer
+		// the stepper cannot see.
+		batcher = transport.NewBatcher(tr, transport.BatcherOptions{
+			Window:   opts.BatchWindow,
+			MaxBytes: opts.BatchBytes,
+		})
+		tr = batcher
+	}
+	n := &Network{def: def, tr: tr, batcher: batcher, peers: map[string]*peer.Peer{}, stores: map[string]*wal.Store{}, opts: opts}
 
 	// Hosted-subset mode: build only the named peers; everything else in the
 	// definition is a remote node reached through the transport.
@@ -244,13 +280,17 @@ func Build(def *rules.Network, opts Options) (*Network, error) {
 		}
 		if st := n.stores[decl.Name]; st != nil {
 			// Acknowledgment durability hooks: part tuples are logged before
-			// the ack, the store syncs before the ack leaves (except under
-			// FsyncNever, whose contract is to never force the disk), and an
-			// advanced frontier is appended as a marks record.
+			// the ack, the store syncs before the ack leaves, and an advanced
+			// frontier is appended as a marks record. Under FsyncNever the
+			// per-record fsyncs stay off, but acks still gate on a
+			// group-commit sync point (many acks amortise one fsync), so
+			// crash restarts trust the recovered marks in every policy.
 			pOpts.PersistParts = func(pd wal.PartState) { _ = st.AppendParts(pd) }
 			pOpts.PersistMarks = func() { _ = st.SaveMarks() }
 			if opts.Fsync != wal.FsyncNever {
 				pOpts.SyncForAck = st.Sync
+			} else {
+				pOpts.SyncForAck = st.SyncPoint
 			}
 		}
 		if rec := recovered[decl.Name]; rec != nil {
@@ -374,13 +414,33 @@ func (n *Network) Store(id string) *wal.Store { return n.stores[id] }
 // Nodes returns all node names, sorted.
 func (n *Network) Nodes() []string { return append([]string(nil), n.order...) }
 
-// Transport exposes the transport carrying the network's messages.
+// Transport exposes the transport carrying the network's messages (the
+// Batcher when Options.BatchWindow wrapped one around the base transport).
 func (n *Network) Transport() transport.Transport { return n.tr }
+
+// capTransport is where transport capabilities are asserted: the base
+// transport under any Batcher wrapper. The Batcher is a send-side buffer —
+// quiescence oracles, BSP stepping and fault injection live underneath it.
+func (n *Network) capTransport() transport.Transport {
+	if n.batcher != nil {
+		return n.batcher.Inner()
+	}
+	return n.tr
+}
+
+// BatchStats reports the Batcher's frame accounting; ok is false when the
+// network runs unbatched (Options.BatchWindow zero or Synchronous).
+func (n *Network) BatchStats() (transport.BatchStats, bool) {
+	if n.batcher == nil {
+		return transport.BatchStats{}, false
+	}
+	return n.batcher.Stats(), true
+}
 
 // Faults returns the transport's fault-injection capability (partitions,
 // drop counters), or nil when the transport has none.
 func (n *Network) Faults() transport.FaultInjector {
-	f, _ := n.tr.(transport.FaultInjector)
+	f, _ := n.capTransport().(transport.FaultInjector)
 	return f
 }
 
@@ -391,7 +451,7 @@ func (n *Network) Faults() transport.FaultInjector {
 // protocol counters until they hold still for a settle window.
 func (n *Network) Quiesce(ctx context.Context) error {
 	if n.opts.Synchronous {
-		if st, ok := n.tr.(transport.Stepper); ok {
+		if st, ok := n.capTransport().(transport.Stepper); ok {
 			for round := 0; round < 1_000_000; round++ {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -406,7 +466,7 @@ func (n *Network) Quiesce(ctx context.Context) error {
 			// mistakenly paired with Synchronous).
 		}
 	}
-	if q, ok := n.tr.(transport.Quiescer); ok {
+	if q, ok := n.capTransport().(transport.Quiescer); ok {
 		return q.WaitQuiescent(ctx)
 	}
 	return n.quiesceByPolling(ctx)

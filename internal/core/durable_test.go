@@ -98,8 +98,11 @@ func TestDurableCloseRebuildValidates(t *testing.T) {
 // accounting: a clean restart re-answers from the persisted acked frontiers
 // (near-empty answers), and — since the acknowledgment handshake (AnswerAck)
 // made those frontiers trustworthy after power loss too — a crash restart
-// under a durability-gated fsync policy stays delta-only as well, instead of
-// re-shipping the full result sets as it did before the handshake.
+// stays delta-only under EVERY fsync policy, instead of re-shipping the full
+// result sets as it did before the handshake. FsyncAlways earns this by
+// syncing each append; FsyncNever earns it through the sync-point group
+// commit that gates every acknowledgment, so routine appends never fsync yet
+// acked frontiers still never claim more than the disk holds.
 func TestDurableRestartIsDeltaOnly(t *testing.T) {
 	text := durableChainDef(120)
 
@@ -116,28 +119,30 @@ func TestDurableRestartIsDeltaOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Crash after the fix-point (FsyncAlways: all tuples durable, no
-	// clean-close record — only the marks records appended as the acks
-	// arrived), then rebuild and re-run.
-	crashDir := t.TempDir()
-	c := buildDurable(t, text, crashDir, wal.FsyncAlways)
-	crashFirst := runToFixpoint(t, c)
-	if err := c.Crash(); err != nil {
-		t.Fatal(err)
-	}
-	c2 := buildDurable(t, text, crashDir, wal.FsyncAlways)
-	crashRestart := runToFixpoint(t, c2)
-	if err := c2.Close(); err != nil {
-		t.Fatal(err)
+	// Crash after the fix-point (no clean-close record — only what the
+	// policy's appends and ack-gating sync points made durable), then
+	// rebuild and re-run, for both ends of the fsync spectrum.
+	for _, fsync := range []wal.FsyncPolicy{wal.FsyncAlways, wal.FsyncNever} {
+		crashDir := t.TempDir()
+		c := buildDurable(t, text, crashDir, fsync)
+		crashFirst := runToFixpoint(t, c)
+		if err := c.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		c2 := buildDurable(t, text, crashDir, fsync)
+		crashRestart := runToFixpoint(t, c2)
+		if err := c2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if crashRestart.BytesSent >= crashFirst.BytesSent/2 {
+			t.Fatalf("fsync=%v: crash restart shipped %d bytes, first run %d: acked frontiers did not keep re-answering delta-only",
+				fsync, crashRestart.BytesSent, crashFirst.BytesSent)
+		}
 	}
 
 	if cleanRestart.BytesSent >= first.BytesSent/2 {
 		t.Fatalf("clean restart shipped %d bytes, first run %d: marks did not keep re-answering delta-only",
 			cleanRestart.BytesSent, first.BytesSent)
-	}
-	if crashRestart.BytesSent >= crashFirst.BytesSent/2 {
-		t.Fatalf("crash restart shipped %d bytes, first run %d: acked frontiers did not keep re-answering delta-only",
-			crashRestart.BytesSent, crashFirst.BytesSent)
 	}
 }
 

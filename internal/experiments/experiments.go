@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction of every table and figure
-// of the paper's evaluation (see DESIGN.md's experiment index, E1–E14). Each
+// of the paper's evaluation (see DESIGN.md's experiment index, E1–E16). Each
 // experiment builds its workload, runs the distributed algorithm, and
 // renders the same rows/series the paper reports. The cmd/p2pbench tool and
 // the repository-level benchmarks both drive this package.
@@ -55,6 +55,14 @@ type RunRecord struct {
 	Bytes          uint64  `json:"bytes"`
 	TuplesInserted uint64  `json:"tuples_inserted"`
 	TuplesPerSec   float64 `json:"tuples_per_sec"`
+	// WireFrames counts the frames the transport actually shipped: equal to
+	// Messages without the batched wire protocol, lower when coalescing
+	// shares frames between answers, acks, and heartbeats.
+	WireFrames uint64 `json:"wire_frames,omitempty"`
+	// MsgsPerTuple is WireFrames per inserted tuple — the per-tuple wire
+	// cost the batched protocol attacks (E16), and the metric the E5
+	// regression ceiling in CI watches.
+	MsgsPerTuple float64 `json:"msgs_per_tuple,omitempty"`
 }
 
 // runCollector accumulates the RunRecords of one Run invocation; execute
@@ -94,6 +102,13 @@ func (c *runCollector) add(def *rules.Network, opts core.Options, rs runStats) {
 	}
 	if secs := rs.wall.Seconds(); secs > 0 {
 		rec.TuplesPerSec = float64(rs.inserted) / secs
+	}
+	rec.WireFrames = rs.frames
+	if rec.WireFrames == 0 {
+		rec.WireFrames = rs.msgs // unbatched: one frame per message
+	}
+	if rs.inserted > 0 {
+		rec.MsgsPerTuple = float64(rec.WireFrames) / float64(rs.inserted)
 	}
 	c.mu.Lock()
 	c.recs = append(c.recs, rec)
@@ -138,7 +153,7 @@ func (c Config) withDefaults() Config {
 
 // All runs every experiment in order.
 func All(cfg Config) ([]Result, error) {
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 	var out []Result
 	for _, id := range ids {
 		r, err := Run(id, cfg)
@@ -192,6 +207,8 @@ func dispatch(id string, cfg Config) (Result, error) {
 		return E14SemiNaive(cfg)
 	case "E15":
 		return E15Durability(cfg)
+	case "E16":
+		return E16Batching(cfg)
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -214,6 +231,9 @@ type runStats struct {
 	dup       uint64
 	dupq      uint64
 	queries   uint64
+	// frames is the number of wire frames actually shipped; 0 means
+	// unbatched (one frame per message, so frames == msgs).
+	frames uint64
 }
 
 // execute runs discovery+update on a definition and aggregates statistics.
@@ -236,6 +256,9 @@ func execute(def *rules.Network, opts core.Options, cfg Config) (*core.Network, 
 		return nil, runStats{}, err
 	}
 	rs := runStats{wall: time.Since(t1), discovery: tDisc}
+	if bs, ok := n.BatchStats(); ok {
+		rs.frames = bs.Frames
+	}
 	agg := stats.Merge(n.Stats())
 	rs.msgs = agg.TotalSent()
 	rs.bytes = agg.BytesSent
@@ -1014,4 +1037,141 @@ func insertThroughput(durable bool, policy wal.FsyncPolicy, n int) (float64, err
 		return 0, nil
 	}
 	return float64(n) / elapsed.Seconds(), nil
+}
+
+// E16Batching measures the batched, ack-piggybacked wire protocol: the same
+// fix-point as one-frame-per-message operation, at an order of magnitude
+// fewer frames on the cyclic topologies where per-tuple messaging hurts most
+// (the paper's per-update rather than per-tuple closure, §3). Each topology
+// runs twice — unbatched and with a batch window — through the same two
+// phases: discovery+update to fix-point, then a burst of online single-record
+// writes that propagates incrementally through the standing subscriptions.
+// The burst is where frames-per-tuple collapses: every write used to pay an
+// Answer frame plus an AnswerAck frame per link, and under the batcher the
+// whole burst shares a handful of frames per destination per window.
+func E16Batching(cfg Config) (Result, error) {
+	records := cfg.RecordsPerNode / 5
+	if records < 4 {
+		records = 4
+	}
+	writes := cfg.RecordsPerNode * 2
+	if writes < 100 {
+		writes = 100
+	}
+	type row struct {
+		topo, mode string
+		fix, burst runStats
+		tuples     int // global tuple count after the burst (fix-point identity check)
+	}
+	var rows []row
+	for ti, topo := range []workload.Topology{workload.Clique(4), workload.Ring(8)} {
+		spec := workload.DataSpec{RecordsPerNode: records, Seed: cfg.Seed + int64(ti), Style: workload.StyleCopy}
+		for _, mode := range []string{"unbatched", "batched"} {
+			def, err := workload.Generate(topo, spec)
+			if err != nil {
+				return Result{}, err
+			}
+			opts := core.Options{Seed: cfg.Seed, Delta: true}
+			if mode == "batched" {
+				opts.BatchWindow = 2 * time.Millisecond
+			}
+			n, fix, err := execute(def, opts, cfg)
+			if err != nil {
+				return Result{}, fmt.Errorf("%s/%s: %w", topo.Name, mode, err)
+			}
+			// Online write burst from node 0, one record per Insert call so
+			// the unbatched leg pays per-tuple messaging (batching the writes
+			// at the application layer would hide the wire-level difference).
+			n.ResetStats()
+			var framesBefore uint64
+			if bs, ok := n.BatchStats(); ok {
+				framesBefore = bs.Frames
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+			h := n.Node(workload.NodeName(0))
+			t0 := time.Now()
+			for i := 0; i < writes; i++ {
+				key := fmt.Sprintf("conf/p2pdb/e16-%d", i)
+				if _, err := h.Insert(ctx, "pub", relalg.Tuple{relalg.S(key), relalg.S("batched_wire"), relalg.I(2004)}); err != nil {
+					cancel()
+					_ = n.Close()
+					return Result{}, fmt.Errorf("%s/%s insert: %w", topo.Name, mode, err)
+				}
+				if _, err := h.Insert(ctx, "wrote", relalg.Tuple{relalg.S("franconi_kuper"), relalg.S(key)}); err != nil {
+					cancel()
+					_ = n.Close()
+					return Result{}, fmt.Errorf("%s/%s insert: %w", topo.Name, mode, err)
+				}
+			}
+			if err := n.Quiesce(ctx); err != nil {
+				cancel()
+				_ = n.Close()
+				return Result{}, fmt.Errorf("%s/%s quiesce: %w", topo.Name, mode, err)
+			}
+			cancel()
+			burst := runStats{wall: time.Since(t0)}
+			agg := stats.Merge(n.Stats())
+			burst.msgs = agg.TotalSent()
+			burst.bytes = agg.BytesSent
+			burst.inserted = agg.TuplesInserted
+			if bs, ok := n.BatchStats(); ok {
+				burst.frames = bs.Frames - framesBefore
+			}
+			cfg.collector.add(def, opts, burst)
+			tuples := 0
+			for _, db := range n.Snapshot() {
+				tuples += db.TotalTuples()
+			}
+			if err := n.ValidateAgainstCentralized(); err != nil {
+				_ = n.Close()
+				return Result{}, fmt.Errorf("%s/%s: %w", topo.Name, mode, err)
+			}
+			_ = n.Close()
+			rows = append(rows, row{topo: topo.Name, mode: mode, fix: fix, burst: burst, tuples: tuples})
+		}
+	}
+	// Fix-point identity: the batched leg must land on exactly the global
+	// state of the unbatched leg (both already validated against the
+	// centralized oracle; the tuple count makes the comparison explicit).
+	for i := 1; i < len(rows); i += 2 {
+		if rows[i].tuples != rows[i-1].tuples {
+			return Result{}, fmt.Errorf("E16: %s fix-point diverged: %d tuples batched vs %d unbatched",
+				rows[i].topo, rows[i].tuples, rows[i-1].tuples)
+		}
+	}
+	mpt := func(rs runStats) float64 {
+		frames := rs.frames
+		if frames == 0 {
+			frames = rs.msgs
+		}
+		if rs.inserted == 0 {
+			return 0
+		}
+		return float64(frames) / float64(rs.inserted)
+	}
+	tbl := table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "topology\tmode\tburst_msgs\tburst_frames\tframes/tuple\tfix_frames\ttuples\tburst_ms")
+		for _, r := range rows {
+			frames := r.burst.frames
+			if frames == 0 {
+				frames = r.burst.msgs
+			}
+			fixFrames := r.fix.frames
+			if fixFrames == 0 {
+				fixFrames = r.fix.msgs
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.2f\t%d\t%d\t%.2f\n",
+				r.topo, r.mode, r.burst.msgs, frames, mpt(r.burst), fixFrames, r.tuples,
+				float64(r.burst.wall.Microseconds())/1000)
+		}
+		for i := 1; i < len(rows); i += 2 {
+			if b := mpt(rows[i].burst); b > 0 {
+				fmt.Fprintf(w, "\n%s:\t%.1fx fewer frames per tuple (%.2f -> %.2f), fix-point unchanged\n",
+					rows[i].topo, mpt(rows[i-1].burst)/b, mpt(rows[i-1].burst), b)
+			}
+		}
+		fmt.Fprintln(w, "\nnote:\tanswers and acks to the same destination share frames within the batch")
+		fmt.Fprintln(w, "\twindow — per-update closure instead of per-tuple messaging (§3)")
+	})
+	return Result{ID: "E16", Title: "batched wire protocol — frames per tuple, unbatched vs batch window", Table: tbl}, nil
 }

@@ -169,12 +169,42 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 15 {
+	if len(results) != 16 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {
 		if r.Table == "" || r.Title == "" {
 			t.Errorf("%s: empty output", r.ID)
+		}
+	}
+}
+
+// TestE16BatchingReduction pins the batched wire protocol's acceptance
+// criterion: on both cyclic topologies the burst phase must ship at least
+// 10x fewer frames per tuple than one-frame-per-message operation, with the
+// fix-point unchanged (E16 itself errors on tuple-count divergence and
+// validates every leg against the centralized oracle).
+func TestE16BatchingReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four fix-point runs plus write bursts; skipped in -short mode")
+	}
+	r, err := Run("E16", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 8 {
+		t.Fatalf("want 8 run records (fix-point + burst, twice per topology), got %d", len(r.Runs))
+	}
+	// Records arrive as fix, burst, fix, burst, ... per leg; bursts are at
+	// odd indices. Compare unbatched burst (leg 0) vs batched burst (leg 1).
+	for i := 0; i+3 < len(r.Runs); i += 4 {
+		unbatched, batched := r.Runs[i+1], r.Runs[i+3]
+		if unbatched.MsgsPerTuple <= 0 || batched.MsgsPerTuple <= 0 {
+			t.Fatalf("burst records missing msgs-per-tuple: %+v / %+v", unbatched, batched)
+		}
+		if ratio := unbatched.MsgsPerTuple / batched.MsgsPerTuple; ratio < 10 {
+			t.Errorf("frames-per-tuple reduction %.1fx < 10x (unbatched %.2f, batched %.2f)\n%s",
+				ratio, unbatched.MsgsPerTuple, batched.MsgsPerTuple, r.Table)
 		}
 	}
 }

@@ -200,6 +200,17 @@ type pendingAck struct {
 	msg wire.AnswerAck
 }
 
+// ackWork is one Handle's acknowledgment side effects, handed to the ack
+// worker (durable peers) so the pre-ack fsync pipelines with the actor
+// instead of serialising behind it.
+type ackWork struct {
+	parts []wal.PartState
+	acks  []pendingAck
+	dirty bool
+}
+
+func (w ackWork) empty() bool { return len(w.parts) == 0 && len(w.acks) == 0 && !w.dirty }
+
 // partResult accumulates the result set received for one body part of a
 // rule (multi-source rules join their parts at the head node).
 type partResult struct {
@@ -275,6 +286,19 @@ type Peer struct {
 	// Ack-resend loop (Options.ResendEvery): stopped by CloseWatchers.
 	resendQuit chan struct{}
 	resendOnce sync.Once
+
+	// Pipelined acknowledgment worker (durable peers only): Handle hands its
+	// ack side effects over a channel so the group-commit fsync overlaps the
+	// actor's next dispatch instead of serialising with it. Guarded by ackMu
+	// so an enqueue can never race the close; tw (the transport's WorkTracker
+	// capability, when present) accounts queued work toward the quiescence
+	// oracle.
+	ackCh     chan ackWork
+	ackMu     sync.Mutex
+	ackClosed bool
+	ackOnce   sync.Once
+	ackWG     sync.WaitGroup
+	tw        transport.WorkTracker
 }
 
 // New creates a peer with its schemas and the rules targeting it.
@@ -321,8 +345,17 @@ func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.
 		p.resendQuit = make(chan struct{})
 		go p.resendLoop(opts.ResendEvery)
 	}
+	p.tw, _ = tr.(transport.WorkTracker)
+	if opts.SyncForAck != nil {
+		// Durable peers pipeline the pre-ack group commit: Handle enqueues,
+		// the worker batches whatever accumulated behind one fsync.
+		p.ackCh = make(chan ackWork, 256)
+		p.ackWG.Add(1)
+		go p.ackLoop()
+	}
 	if err := tr.Register(id, p.Handle); err != nil {
 		p.stopResend()
+		p.stopAck()
 		return nil, err
 	}
 	return p, nil
@@ -675,49 +708,211 @@ func (p *Peer) send(to string, m wire.Message) {
 // Handle processes one incoming envelope; transports call it serially. The
 // protocol reaction runs under the mutex; acknowledgment side effects (part
 // persistence, the pre-ack fsync, the AnswerAck sends, the durable-frontier
-// persist) run after it is released — an fsync must not block the actor —
-// but still inside Handle, so transports that track in-flight work (the
-// quiescence oracle) cover them.
+// persist) run after it is released — an fsync must not block the actor. On
+// durable peers they are handed to the ack worker, which pipelines the
+// group-commit fsync with the actor's next dispatch and accounts the queued
+// work toward the transport's quiescence oracle (WorkTracker); elsewhere
+// they run inline, still inside Handle.
 func (p *Peer) Handle(env wire.Envelope) {
-	p.ct.Received(env.Msg.Kind(), env.Msg.Size())
+	if ab, ok := env.Msg.(wire.AnswerBatch); ok {
+		// A batched frame counts as its contained messages: the statistical
+		// module measures the protocol, not the framing (the Batcher's own
+		// stats measure the framing).
+		for _, a := range ab.Acks {
+			p.ct.Received(a.Kind(), a.Size())
+		}
+		for _, a := range ab.Answers {
+			p.ct.Received(a.Kind(), a.Size())
+		}
+	} else {
+		p.ct.Received(env.Msg.Kind(), env.Msg.Size())
+	}
 	p.mu.Lock()
 	p.dispatchLocked(env)
-	acks := p.pendingAcks
-	parts := p.pendingParts
-	dirty := p.ackDirty
+	work := ackWork{parts: p.pendingParts, acks: p.pendingAcks, dirty: p.ackDirty}
 	p.pendingAcks, p.pendingParts, p.ackDirty = nil, nil, false
+	p.mu.Unlock()
+
+	if work.empty() {
+		return
+	}
+	if p.ackCh != nil {
+		p.ackMu.Lock()
+		if !p.ackClosed {
+			if p.tw != nil {
+				p.tw.TrackWork(1)
+			}
+			p.ackCh <- work
+			p.ackMu.Unlock()
+			return
+		}
+		p.ackMu.Unlock()
+		// Worker already stopped (shutdown is in progress): apply inline.
+		// The store may be sealed by now; the sync gate then withholds the
+		// acks, which is the correct shutdown behaviour.
+	}
+	p.applyAckWork([]ackWork{work})
+}
+
+// ackLoop is the durable peers' acknowledgment pipeline: it batches whatever
+// Handle enqueued since the last round behind ONE group-commit fsync, so
+// fsync latency overlaps dispatch and network latency instead of adding to
+// them, and frontiers persist once per batch rather than once per answer.
+func (p *Peer) ackLoop() {
+	defer p.ackWG.Done()
+	for {
+		w, ok := <-p.ackCh
+		if !ok {
+			return
+		}
+		batch := []ackWork{w}
+	drain:
+		for {
+			select {
+			case w2, ok2 := <-p.ackCh:
+				if !ok2 {
+					break drain
+				}
+				batch = append(batch, w2)
+			default:
+				break drain
+			}
+		}
+		p.applyAckWork(batch)
+		if p.tw != nil {
+			p.tw.TrackWork(-len(batch))
+		}
+	}
+}
+
+// applyAckWork runs the acknowledgment side effects for one batch of Handle
+// rounds: persist the part tuples, pass ONE durability gate, send the merged
+// acks, persist the advanced frontier once. Options hooks are set before
+// construction and never change, so reading them without the mutex is safe.
+func (p *Peer) applyAckWork(batch []ackWork) {
 	syncForAck := p.opts.SyncForAck
 	persistParts := p.opts.PersistParts
 	persistMarks := p.opts.PersistMarks
-	p.mu.Unlock()
 
-	if persistParts != nil {
-		for _, pd := range parts {
-			persistParts(pd)
+	var acks []pendingAck
+	dirty := false
+	for _, w := range batch {
+		if persistParts != nil {
+			for _, pd := range w.parts {
+				persistParts(pd)
+			}
 		}
+		acks = append(acks, w.acks...)
+		dirty = dirty || w.dirty
 	}
-	if len(acks) > 0 {
+	acks = mergeAcks(acks)
+	// Append the advanced acked frontier BEFORE the durability gate, so the
+	// same group-commit fsync that covers the part tuples covers the marks
+	// record. Appending it after the gate would leave the frontier in the
+	// unsynced tail under sync-point policies — at quiescence no later sync
+	// arrives, so a crash would forget every acknowledgment this node ever
+	// received and the restart would re-ship full result sets.
+	if dirty && persistMarks != nil {
+		persistMarks()
+	}
+	if len(acks) > 0 || dirty {
 		ok := true
 		if syncForAck != nil {
 			// Durability gate: acknowledge only what is on stable storage.
 			// On failure the ack is withheld; the source re-sends later.
+			// A marks-only batch (incoming acks, nothing to acknowledge
+			// ourselves) passes the same gate to commit its frontier record.
 			ok = syncForAck() == nil
 		}
 		if ok {
 			for _, a := range acks {
 				// Durable is an honest signal, not a promise: only an ack
 				// that passed a sync gate may advance the source's PERSISTED
-				// frontier. Ungated acks (no store, or FsyncNever) still
-				// advance the in-memory receipt frontier that drives live
-				// retransmission.
+				// frontier. Ungated acks (no store) still advance the
+				// in-memory receipt frontier that drives live retransmission.
 				a.msg.Durable = syncForAck != nil
 				p.send(a.to, a.msg)
 			}
 		}
 	}
-	if dirty && persistMarks != nil {
-		persistMarks()
+}
+
+// mergeAcks folds acknowledgments for the same subscription into one: a
+// batched frame (or a pipelined batch of frames) carrying several answers of
+// one subscription earns a single AnswerAck whose frontier covers them all —
+// the receipt and durable frontiers extend once per batch, not once per
+// answer. Acks for distinct subscriptions pass through untouched; order
+// among first occurrences is preserved.
+func mergeAcks(in []pendingAck) []pendingAck {
+	if len(in) < 2 {
+		return in
 	}
+	type ackKey struct {
+		to     string
+		ruleID string
+		subID  uint64
+	}
+	idx := map[ackKey]int{}
+	out := make([]pendingAck, 0, len(in))
+	for _, a := range in {
+		k := ackKey{to: a.to, ruleID: a.msg.RuleID, subID: a.msg.SubID}
+		i, seen := idx[k]
+		if !seen {
+			// Clone the maps: the merged ack must not mutate frontier maps
+			// shared with the answers they were built from.
+			c := a
+			c.msg.Base = cloneSeqMap(a.msg.Base)
+			c.msg.Seqs = cloneSeqMap(a.msg.Seqs)
+			idx[k] = len(out)
+			out = append(out, c)
+			continue
+		}
+		m := &out[i].msg
+		for rel, seq := range a.msg.Seqs {
+			if cur, ok := m.Seqs[rel]; !ok || seq > cur {
+				if m.Seqs == nil {
+					m.Seqs = map[string]uint64{}
+				}
+				m.Seqs[rel] = seq
+			}
+		}
+		for rel, base := range a.msg.Base {
+			if cur, ok := m.Base[rel]; !ok || base < cur {
+				if m.Base == nil {
+					m.Base = map[string]uint64{}
+				}
+				m.Base[rel] = base
+			}
+		}
+	}
+	return out
+}
+
+func cloneSeqMap(in map[string]uint64) map[string]uint64 {
+	if in == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// stopAck shuts the acknowledgment worker down and waits for its backlog to
+// drain, so orchestration can seal the stores knowing no fsync or ack send
+// is still in flight. Handles racing the stop fall back to the inline path.
+func (p *Peer) stopAck() {
+	p.ackOnce.Do(func() {
+		if p.ackCh == nil {
+			return
+		}
+		p.ackMu.Lock()
+		p.ackClosed = true
+		close(p.ackCh)
+		p.ackMu.Unlock()
+		p.ackWG.Wait()
+	})
 }
 
 // dispatchLocked routes one envelope to its protocol handler. Callers hold mu.
@@ -735,6 +930,17 @@ func (p *Peer) dispatchLocked(env wire.Envelope) {
 		p.handleAnswer(env.From, m)
 	case wire.AnswerAck:
 		p.handleAnswerAck(env.From, m)
+	case wire.AnswerBatch:
+		// A coalesced frame applies exactly as its contents would have
+		// alone: acks first (they were owed before the answers were built),
+		// then the answers in send order. Heartbeats are membership-plane;
+		// the cluster layer consumed them before forwarding.
+		for _, ack := range m.Acks {
+			p.handleAnswerAck(env.From, ack)
+		}
+		for _, ans := range m.Answers {
+			p.handleAnswer(env.From, ans)
+		}
 	case wire.Unsubscribe:
 		delete(p.subs, subKey(env.From, m.RuleID))
 	case wire.AddRuleNotice:

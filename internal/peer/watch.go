@@ -324,10 +324,12 @@ func (p *Peer) reprimeWatchers() {
 // CloseWatchers closes every live watcher and rejects future registrations
 // (used by orchestration shutdown; a Watch racing it either joins this close
 // or fails cleanly, never leaks an unclosable stream). It also stops the
-// acknowledgment-resend loop, being the one shutdown hook orchestration
-// already calls on every peer.
+// acknowledgment-resend loop and drains the pipelined ack worker, being the
+// one shutdown hook orchestration already calls on every peer — the stores
+// seal after it returns, so no fsync or ack send may still be in flight.
 func (p *Peer) CloseWatchers() {
 	p.stopResend()
+	p.stopAck()
 	p.wmu.Lock()
 	p.watchersClosed = true
 	ws := make([]*Watcher, 0, len(p.watchers))

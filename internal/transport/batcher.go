@@ -1,0 +1,314 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Batcher wraps any Transport with a batched, ack-piggybacked wire protocol:
+// Answers bound for the same destination coalesce into a single
+// wire.AnswerBatch frame within a small time/size window, AnswerAcks owed to
+// that destination piggyback on the same frame instead of paying their own,
+// and (in cluster mode) a pending membership Heartbeat rides along too. Every
+// other message kind flushes the destination's buffer first and passes
+// through unbatched, so ordering between data and control frames (Queries,
+// Goodbyes, coordinator verbs) is preserved.
+//
+// The paper's update propagation only requires per-update closure, not
+// per-tuple messaging: on chatty topologies (cliques, cycles) most frames are
+// small answers and their acks between the same pair of peers, and batching
+// them amortises the per-frame overhead by an order of magnitude without
+// changing the fix-point — receivers apply a batch's contents exactly as if
+// each message had arrived alone.
+//
+// Quiescence: when the inner transport offers WorkTracker (the in-memory
+// router), every held message is accounted as in-flight work until its frame
+// reaches the inner transport, so the quiescence oracle never declares a
+// network settled with batches still buffered. A background flusher bounds
+// how long a message may wait (flush-on-idle); Close flushes everything
+// before closing the inner transport (flush-on-Close), so final acks and
+// trailing frames still drain.
+type Batcher struct {
+	inner   Transport
+	window  time.Duration
+	maxByte int
+	tracker WorkTracker // inner's quiescence accounting, when offered
+
+	mu     sync.Mutex
+	bufs   map[[2]string]*batchBuf
+	closed bool
+
+	quit     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	frames    atomic.Uint64 // frames handed to the inner transport
+	coalesced atomic.Uint64 // messages that shared a frame instead of paying their own
+	piggyAcks atomic.Uint64 // acks that piggybacked on a batched frame
+	piggyHB   atomic.Uint64 // heartbeats that piggybacked on a batched frame
+}
+
+// BatcherOptions tunes a Batcher.
+type BatcherOptions struct {
+	// Window bounds how long a held message may wait for companions before
+	// its buffer flushes (default 2ms).
+	Window time.Duration
+	// MaxBytes flushes a destination's buffer once its estimated payload
+	// reaches this size, so a burst never builds an oversized frame
+	// (default 64KiB).
+	MaxBytes int
+}
+
+// BatchStats snapshots a Batcher's frame accounting.
+type BatchStats struct {
+	// Frames counts wire frames handed to the inner transport (batched
+	// frames, flushed singles and passthroughs alike).
+	Frames uint64
+	// Coalesced counts messages that shared a frame with an earlier message
+	// instead of paying their own — the frames saved by batching.
+	Coalesced uint64
+	// PiggybackedAcks counts AnswerAcks that rode in a batched frame.
+	PiggybackedAcks uint64
+	// PiggybackedBeats counts Heartbeats that rode in a batched frame.
+	PiggybackedBeats uint64
+}
+
+// batchBuf is the held traffic for one (from, to) pair.
+type batchBuf struct {
+	answers []wire.Answer
+	acks    []wire.AnswerAck
+	beat    *wire.Heartbeat
+	bytes   int
+	since   time.Time // when the oldest held message arrived
+}
+
+func (b *batchBuf) held() int {
+	n := len(b.answers) + len(b.acks)
+	if b.beat != nil {
+		n++
+	}
+	return n
+}
+
+// NewBatcher wraps inner with batching. The Batcher owns the inner transport:
+// Close flushes all buffers and closes it.
+func NewBatcher(inner Transport, opts BatcherOptions) *Batcher {
+	if opts.Window <= 0 {
+		opts.Window = 2 * time.Millisecond
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 64 << 10
+	}
+	b := &Batcher{
+		inner:   inner,
+		window:  opts.Window,
+		maxByte: opts.MaxBytes,
+		bufs:    map[[2]string]*batchBuf{},
+		quit:    make(chan struct{}),
+	}
+	b.tracker, _ = inner.(WorkTracker)
+	b.wg.Add(1)
+	go b.flushLoop()
+	return b
+}
+
+// Inner returns the wrapped transport. Orchestration asserts transport
+// capabilities (Quiescer, Stepper, FaultInjector) against it: the Batcher
+// itself is a send-side buffer, not an oracle.
+func (b *Batcher) Inner() Transport { return b.inner }
+
+// Stats snapshots the frame accounting.
+func (b *Batcher) Stats() BatchStats {
+	return BatchStats{
+		Frames:           b.frames.Load(),
+		Coalesced:        b.coalesced.Load(),
+		PiggybackedAcks:  b.piggyAcks.Load(),
+		PiggybackedBeats: b.piggyHB.Load(),
+	}
+}
+
+// Register implements Transport (handlers attach to the inner transport;
+// receiving is untouched by batching).
+func (b *Batcher) Register(node string, h Handler) error { return b.inner.Register(node, h) }
+
+// TrackWork implements WorkTracker by delegation, so layers above the
+// Batcher (a peer's pipelined ack worker) reach the inner oracle through it.
+func (b *Batcher) TrackWork(delta int) {
+	if b.tracker != nil {
+		b.tracker.TrackWork(delta)
+	}
+}
+
+// Send implements Transport. Answers, AnswerAcks and Heartbeats are held for
+// coalescing; any other kind flushes the destination first and passes
+// through, preserving order.
+func (b *Batcher) Send(from, to string, msg wire.Message) error {
+	key := [2]string{from, to}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	switch m := msg.(type) {
+	case wire.Answer:
+		buf := b.buf(key)
+		buf.answers = append(buf.answers, m)
+		buf.bytes += m.Size()
+		b.TrackWork(1)
+		var err error
+		if buf.bytes >= b.maxByte {
+			err = b.flushLocked(key)
+		}
+		b.mu.Unlock()
+		return err
+	case wire.AnswerAck:
+		buf := b.buf(key)
+		buf.acks = append(buf.acks, m)
+		buf.bytes += m.Size()
+		b.TrackWork(1)
+		var err error
+		if buf.bytes >= b.maxByte {
+			err = b.flushLocked(key)
+		}
+		b.mu.Unlock()
+		return err
+	case wire.Heartbeat:
+		buf := b.buf(key)
+		if buf.beat == nil {
+			b.TrackWork(1)
+		}
+		hb := m
+		buf.beat = &hb // latest wins: a heartbeat only asserts "still alive"
+		b.mu.Unlock()
+		return nil
+	default:
+		err := b.flushLocked(key)
+		b.frames.Add(1)
+		serr := b.inner.Send(from, to, msg)
+		b.mu.Unlock()
+		if serr != nil {
+			return serr
+		}
+		return err
+	}
+}
+
+// buf returns (creating on demand) the destination's buffer. Callers hold mu.
+func (b *Batcher) buf(key [2]string) *batchBuf {
+	buf := b.bufs[key]
+	if buf == nil {
+		buf = &batchBuf{since: time.Now()}
+		b.bufs[key] = buf
+	} else if buf.held() == 0 {
+		buf.since = time.Now()
+	}
+	return buf
+}
+
+// flushLocked ships one destination's held traffic: a lone message goes out
+// as itself (wire compatibility — an unbatched receiver understands it), two
+// or more coalesce into an AnswerBatch. Callers hold mu.
+func (b *Batcher) flushLocked(key [2]string) error {
+	buf := b.bufs[key]
+	if buf == nil {
+		return nil
+	}
+	n := buf.held()
+	if n == 0 {
+		return nil
+	}
+	var msg wire.Message
+	switch {
+	case n == 1 && len(buf.answers) == 1:
+		msg = buf.answers[0]
+	case n == 1 && len(buf.acks) == 1:
+		msg = buf.acks[0]
+	case n == 1 && buf.beat != nil:
+		msg = *buf.beat
+	default:
+		ab := wire.AnswerBatch{Answers: buf.answers, Acks: buf.acks}
+		if buf.beat != nil {
+			ab.Beats = []wire.Heartbeat{*buf.beat}
+		}
+		msg = ab
+		b.coalesced.Add(uint64(n - 1))
+		b.piggyAcks.Add(uint64(len(buf.acks)))
+		if buf.beat != nil {
+			b.piggyHB.Add(1)
+		}
+	}
+	delete(b.bufs, key)
+	b.frames.Add(1)
+	err := b.inner.Send(key[0], key[1], msg)
+	b.TrackWork(-n)
+	return err
+}
+
+// flushAllLocked drains every buffer. Callers hold mu.
+func (b *Batcher) flushAllLocked() error {
+	var first error
+	for key := range b.bufs {
+		if err := b.flushLocked(key); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush forces every held message onto the inner transport immediately.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushAllLocked()
+}
+
+// flushLoop is the flush-on-idle timer: any buffer older than the window is
+// shipped, so a lone trailing message never waits on traffic that is not
+// coming.
+func (b *Batcher) flushLoop() {
+	defer b.wg.Done()
+	tick := b.window / 2
+	if tick < 500*time.Microsecond {
+		tick = 500 * time.Microsecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.quit:
+			return
+		case now := <-t.C:
+			b.mu.Lock()
+			for key, buf := range b.bufs {
+				if buf.held() > 0 && now.Sub(buf.since) >= b.window {
+					_ = b.flushLocked(key)
+				}
+			}
+			b.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes every buffer and closes the inner transport (flush-on-Close:
+// trailing acks and Goodbyes queued behind held answers still drain).
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return b.inner.Close()
+	}
+	b.closed = true
+	_ = b.flushAllLocked() // shutdown send errors surface via inner.Close
+	b.mu.Unlock()
+	b.stopOnce.Do(func() { close(b.quit) })
+	b.wg.Wait()
+	return b.inner.Close()
+}
+
+var (
+	_ Transport   = (*Batcher)(nil)
+	_ WorkTracker = (*Batcher)(nil)
+)

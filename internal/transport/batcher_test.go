@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relalg"
+	"repro/internal/wire"
+)
+
+// Batcher tests: coalescing within the window, ack and heartbeat
+// piggybacking, single-message passthrough (wire compatibility), ordering
+// against non-batchable frames, flush on idle and on Close, and the
+// size-triggered early flush.
+
+// recordingInner captures every frame the Batcher hands to the wire.
+type recordingInner struct {
+	mu     sync.Mutex
+	envs   []wire.Envelope
+	closed bool
+}
+
+func (r *recordingInner) Register(string, Handler) error { return nil }
+
+func (r *recordingInner) Send(from, to string, msg wire.Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.envs = append(r.envs, wire.Envelope{From: from, To: to, Msg: msg})
+	return nil
+}
+
+func (r *recordingInner) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	return nil
+}
+
+func (r *recordingInner) frames() []wire.Envelope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]wire.Envelope(nil), r.envs...)
+}
+
+func testAnswer(i int) wire.Answer {
+	return wire.Answer{Epoch: 1, RuleID: "r", Part: "S", SubID: uint64(i),
+		Tuples: []relalg.Tuple{{relalg.S("v")}}}
+}
+
+func TestBatcherCoalescesPerDestination(t *testing.T) {
+	inner := &recordingInner{}
+	b := NewBatcher(inner, BatcherOptions{Window: time.Hour}) // flush only on demand
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		if err := b.Send("A", "B", testAnswer(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Send("A", "C", testAnswer(99)); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.frames(); len(got) != 0 {
+		t.Fatalf("batcher leaked %d frames before the window closed", len(got))
+	}
+	b.Flush()
+	got := inner.frames()
+	if len(got) != 2 {
+		t.Fatalf("got %d frames, want 2 (one per destination): %+v", len(got), got)
+	}
+	for _, env := range got {
+		switch env.To {
+		case "B":
+			batch, ok := env.Msg.(wire.AnswerBatch)
+			if !ok {
+				t.Fatalf("frame to B is %T, want AnswerBatch", env.Msg)
+			}
+			if len(batch.Answers) != 5 {
+				t.Fatalf("batch to B holds %d answers, want 5", len(batch.Answers))
+			}
+			for i, a := range batch.Answers {
+				if a.SubID != uint64(i) {
+					t.Fatalf("batch reordered answers: %v", batch.Answers)
+				}
+			}
+		case "C":
+			// A lone message must go out plain for wire compatibility.
+			if _, ok := env.Msg.(wire.Answer); !ok {
+				t.Fatalf("single-message flush to C sent %T, want plain Answer", env.Msg)
+			}
+		default:
+			t.Fatalf("unexpected destination %q", env.To)
+		}
+	}
+	st := b.Stats()
+	if st.Frames != 2 || st.Coalesced != 4 {
+		t.Fatalf("stats = %+v, want Frames=2 Coalesced=4", st)
+	}
+}
+
+func TestBatcherPiggybacksAcksAndLatestHeartbeat(t *testing.T) {
+	inner := &recordingInner{}
+	b := NewBatcher(inner, BatcherOptions{Window: time.Hour})
+	defer b.Close()
+	_ = b.Send("A", "B", testAnswer(1))
+	_ = b.Send("A", "B", wire.AnswerAck{RuleID: "r", SubID: 1, Seqs: map[string]uint64{"s": 3}})
+	_ = b.Send("A", "B", wire.Heartbeat{Node: "A", Addr: "old"})
+	_ = b.Send("A", "B", wire.Heartbeat{Node: "A", Addr: "new"})
+	_ = b.Send("A", "B", testAnswer(2))
+	b.Flush()
+	got := inner.frames()
+	if len(got) != 1 {
+		t.Fatalf("got %d frames, want 1: %+v", len(got), got)
+	}
+	batch, ok := got[0].Msg.(wire.AnswerBatch)
+	if !ok {
+		t.Fatalf("frame is %T, want AnswerBatch", got[0].Msg)
+	}
+	if len(batch.Answers) != 2 || len(batch.Acks) != 1 {
+		t.Fatalf("batch = %d answers / %d acks, want 2/1", len(batch.Answers), len(batch.Acks))
+	}
+	// Heartbeats are latest-wins: only the newest address matters.
+	if len(batch.Beats) != 1 || batch.Beats[0].Addr != "new" {
+		t.Fatalf("beats = %+v, want exactly the latest heartbeat", batch.Beats)
+	}
+	st := b.Stats()
+	if st.PiggybackedAcks != 1 || st.PiggybackedBeats != 1 {
+		t.Fatalf("stats = %+v, want PiggybackedAcks=1 PiggybackedBeats=1", st)
+	}
+}
+
+// TestBatcherFlushesBeforePassthrough pins ordering: a non-batchable frame
+// (here a Query) must not overtake answers already held for the same
+// destination, so the pending batch flushes first.
+func TestBatcherFlushesBeforePassthrough(t *testing.T) {
+	inner := &recordingInner{}
+	b := NewBatcher(inner, BatcherOptions{Window: time.Hour})
+	defer b.Close()
+	_ = b.Send("A", "B", testAnswer(1))
+	_ = b.Send("A", "B", testAnswer(2))
+	_ = b.Send("A", "B", wire.Query{Epoch: 1, RuleID: "r"})
+	got := inner.frames()
+	if len(got) != 2 {
+		t.Fatalf("got %d frames, want batch then query: %+v", len(got), got)
+	}
+	if _, ok := got[0].Msg.(wire.AnswerBatch); !ok {
+		t.Fatalf("first frame is %T, want the held AnswerBatch", got[0].Msg)
+	}
+	if _, ok := got[1].Msg.(wire.Query); !ok {
+		t.Fatalf("second frame is %T, want the Query", got[1].Msg)
+	}
+}
+
+func TestBatcherFlushOnIdle(t *testing.T) {
+	inner := &recordingInner{}
+	b := NewBatcher(inner, BatcherOptions{Window: 2 * time.Millisecond})
+	defer b.Close()
+	_ = b.Send("A", "B", testAnswer(1))
+	deadline := time.Now().Add(5 * time.Second)
+	for len(inner.frames()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := inner.frames()[0].Msg.(wire.Answer); !ok {
+		t.Fatalf("idle flush sent %T", inner.frames()[0].Msg)
+	}
+}
+
+func TestBatcherFlushOnClose(t *testing.T) {
+	inner := &recordingInner{}
+	b := NewBatcher(inner, BatcherOptions{Window: time.Hour})
+	_ = b.Send("A", "B", testAnswer(1))
+	_ = b.Send("A", "B", testAnswer(2))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := inner.frames()
+	if len(got) != 1 {
+		t.Fatalf("Close discarded held answers: %+v", got)
+	}
+	if batch, ok := got[0].Msg.(wire.AnswerBatch); !ok || len(batch.Answers) != 2 {
+		t.Fatalf("Close flushed %T %+v, want a 2-answer batch", got[0].Msg, got[0].Msg)
+	}
+	if !inner.closed {
+		t.Fatal("Close did not close the inner transport")
+	}
+	if err := b.Send("A", "B", testAnswer(3)); err == nil {
+		t.Fatal("Send after Close must error")
+	}
+}
+
+func TestBatcherMaxBytesFlushesEarly(t *testing.T) {
+	inner := &recordingInner{}
+	a := testAnswer(1)
+	b := NewBatcher(inner, BatcherOptions{Window: time.Hour, MaxBytes: 2 * a.Size()})
+	defer b.Close()
+	for i := 0; i < 6; i++ {
+		_ = b.Send("A", "B", testAnswer(i))
+	}
+	if got := inner.frames(); len(got) < 2 {
+		t.Fatalf("size trigger never flushed: %d frames for 6 oversized answers", len(got))
+	}
+}
+
+// TestBatcherTracksHeldWorkWithMem drives a Batcher over the in-memory
+// router and checks the quiescence oracle accounts for held batches: a
+// WaitQuiescent must not return while answers sit in the batch buffer.
+func TestBatcherTracksHeldWorkWithMem(t *testing.T) {
+	mem := NewMem(MemOptions{Seed: 1})
+	b := NewBatcher(mem, BatcherOptions{Window: 50 * time.Millisecond})
+	defer b.Close()
+	var mu sync.Mutex
+	var recv []wire.Message
+	if err := b.Register("B", func(env wire.Envelope) {
+		mu.Lock()
+		recv = append(recv, env.Msg)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Send("A", "B", testAnswer(1))
+	if n := mem.Inflight(); n == 0 {
+		t.Fatal("held batch invisible to the quiescence oracle: Inflight()==0 while an answer is buffered")
+	}
+	b.Flush()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(recv)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flushed answer never delivered through Mem")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := mem.Inflight(); n != 0 {
+		t.Fatalf("after delivery Inflight()=%d, want 0", n)
+	}
+}

@@ -242,6 +242,16 @@ func (m *Mem) Inflight() int {
 	return m.inflight
 }
 
+// TrackWork implements WorkTracker: external layers (the Batcher, a peer's
+// pipelined ack worker) account their held work in the same in-flight
+// counter the quiescence oracle waits on.
+func (m *Mem) TrackWork(delta int) {
+	m.mu.Lock()
+	m.inflight += delta
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
 // Dropped reports how many messages partitions or drop injection ate.
 func (m *Mem) Dropped() uint64 {
 	m.mu.Lock()
@@ -307,4 +317,5 @@ var (
 	_ Quiescer      = (*Mem)(nil)
 	_ Stepper       = (*Mem)(nil)
 	_ FaultInjector = (*Mem)(nil)
+	_ WorkTracker   = (*Mem)(nil)
 )

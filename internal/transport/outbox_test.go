@@ -152,3 +152,96 @@ func TestOutboxConcurrentSendersSafe(t *testing.T) {
 		}
 	}
 }
+
+// TestOutboxEvictionSparesControlFrames pins the overflow policy: when the
+// queue is full, push evicts the oldest *data* frame and never an exempt one
+// (acks, membership lifecycle, coordinator verbs). Before this policy a burst
+// of answers could push the AnswerAck that gates the sender's durable
+// frontier — or a clean leave's Goodbye — off the back of the queue, turning
+// a transient stall into a pointless timeout re-send or a suspicion window.
+func TestOutboxEvictionSparesControlFrames(t *testing.T) {
+	ob := newOutbox(4)
+	push := func(tag string, exempt bool) { ob.push([]byte(tag), exempt) }
+	push("ack0", true)
+	push("data0", false)
+	push("data1", false)
+	push("data2", false)
+	// Full. The next push must evict data0 (oldest non-exempt), not ack0.
+	if dropped, ok := ob.push([]byte("data3"), false); !dropped || !ok {
+		t.Fatalf("push on full queue: dropped=%v ok=%v, want eviction", dropped, ok)
+	}
+	// Still full. An exempt push also evicts the oldest data frame.
+	if dropped, ok := ob.push([]byte("ack1"), true); !dropped || !ok {
+		t.Fatalf("exempt push on full queue: dropped=%v ok=%v, want data eviction", dropped, ok)
+	}
+	ob.close()
+	var got []string
+	for {
+		frame, ok := ob.pop()
+		if !ok {
+			break
+		}
+		got = append(got, string(frame))
+	}
+	want := []string{"ack0", "data2", "data3", "ack1"}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+// TestOutboxAllExemptGrowsPastCap: when every queued frame is exempt there is
+// nothing safe to evict, so the queue overshoots its nominal capacity rather
+// than dropping a control frame.
+func TestOutboxAllExemptGrowsPastCap(t *testing.T) {
+	ob := newOutbox(2)
+	for i := 0; i < 5; i++ {
+		if dropped, ok := ob.push([]byte{byte(i)}, true); dropped || !ok {
+			t.Fatalf("push %d: dropped=%v ok=%v, want growth without loss", i, dropped, ok)
+		}
+	}
+	ob.close()
+	n := 0
+	for {
+		if _, ok := ob.pop(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("drained %d exempt frames, want all 5", n)
+	}
+}
+
+// TestEvictionExemptClassification pins which kinds ride out overflow.
+func TestEvictionExemptClassification(t *testing.T) {
+	exempt := []wire.Message{
+		wire.AnswerAck{RuleID: "r"},
+		wire.Join{Node: "A"},
+		wire.JoinAck{},
+		wire.Heartbeat{Node: "A"},
+		wire.Goodbye{Node: "A"},
+		wire.StatsRequest{},
+		wire.UpdateRequest{},
+	}
+	for _, m := range exempt {
+		if !evictionExempt(m) {
+			t.Errorf("%T (%s) must be eviction-exempt", m, m.Kind())
+		}
+	}
+	data := []wire.Message{
+		wire.Answer{RuleID: "r"},
+		wire.AnswerBatch{},
+		wire.Query{RuleID: "r"},
+		wire.StartUpdate{Epoch: 1},
+	}
+	for _, m := range data {
+		if evictionExempt(m) {
+			t.Errorf("%T (%s) must stay evictable (the ack frontier re-ships it)", m, m.Kind())
+		}
+	}
+}

@@ -54,53 +54,107 @@ type TCP struct {
 	// goroutine, so a slow or dead remote costs its writer the dial/write
 	// timeouts instead of stalling the sending handler — the cluster
 	// hardening that keeps one wedged member from freezing everyone's
-	// actors. On overflow the OLDEST frame is dropped and counted
-	// (OutboxStats): the protocol tolerates loss by design and the
+	// actors. On overflow the OLDEST DATA frame is dropped and counted
+	// (OutboxStats): the protocol tolerates data loss by design and the
 	// acknowledgment frontier re-ships dropped deltas, while dropping the
 	// newest would starve fresh data behind a backlog destined to time out.
-	// Zero (the default) keeps sends synchronous: errors surface to the
-	// caller, as the in-process tests expect. Set before the first Send.
+	// Control-plane frames, membership frames and acks are exempt from
+	// eviction — a dropped Goodbye turns a clean leave into a suspicion
+	// timeout and a dropped AnswerAck forces a pointless timeout re-send —
+	// so the outbox may exceed its nominal size by the number of queued
+	// exempt frames. Zero (the default) keeps sends synchronous: errors
+	// surface to the caller, as the in-process tests expect. Set before the
+	// first Send.
 	OutboxSize int
 }
 
-// outbox is one remote peer's bounded asynchronous send queue. The channel
-// is only ever closed under mu with closed set, and pushes hold mu too, so a
-// push can never race the close.
+// obFrame is one queued encoded envelope; exempt frames (control plane,
+// membership, acks) are never evicted on overflow.
+type obFrame struct {
+	data   []byte
+	exempt bool
+}
+
+// outbox is one remote peer's bounded asynchronous send queue: a deque so
+// overflow can evict the oldest non-exempt frame rather than whatever
+// happens to be at the head.
 type outbox struct {
 	mu     sync.Mutex
-	ch     chan []byte
+	cond   *sync.Cond
+	cap    int
+	q      []obFrame
 	closed bool
 }
 
-// push enqueues one frame, dropping the oldest queued frame when full. It
-// reports (dropped, ok); ok=false means the outbox is closed.
-func (ob *outbox) push(frame []byte) (dropped, ok bool) {
+func newOutbox(capacity int) *outbox {
+	ob := &outbox{cap: capacity}
+	ob.cond = sync.NewCond(&ob.mu)
+	return ob
+}
+
+// push enqueues one frame. When full it drops the oldest non-exempt queued
+// frame; if every queued frame is exempt the queue grows past its nominal
+// capacity instead (exempt frames are few — Goodbyes, acks, coordinator
+// verbs — so the overshoot is bounded in practice). It reports
+// (dropped, ok); ok=false means the outbox is closed.
+func (ob *outbox) push(frame []byte, exempt bool) (dropped, ok bool) {
 	ob.mu.Lock()
 	defer ob.mu.Unlock()
 	if ob.closed {
 		return false, false
 	}
-	for {
-		select {
-		case ob.ch <- frame:
-			return dropped, true
-		default:
-		}
-		select {
-		case <-ob.ch:
-			dropped = true
-		default:
+	if len(ob.q) >= ob.cap {
+		for i := range ob.q {
+			if !ob.q[i].exempt {
+				ob.q = append(ob.q[:i], ob.q[i+1:]...)
+				dropped = true
+				break
+			}
 		}
 	}
+	ob.q = append(ob.q, obFrame{data: frame, exempt: exempt})
+	ob.cond.Signal()
+	return dropped, true
+}
+
+// pop dequeues the next frame, blocking while the outbox is open and empty.
+// After close it keeps returning queued frames until the backlog drains, then
+// reports ok=false — drain-on-close is what lets a clean leave's Goodbye out.
+func (ob *outbox) pop() (frame []byte, ok bool) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	for len(ob.q) == 0 && !ob.closed {
+		ob.cond.Wait()
+	}
+	if len(ob.q) == 0 {
+		return nil, false
+	}
+	frame = ob.q[0].data
+	ob.q = ob.q[1:]
+	return frame, true
 }
 
 func (ob *outbox) close() {
 	ob.mu.Lock()
 	if !ob.closed {
 		ob.closed = true
-		close(ob.ch)
+		ob.cond.Broadcast()
 	}
 	ob.mu.Unlock()
+}
+
+// evictionExempt reports whether a message kind must survive outbox
+// overflow: membership lifecycle frames (a dropped Goodbye turns a clean
+// leave into a suspicion timeout), acknowledgments (a dropped ack forces a
+// pointless timeout re-send), and the remote-control plane (a dropped
+// coordinator verb wedges its caller). Data frames — answers, batches,
+// queries — stay evictable: the acknowledgment frontier re-ships them.
+func evictionExempt(msg wire.Message) bool {
+	switch msg.(type) {
+	case wire.AnswerAck, wire.Join, wire.JoinAck, wire.Heartbeat, wire.Goodbye:
+		return true
+	}
+	return wire.ControlKinds()[msg.Kind()]
 }
 
 // dialFailure tracks the reconnect backoff for one unreachable peer.
@@ -210,16 +264,16 @@ func (t *TCP) Send(from, to string, msg wire.Message) error {
 		return err
 	}
 	if async {
-		return t.enqueue(to, data)
+		return t.enqueue(to, data, evictionExempt(msg))
 	}
 	return t.write(to, addr, data)
 }
 
 // enqueue hands one encoded envelope to the peer's writer goroutine,
 // creating outbox and writer on first use. Enqueueing never blocks: a full
-// outbox drops its oldest frame (counted; the ack frontier re-ships lost
-// deltas).
-func (t *TCP) enqueue(node string, data []byte) error {
+// outbox drops its oldest non-exempt frame (counted; the ack frontier
+// re-ships lost deltas).
+func (t *TCP) enqueue(node string, data []byte, exempt bool) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -227,13 +281,13 @@ func (t *TCP) enqueue(node string, data []byte) error {
 	}
 	ob := t.outboxes[node]
 	if ob == nil {
-		ob = &outbox{ch: make(chan []byte, t.OutboxSize)}
+		ob = newOutbox(t.OutboxSize)
 		t.outboxes[node] = ob
 		t.obWG.Add(1)
 		go t.writerLoop(node, ob)
 	}
 	t.mu.Unlock()
-	dropped, ok := ob.push(data)
+	dropped, ok := ob.push(data, exempt)
 	if dropped {
 		t.obDropped.Add(1)
 	}
@@ -250,13 +304,17 @@ func (t *TCP) enqueue(node string, data []byte) error {
 // backlog instead of burning a timeout per frame.
 func (t *TCP) writerLoop(node string, ob *outbox) {
 	defer t.obWG.Done()
-	for data := range ob.ch {
+	for {
+		data, ok := ob.pop()
+		if !ok {
+			return
+		}
 		t.mu.Lock()
-		addr, ok := t.book[node]
+		addr, booked := t.book[node]
 		closing := t.closed
 		t.mu.Unlock()
 		var err error
-		if !ok {
+		if !booked {
 			err = addressError("send to", node)
 		} else {
 			err = t.write(node, addr, data)
@@ -264,10 +322,12 @@ func (t *TCP) writerLoop(node string, ob *outbox) {
 		if err != nil {
 			t.obWriteErrs.Add(1)
 			if closing {
-				for range ob.ch {
+				for {
+					if _, ok := ob.pop(); !ok {
+						return
+					}
 					t.obWriteErrs.Add(1)
 				}
-				return
 			}
 		}
 	}

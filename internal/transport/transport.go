@@ -60,6 +60,20 @@ type Stepper interface {
 	StepAll(maxRounds int) int
 }
 
+// WorkTracker is the capability of accounting work held OUTSIDE the
+// transport's own queues toward its quiescence oracle: a layer that buffers
+// messages before handing them over (the Batcher), or a peer that defers
+// acknowledgment side effects to a background worker, tracks each pending
+// item with TrackWork(+1) and releases it with TrackWork(-1) once the work
+// reaches the transport (or completes). Without it, a quiescence oracle
+// would declare the network settled while batched frames or pipelined
+// fsync/ack work were still pending.
+type WorkTracker interface {
+	// TrackWork adjusts the in-flight work accounted by the quiescence
+	// oracle by delta (positive when work is taken on, negative when done).
+	TrackWork(delta int)
+}
+
 // FaultInjector is the capability of injecting link faults for robustness
 // experiments: pairwise partitions and a drop counter.
 type FaultInjector interface {

@@ -30,6 +30,7 @@ const (
 	recSnapEnd   byte = 6 // snapshot completeness marker
 	recSubMarks  byte = 7 // subscriptions with their acked frontiers (marks only, no parts)
 	recPartDelta byte = 8 // newly received part tuples of one rule part
+	recSyncPoint byte = 9 // group-commit marker: everything before it reached stable storage
 )
 
 const (
@@ -359,6 +360,16 @@ func decodeSubMarks(r *reader) ([]SubState, error) {
 		subs = append(subs, sub)
 	}
 	return subs, nil
+}
+
+// encodeSyncPoint is the group-commit marker: it records the append sequence
+// it covers and is itself fsynced before the writer proceeds, so every record
+// at or below that sequence is known durable wherever the marker survives a
+// crash. It is what lets FsyncNever stores gate acknowledgments on real
+// durability without paying a per-record fsync.
+func encodeSyncPoint(covered uint64) []byte {
+	b := []byte{recSyncPoint}
+	return appendUvarint(b, covered)
 }
 
 // encodePartDelta records the tuples newly merged into one rule part's

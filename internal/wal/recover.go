@@ -154,6 +154,14 @@ func applyRecord(payload []byte, rec *Recovered) (ok, clean bool, err error) {
 		}
 		rec.mergePart(pd)
 		return true, false, nil
+	case recSyncPoint:
+		// Group-commit marker: everything before it was durable when it was
+		// written. Recovery needs no action — surviving the crash is the
+		// proof — but the kind must be recognised or replay would stop here.
+		if _, err := r.uvarint(); err != nil {
+			return false, false, nil
+		}
+		return true, false, nil
 	default:
 		return false, false, nil // unknown kind: written by a future version
 	}

@@ -26,10 +26,10 @@
 // appends one small record per advance; AppendParts logs the part tuples a
 // dependent acknowledged), so they stay trustworthy even when the log does
 // NOT end with a clean-close record: a frontier only ever advanced after
-// the dependent had the data on stable storage. Orchestration that runs
-// without the handshake (or under FsyncNever, whose acks are not
-// durability-gated) still distrusts unclean marks and re-answers in full
-// (receivers deduplicate).
+// the dependent had the data on stable storage — under FsyncNever that
+// guarantee comes from SyncPoint group commits rather than per-record
+// fsyncs. Orchestration that runs without the handshake still distrusts
+// unclean marks and re-answers in full (receivers deduplicate).
 package wal
 
 import (
@@ -54,8 +54,9 @@ const (
 	// FsyncAlways makes every append durable before it returns, with group
 	// commit: concurrent appends piggyback on one fsync.
 	FsyncAlways
-	// FsyncNever leaves flushing to segment rolls, checkpoints and Close;
-	// a crash may lose everything since the last seal.
+	// FsyncNever leaves routine flushing to segment rolls, checkpoints and
+	// Close; a crash may lose everything since the last seal or SyncPoint
+	// (explicit group commits — the acknowledgment gate — still hit disk).
 	FsyncNever
 )
 
@@ -520,6 +521,26 @@ func (s *Store) Sync() error {
 	s.mu.Lock()
 	n := s.appendSeq
 	s.mu.Unlock()
+	return s.syncTo(n)
+}
+
+// SyncPoint appends a group-commit marker covering everything appended so
+// far and makes the log durable up to and including it, regardless of the
+// fsync policy. It is the acknowledgment gate for FsyncNever stores: the
+// policy skips per-record fsyncs, but an ack promising durability still gets
+// a real group commit — many acknowledgments pipeline onto one sync point —
+// so a crash restart trusts the recovered marks and re-answers delta-only
+// instead of distrusting every frontier. Concurrent callers group-commit
+// through the same sync lock as Sync.
+func (s *Store) SyncPoint() error {
+	s.mu.Lock()
+	payload := encodeSyncPoint(s.appendSeq)
+	n, ok := s.appendLocked(payload)
+	err := s.err
+	s.mu.Unlock()
+	if !ok {
+		return err
+	}
 	return s.syncTo(n)
 }
 

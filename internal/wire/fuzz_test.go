@@ -17,6 +17,13 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		AnswerAck{RuleID: "r", SubID: 3, Seqs: map[string]uint64{"s": 7}},
 		StartUpdate{Epoch: 1, Origin: "A"},
 		Join{Node: "A", Addr: "127.0.0.1:1", Members: map[string]string{"B": "127.0.0.1:2"}},
+		AnswerBatch{
+			Answers: []Answer{{Epoch: 2, RuleID: "r", Part: "S", Columns: []string{"X"},
+				Tuples: []relalg.Tuple{{relalg.S("v")}}, SubID: 3, Seqs: map[string]uint64{"s": 7}}},
+			Acks:  []AnswerAck{{RuleID: "r", SubID: 3, Seqs: map[string]uint64{"s": 7}, Durable: true}},
+			Beats: []Heartbeat{{Node: "A", Addr: "127.0.0.1:1"}},
+		},
+		AnswerBatch{}, // empty batch must still decode and size itself
 	}
 	for _, m := range seedMsgs {
 		if data, err := Encode(Envelope{From: "a", To: "b", Msg: m}); err == nil {

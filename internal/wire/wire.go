@@ -227,6 +227,41 @@ func (m AnswerAck) Size() int {
 	return n
 }
 
+// AnswerBatch coalesces several update-phase messages bound for one peer
+// into a single wire frame: the Answers a source produced within a batching
+// window (in send order), any AnswerAcks the sender owed the receiver
+// (piggybacked instead of paying their own frame), and — in cluster mode —
+// a pending membership Heartbeat riding along. Receivers apply the contents
+// exactly as if each message had arrived alone and in the same order (acks
+// first, then answers), and statistics count the contained messages
+// individually, so a batched network keeps the same logical message counts
+// and quiescence behaviour as an unbatched one — only the frame count drops.
+// The transport.Batcher layer builds these frames; no protocol handler ever
+// sends one directly.
+type AnswerBatch struct {
+	Answers []Answer
+	Acks    []AnswerAck
+	Beats   []Heartbeat
+}
+
+// Kind implements Message.
+func (AnswerBatch) Kind() string { return "answerBatch" }
+
+// Size implements Message.
+func (m AnswerBatch) Size() int {
+	n := 12
+	for _, a := range m.Answers {
+		n += a.Size()
+	}
+	for _, a := range m.Acks {
+		n += a.Size()
+	}
+	for _, b := range m.Beats {
+		n += b.Size()
+	}
+	return n
+}
+
 // Unsubscribe cancels the sender's subscription for a rule at the receiver
 // (sent when a coordination rule is deleted at runtime).
 type Unsubscribe struct {
@@ -532,6 +567,7 @@ func init() {
 	gob.Register(Query{})
 	gob.Register(Answer{})
 	gob.Register(AnswerAck{})
+	gob.Register(AnswerBatch{})
 	gob.Register(Unsubscribe{})
 	gob.Register(AddRuleNotice{})
 	gob.Register(DeleteRuleNotice{})
