@@ -2,7 +2,8 @@
 // evaluation (experiments E1–E13; see DESIGN.md for the index) plus the
 // engine ablations that go beyond it (E14: semi-naive delta evaluation;
 // E15: durable backend at each fsync policy vs in-memory; E16: batched
-// wire protocol, frames per tuple with and without a batch window).
+// wire protocol, frames per tuple with and without a batch window; E17:
+// replicated control plane, driver kill and agreed fail-over recovery).
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 //	p2pbench -e E14          # semi-naive vs full-eval fix-point ablation
 //	p2pbench -e E15          # in-memory vs wal fsync always/interval/never
 //	p2pbench -e E16          # batched vs unbatched wire protocol
+//	p2pbench -e E17          # control-plane driver kill and fail-over
 //	p2pbench -records 1000   # paper-scale data (~1000 records per node)
 //	p2pbench -seed 7
 //	p2pbench -json BENCH_$(date +%Y%m%d).json   # machine-readable results
@@ -51,7 +53,7 @@ type benchExperiment struct {
 
 func main() {
 	var (
-		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E16) or 'all'")
+		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E17) or 'all'")
 		records  = flag.Int("records", 50, "records per node (paper used ~1000)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-experiment timeout")

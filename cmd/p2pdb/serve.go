@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -29,6 +30,7 @@ var (
 	suspectAfter = flag.Duration("suspect", 0, "silence window before suspecting a member (0 = 3×hb)")
 	batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "coalesce answers/acks per member within this window into batched frames (0 = one frame per message)")
 	batchBytes   = flag.Int("batch-bytes", 64<<10, "flush a batch early past this payload size")
+	useConsensus = flag.Bool("consensus", true, "run the replicated control plane (agreed member view, log-routed control verbs, update-driver fail-over)")
 )
 
 // parseJoin parses the -join flag ("A=127.0.0.1:7101,B=...").
@@ -127,11 +129,33 @@ func cmdServe(args []string) error {
 			p.ResendUnackedTo(member)
 		}
 	})
+
+	// The replicated control plane: a consensus log over the net-file's
+	// fixed node set. Control verbs arriving at ANY member become agreed log
+	// entries, and a killed update-driver is replaced by the next eligible
+	// member. With -data the applied entries persist beside the node's WAL
+	// directory and replay on restart.
+	var cp *cluster.ControlPlane
+	if *useConsensus {
+		var names []string
+		for _, d := range def.Nodes {
+			names = append(names, d.Name)
+		}
+		copts := cluster.ControlPlaneOptions{}
+		if o.DataDir != "" {
+			copts.Consensus.LogPath = filepath.Join(o.DataDir, node+".control.log")
+		}
+		cp, err = cluster.NewControlPlane(tr, n.Peer(node), names, copts)
+		if err != nil {
+			_ = n.Close()
+			return err
+		}
+	}
 	tr.Announce()
 
 	if *metricsAddr != "" {
 		maddr, closeMetrics, err := cluster.StartMetrics(*metricsAddr, func() cluster.NodeMetrics {
-			return cluster.CollectNodeMetrics(n, tr, node)
+			return cluster.CollectNodeMetrics(n, tr, cp, node)
 		})
 		if err != nil {
 			_ = n.Close()
@@ -147,5 +171,8 @@ func cmdServe(args []string) error {
 	s := <-sig
 	signal.Stop(sig)
 	fmt.Printf("%s: closing %s cleanly\n", s, node)
+	if cp != nil {
+		cp.Close() // stop proposing/driving before the transport goes away
+	}
 	return n.Close()
 }

@@ -150,7 +150,19 @@ type Transport struct {
 	members    map[string]*member
 	handler    transport.Handler // the hosted peer's handler (nil until Register)
 	onMemberUp func(node string) // fired when a suspect/left member returns alive
-	closed     bool
+	// onStatus is fired on every member-status transition (alive, suspect,
+	// left) — the control plane's reconciliation loop reads these through
+	// Members(), the callback just signals. Runs outside the table lock.
+	onStatus func(node string, st Status)
+	// intercept, when set, sees every non-membership frame before the hosted
+	// peer; returning true consumes it. The replicated control plane hooks
+	// its consensus rounds and control verbs here (SetConsensus).
+	intercept func(env wire.Envelope) bool
+	// linkDown cuts outgoing frames per destination — transient-partition
+	// injection for tests and experiments (cut both directions by calling it
+	// on each side).
+	linkDown map[string]bool
+	closed   bool
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -174,12 +186,13 @@ func New(self, listenAddr string, book map[string]string, opts Options) (*Transp
 		tcp.OutboxSize = opts.OutboxSize
 	}
 	c := &Transport{
-		self:    self,
-		opts:    opts,
-		tcp:     tcp,
-		out:     tcp,
-		members: map[string]*member{},
-		quit:    make(chan struct{}),
+		self:     self,
+		opts:     opts,
+		tcp:      tcp,
+		out:      tcp,
+		members:  map[string]*member{},
+		linkDown: map[string]bool{},
+		quit:     make(chan struct{}),
 	}
 	if opts.BatchWindow > 0 {
 		c.batcher = transport.NewBatcher(tcp, transport.BatcherOptions{
@@ -268,18 +281,51 @@ func (c *Transport) bookSnapshot() map[string]string {
 }
 
 func (c *Transport) sendJoin(to string) {
-	_ = c.out.Send(c.self, to, wire.Join{Node: c.self, Addr: c.tcp.Addr(), Members: c.bookSnapshot()})
+	_ = c.transmit(c.self, to, wire.Join{Node: c.self, Addr: c.tcp.Addr(), Members: c.bookSnapshot()})
+}
+
+// transmit is the single egress point: every frame this process originates
+// (membership, hosted peer, control plane) passes the link-fault filter
+// before reaching the wire.
+func (c *Transport) transmit(from, to string, msg wire.Message) error {
+	c.mu.Lock()
+	down := c.linkDown[to]
+	c.mu.Unlock()
+	if down {
+		return nil // a cut link eats frames silently, like a real partition
+	}
+	return c.out.Send(from, to, msg)
+}
+
+// SetLinkDown cuts (or restores) this process's outgoing frames to one
+// member — transient-partition injection for tests and experiments. A
+// symmetric partition needs the mirror call on the other side. Heartbeats
+// stop crossing a cut link, so suspicion and the agreed member view react
+// exactly as they would to a dropped network segment.
+func (c *Transport) SetLinkDown(to string, down bool) {
+	c.mu.Lock()
+	c.linkDown[to] = down
+	c.mu.Unlock()
 }
 
 // dispatch is the TCP handler of the local name: membership frames are
 // consumed here, everything else goes to the hosted peer (and is dropped
 // before it registers — the protocol tolerates lost messages by design).
 func (c *Transport) dispatch(env wire.Envelope) {
+	// Frames from a member this process considers cut are dropped on ingress
+	// too: a partition severs both directions even when only this side
+	// injected it (the TCP socket itself stays up).
+	c.mu.Lock()
+	if c.linkDown[env.From] {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
 	switch m := env.Msg.(type) {
 	case wire.Join:
 		c.observe(m.Node, m.Addr)
 		c.merge(m.Members)
-		_ = c.out.Send(c.self, m.Node, wire.JoinAck{Members: c.bookSnapshot()})
+		_ = c.transmit(c.self, m.Node, wire.JoinAck{Members: c.bookSnapshot()})
 		return
 	case wire.JoinAck:
 		c.observe(env.From, "") // address already known: we dialled it
@@ -290,10 +336,15 @@ func (c *Transport) dispatch(env wire.Envelope) {
 		return
 	case wire.Goodbye:
 		c.mu.Lock()
-		if entry, ok := c.members[m.Node]; ok {
+		var fire func(string, Status)
+		if entry, ok := c.members[m.Node]; ok && entry.status != StatusLeft {
 			entry.status = StatusLeft
+			fire = c.onStatus
 		}
 		c.mu.Unlock()
+		if fire != nil {
+			fire(m.Node, StatusLeft)
+		}
 		return
 	case wire.AnswerBatch:
 		// A batched frame may carry a piggybacked heartbeat: consume the
@@ -308,11 +359,38 @@ func (c *Transport) dispatch(env wire.Envelope) {
 		env.Msg = wire.AnswerBatch{Answers: m.Answers, Acks: m.Acks}
 	}
 	c.mu.Lock()
+	ic := c.intercept
 	h := c.handler
 	c.mu.Unlock()
+	if ic != nil && ic(env) {
+		return
+	}
 	if h != nil {
 		h(env)
 	}
+}
+
+// SetConsensus installs the control-plane interceptor: it sees every frame
+// the membership layer did not consume, before the hosted peer, and eats the
+// ones it returns true for (consensus rounds, control verbs routed through
+// the replicated log). The callback runs on transport goroutines — it must
+// not block on quorum waits (the control plane submits from fresh
+// goroutines).
+func (c *Transport) SetConsensus(fn func(env wire.Envelope) bool) {
+	c.mu.Lock()
+	c.intercept = fn
+	c.mu.Unlock()
+}
+
+// SetOnStatusChange registers a callback fired on every member-status
+// transition this process observes (alive, suspect, left) — the failure
+// detector's edge events, which the replicated control plane folds into
+// agreed member entries. Runs on transport goroutines, outside the table
+// lock.
+func (c *Transport) SetOnStatusChange(fn func(node string, st Status)) {
+	c.mu.Lock()
+	c.onStatus = fn
+	c.mu.Unlock()
 }
 
 // SetOnMemberUp registers a callback fired when a member previously marked
@@ -345,6 +423,7 @@ func (c *Transport) observe(node, addr string) {
 	// First contact (book entries, brand-new members) is not a rejoin: only
 	// a member this process had already written off coming back counts.
 	rejoined := ok && (m.status == StatusSuspect || m.status == StatusLeft)
+	becameAlive := m.status != StatusAlive
 	if addr != "" {
 		m.addr = addr
 	}
@@ -352,12 +431,16 @@ func (c *Transport) observe(node, addr string) {
 	m.lastSeen = time.Now()
 	addr = m.addr
 	up := c.onMemberUp
+	statusFn := c.onStatus
 	c.mu.Unlock()
 	if addr != "" {
 		c.tcp.SetPeerAddr(node, addr)
 	}
 	if rejoined && up != nil {
 		up(node)
+	}
+	if becameAlive && statusFn != nil {
+		statusFn(node, StatusAlive)
 	}
 }
 
@@ -403,12 +486,14 @@ func (c *Transport) heartbeatLoop() {
 			join bool
 		}
 		var tasks []task
+		var suspected []string
 		c.mu.Lock()
 		for name, m := range c.members {
 			switch m.status {
 			case StatusAlive:
 				if now.Sub(m.lastSeen) > c.opts.SuspectAfter {
 					m.status = StatusSuspect
+					suspected = append(suspected, name)
 					tasks = append(tasks, task{name, true})
 				} else {
 					tasks = append(tasks, task{name, false})
@@ -417,16 +502,22 @@ func (c *Transport) heartbeatLoop() {
 				tasks = append(tasks, task{name, true})
 			}
 		}
+		statusFn := c.onStatus
 		c.mu.Unlock()
+		if statusFn != nil {
+			for _, name := range suspected {
+				statusFn(name, StatusSuspect)
+			}
+		}
 		addr := c.tcp.Addr()
 		for _, tk := range tasks {
 			if tk.join {
 				c.sendJoin(tk.name)
 			} else {
-				// Through out: with batching on, the heartbeat waits one
-				// window for a data frame to ride on (latest wins when
+				// Through transmit/out: with batching on, the heartbeat waits
+				// one window for a data frame to ride on (latest wins when
 				// several queue) instead of always paying its own frame.
-				_ = c.out.Send(c.self, tk.name, wire.Heartbeat{Node: c.self, Addr: addr})
+				_ = c.transmit(c.self, tk.name, wire.Heartbeat{Node: c.self, Addr: addr})
 			}
 		}
 	}
@@ -456,7 +547,7 @@ func (c *Transport) Register(node string, h transport.Handler) error {
 // batched wire protocol is on). Unknown members are an addressing error the
 // protocol tolerates.
 func (c *Transport) Send(from, to string, msg wire.Message) error {
-	return c.out.Send(from, to, msg)
+	return c.transmit(from, to, msg)
 }
 
 // Close implements transport.Transport: a clean leave. Alive members get a
@@ -474,7 +565,7 @@ func (c *Transport) Close() error {
 	close(c.quit)
 	c.wg.Wait()
 	for _, name := range c.targets(func(m *member) bool { return m.status == StatusAlive }) {
-		_ = c.out.Send(c.self, name, wire.Goodbye{Node: c.self})
+		_ = c.transmit(c.self, name, wire.Goodbye{Node: c.self})
 	}
 	return c.out.Close()
 }

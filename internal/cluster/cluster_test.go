@@ -315,7 +315,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	n, tr := startMember(t, chainNet, "C", nil, t.TempDir())
 	defer n.Close()
 	addr, closeMetrics, err := StartMetrics("127.0.0.1:0", func() NodeMetrics {
-		return CollectNodeMetrics(n, tr, "C")
+		return CollectNodeMetrics(n, tr, nil, "C")
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,540 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/peer"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+// The replicated control plane: every serve process runs a consensus.Node
+// over the net-file's fixed member set, and the cluster-level decisions that
+// PR 4's single @ctl coordinator used to hold alone — who is in the member
+// table, when an update or discovery wave starts, which coordination rules
+// exist — become agreed log entries applied in sequence by every member.
+// Any member can host a ctl request (the coordinator now just picks a live
+// one), and the member that kicks an update doubles as its *driver*: it polls
+// the others' protocol states and probes open nodes until the wave closes,
+// then commits an updateDone entry. The driver role itself is derived
+// deterministically from the agreed member view, so when the acting driver
+// dies mid-update, the suspicion-driven member entry that records its death
+// also elects its successor — which re-kicks the wave instead of letting the
+// network stall. Rumour-level membership (Join/Heartbeat gossip) stays the
+// failure detector and address book underneath; the agreed view is what
+// control decisions read.
+
+// HostedPeer is the slice of the peer runtime the control plane drives.
+// *peer.Peer satisfies it.
+type HostedPeer interface {
+	StartDiscovery() string
+	StartUpdateWave() uint64
+	Probe()
+	AddRuleLocal(ruleText string) error
+	DeleteRuleLocal(ruleID string)
+	Epoch() uint64
+	Activated() bool
+	State() peer.UpdateState
+}
+
+// ControlPlaneOptions tunes the agreed control plane.
+type ControlPlaneOptions struct {
+	// PollEvery is the driver's state-poll cadence while an update is in
+	// flight (default 100ms).
+	PollEvery time.Duration
+	// RoundTimeout bounds one driver poll round (default 2s).
+	RoundTimeout time.Duration
+	// Settle is how many consecutive complete all-closed rounds the driver
+	// requires before committing updateDone (default 3) — one round can race
+	// a still-traveling confirming cascade.
+	Settle int
+	// ReconcileEvery is the cadence of the gossip→log reconciliation loop
+	// (default 500ms): agreed member statuses that drifted from what the
+	// failure detector sees are re-proposed until the log catches up.
+	ReconcileEvery time.Duration
+	// Consensus tunes the underlying replicated log (including LogPath for
+	// the applied-entry control log).
+	Consensus consensus.Options
+}
+
+func (o ControlPlaneOptions) withDefaults() ControlPlaneOptions {
+	if o.PollEvery <= 0 {
+		o.PollEvery = 100 * time.Millisecond
+	}
+	if o.RoundTimeout <= 0 {
+		o.RoundTimeout = 2 * time.Second
+	}
+	if o.Settle <= 0 {
+		o.Settle = 3
+	}
+	if o.ReconcileEvery <= 0 {
+		o.ReconcileEvery = 500 * time.Millisecond
+	}
+	return o
+}
+
+// ControlPlaneMetrics is the consensus slice of a serve process's
+// observability snapshot.
+type ControlPlaneMetrics struct {
+	consensus.Metrics
+	ViewVersion uint64 `json:"view_version"`   // agreed member-entry count applied
+	Driver      string `json:"driver"`         // elected update driver ("" when none eligible)
+	Failovers   uint64 `json:"failovers"`      // driver changes while an update was in flight
+	PendingInst uint64 `json:"pending_update"` // log instance of the in-flight update (0 = none)
+}
+
+// pendingUpdate is the agreed update entry not yet matched by an updateDone.
+type pendingUpdate struct {
+	instance uint64 // the update entry's log instance (updateDone's Ref)
+	node     string // preferred driver: the member that accepted the kick
+}
+
+// ControlPlane is one serve member's agreed control plane.
+type ControlPlane struct {
+	tr      *Transport
+	peer    HostedPeer
+	self    string
+	members []string
+	opts    ControlPlaneOptions
+	cons    *consensus.Node
+
+	mu        sync.Mutex
+	view      map[string]Status // agreed statuses (absent = book)
+	version   uint64
+	pending   *pendingUpdate
+	driver    string
+	failovers uint64
+	states    map[string]report[wire.StateReport]
+	driveGen  uint64 // invalidates superseded driver goroutines
+	closed    bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewControlPlane starts the agreed control plane for one serve member.
+// members is the fixed consensus set — the net-file's database nodes,
+// identical at every member — and must include tr.Self(). The hosted peer
+// must already be registered on tr (control-log replay applies rule and
+// kick entries to it synchronously, before any network frame flows).
+func NewControlPlane(tr *Transport, hosted HostedPeer, members []string, opts ControlPlaneOptions) (*ControlPlane, error) {
+	opts = opts.withDefaults()
+	cp := &ControlPlane{
+		tr:      tr,
+		peer:    hosted,
+		self:    tr.Self(),
+		members: append([]string(nil), members...),
+		opts:    opts,
+		view:    map[string]Status{},
+		states:  map[string]report[wire.StateReport]{},
+		quit:    make(chan struct{}),
+	}
+	sort.Strings(cp.members)
+	send := func(to string, msg wire.Message) error {
+		return tr.Send(cp.self, to, msg)
+	}
+	cons, err := consensus.New(cp.self, cp.members, send, cp.applyEntry, opts.Consensus)
+	if err != nil {
+		return nil, err
+	}
+	cp.cons = cons
+	tr.SetConsensus(cp.intercept)
+	tr.SetOnStatusChange(cp.onGossipStatus)
+	cons.Start()
+	cp.wg.Add(1)
+	go cp.reconcileLoop()
+	return cp, nil
+}
+
+// Close stops the control plane (driver and reconciliation loops, then the
+// consensus node). Call before the network/transport closes.
+func (cp *ControlPlane) Close() {
+	cp.mu.Lock()
+	if cp.closed {
+		cp.mu.Unlock()
+		return
+	}
+	cp.closed = true
+	cp.mu.Unlock()
+	close(cp.quit)
+	cp.wg.Wait()
+	cp.cons.Close()
+}
+
+// Consensus exposes the underlying replicated log node.
+func (cp *ControlPlane) Consensus() *consensus.Node { return cp.cons }
+
+// AgreedView snapshots the agreed member table (absent members are book) and
+// its version — the number of member entries applied. Every member's view at
+// the same version is identical by construction: it is a fold over the same
+// log prefix.
+func (cp *ControlPlane) AgreedView() (map[string]Status, uint64) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make(map[string]Status, len(cp.members))
+	for _, m := range cp.members {
+		out[m] = cp.view[m]
+	}
+	return out, cp.version
+}
+
+// Driver returns the currently elected update driver.
+func (cp *ControlPlane) Driver() string {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.driver
+}
+
+// Metrics snapshots the control plane for the serve metrics endpoint.
+func (cp *ControlPlane) Metrics() ControlPlaneMetrics {
+	m := ControlPlaneMetrics{Metrics: cp.cons.Metrics()}
+	cp.mu.Lock()
+	m.ViewVersion = cp.version
+	m.Driver = cp.driver
+	m.Failovers = cp.failovers
+	if cp.pending != nil {
+		m.PendingInst = cp.pending.instance
+	}
+	cp.mu.Unlock()
+	return m
+}
+
+// Submit proposes one control command through the log (exported for tests
+// and experiments; serve traffic arrives through the interceptor).
+func (cp *ControlPlane) Submit(ctx context.Context, cmd wire.Command) (uint64, error) {
+	return cp.cons.Submit(ctx, cmd)
+}
+
+// intercept consumes control-plane frames below the hosted peer: consensus
+// rounds, the driver's StateReport replies (the peer ignores them anyway),
+// and the coordinator's kick-off verbs — which become agreed log entries
+// instead of direct peer actions. Everything else flows to the peer.
+func (cp *ControlPlane) intercept(env wire.Envelope) bool {
+	if cp.cons.Handle(env) {
+		return true
+	}
+	switch m := env.Msg.(type) {
+	case wire.StateReport:
+		cp.mu.Lock()
+		cp.states[m.Node] = report[wire.StateReport]{at: time.Now(), val: m}
+		cp.mu.Unlock()
+		return true
+	case wire.DiscoverRequest:
+		go cp.submitAsync(wire.Command{Kind: "discover", Node: cp.self})
+		return true
+	case wire.UpdateRequest:
+		go cp.submitAsync(wire.Command{Kind: "update", Node: cp.self})
+		return true
+	case wire.AddRuleNotice:
+		if IsCoordinator(env.From) {
+			go cp.submitAsync(wire.Command{Kind: "addRule", Text: m.RuleText})
+			return true
+		}
+	case wire.DeleteRuleNotice:
+		if IsCoordinator(env.From) {
+			go cp.submitAsync(wire.Command{Kind: "deleteRule", Text: m.RuleID})
+			return true
+		}
+	}
+	return false
+}
+
+// submitAsync proposes one command off the transport goroutine. A member cut
+// off with a minority blocks here until the partition heals — by design: a
+// minority must not start waves or change the member table.
+func (cp *ControlPlane) submitAsync(cmd wire.Command) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	_, _ = cp.cons.Submit(ctx, cmd)
+}
+
+// applyEntry folds one agreed entry into the control state. Runs on the
+// consensus applier goroutine, in instance order, identically at every
+// member; per-node side effects (starting a wave, adding a rule) fire only
+// at the member the entry names.
+func (cp *ControlPlane) applyEntry(instance uint64, cmd wire.Command) {
+	switch cmd.Kind {
+	case "member":
+		cp.mu.Lock()
+		cp.view[cmd.Node] = Status(cmd.Status)
+		cp.version++
+		wasDriver := cp.driver
+		cp.reelectLocked()
+		// A view change hands the driver role over only on an actual change
+		// of holder; the sitting driver's goroutine keeps running untouched.
+		if cp.driver == cp.self && wasDriver != cp.self {
+			cp.startDrivingLocked()
+		}
+		cp.mu.Unlock()
+	case "discover":
+		cp.mu.Lock()
+		starter := cp.electLocked(cmd.Node)
+		cp.mu.Unlock()
+		if starter == cp.self {
+			go cp.peer.StartDiscovery()
+		}
+	case "update":
+		cp.mu.Lock()
+		cp.pending = &pendingUpdate{instance: instance, node: cmd.Node}
+		cp.reelectLocked()
+		// Always start a fresh drive for the new instance — even when this
+		// member was already driving an older update (that goroutine notices
+		// the superseded instance and exits).
+		cp.startDrivingLocked()
+		cp.mu.Unlock()
+	case "updateDone":
+		cp.mu.Lock()
+		if cp.pending != nil && cp.pending.instance == cmd.Ref {
+			cp.pending = nil
+			cp.reelectLocked()
+		}
+		cp.mu.Unlock()
+	case "addRule":
+		if r, err := rules.ParseRule(cmd.Text); err == nil && r.HeadNode == cp.self {
+			_ = cp.peer.AddRuleLocal(cmd.Text)
+		}
+	case "deleteRule":
+		// Delete-by-id is a no-op at every member but the rule's head, so the
+		// entry needs no routing — any member can host the request and a dead
+		// head applies it from its control log on restart.
+		cp.peer.DeleteRuleLocal(cmd.Text)
+	}
+}
+
+// statusOKLocked reports whether a member is eligible for driver duty under
+// the agreed view: never-heard-from (book) counts as eligible so a freshly
+// booted cluster with an empty log can still elect. Callers hold mu.
+func (cp *ControlPlane) statusOKLocked(name string) bool {
+	st := cp.view[name]
+	return st == StatusBook || st == StatusAlive
+}
+
+// electLocked picks the member responsible for a kick: the preferred member
+// when eligible, else the first eligible in sorted order. Callers hold mu.
+func (cp *ControlPlane) electLocked(prefer string) string {
+	if prefer != "" && cp.statusOKLocked(prefer) {
+		return prefer
+	}
+	for _, m := range cp.members {
+		if cp.statusOKLocked(m) {
+			return m
+		}
+	}
+	return ""
+}
+
+// reelectLocked recomputes the update driver after view or pending changes.
+// A change of holder while an update is in flight counts as a fail-over.
+// Callers hold mu.
+func (cp *ControlPlane) reelectLocked() {
+	if cp.pending == nil {
+		cp.driver = ""
+		return
+	}
+	next := cp.electLocked(cp.pending.node)
+	if next != cp.driver && cp.driver != "" && next != "" {
+		cp.failovers++
+	}
+	cp.driver = next
+}
+
+// startDrivingLocked spawns a driver goroutine for the pending update under
+// a fresh generation. Callers hold mu and have established that this member
+// is the driver.
+func (cp *ControlPlane) startDrivingLocked() {
+	if cp.driver != cp.self || cp.pending == nil || cp.closed {
+		return
+	}
+	cp.driveGen++
+	inst := cp.pending.instance
+	gen := cp.driveGen
+	cp.wg.Add(1)
+	go cp.drive(inst, gen)
+}
+
+// stillDriving reports whether a driver goroutine remains current: the same
+// update is pending, this member is still the driver, and no newer driver
+// generation superseded it.
+func (cp *ControlPlane) stillDriving(inst, gen uint64) bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return !cp.closed && cp.pending != nil && cp.pending.instance == inst &&
+		cp.driver == cp.self && cp.driveGen == gen
+}
+
+// drive is the update driver loop: kick a wave from this member, poll every
+// eligible member's protocol state, probe open nodes, and — once every
+// member has reported closed for Settle consecutive complete rounds — commit
+// updateDone. Retries are unbounded: a dead member blocks closure until it
+// restarts (its WAL and the resend machinery then let the wave finish), so
+// the driver waits rather than declaring a half-done update finished.
+func (cp *ControlPlane) drive(inst, gen uint64) {
+	defer cp.wg.Done()
+	kickEpoch := cp.peer.StartUpdateWave()
+	settle := 0
+	for {
+		select {
+		case <-cp.quit:
+			return
+		case <-time.After(cp.opts.PollEvery):
+		}
+		if !cp.stillDriving(inst, gen) {
+			return
+		}
+
+		cp.mu.Lock()
+		var targets []string
+		for _, m := range cp.members {
+			if m != cp.self && cp.statusOKLocked(m) {
+				targets = append(targets, m)
+			}
+		}
+		cp.mu.Unlock()
+
+		reports, complete := cp.pollStates(targets)
+		if !cp.stillDriving(inst, gen) {
+			return
+		}
+		var open []string
+		for node, st := range reports {
+			if st.Activated && !st.Closed {
+				open = append(open, node)
+			}
+		}
+		selfOpen := cp.peer.Activated() && cp.peer.State() != peer.Closed
+		if selfOpen {
+			open = append(open, cp.self)
+		}
+		if complete && len(open) == 0 && cp.peer.Epoch() >= kickEpoch && !selfOpen {
+			settle++
+			if settle >= cp.opts.Settle {
+				cp.commitDone(inst, gen)
+				return
+			}
+			continue
+		}
+		settle = 0
+		for _, node := range open {
+			if node == cp.self {
+				cp.peer.Probe()
+			} else {
+				_ = cp.tr.Send(cp.self, node, wire.ProbeRequest{})
+			}
+		}
+	}
+}
+
+// pollStates runs one StateRequest round against targets and returns the
+// replies fresher than the round start, plus whether every target answered.
+func (cp *ControlPlane) pollStates(targets []string) (map[string]wire.StateReport, bool) {
+	start := time.Now()
+	for _, node := range targets {
+		_ = cp.tr.Send(cp.self, node, wire.StateRequest{})
+	}
+	deadline := start.Add(cp.opts.RoundTimeout)
+	for {
+		fresh := map[string]wire.StateReport{}
+		cp.mu.Lock()
+		for node, r := range cp.states {
+			if !r.at.Before(start) {
+				fresh[node] = r.val
+			}
+		}
+		cp.mu.Unlock()
+		complete := true
+		for _, node := range targets {
+			if _, ok := fresh[node]; !ok {
+				complete = false
+				break
+			}
+		}
+		if complete || time.Now().After(deadline) {
+			return fresh, complete
+		}
+		select {
+		case <-cp.quit:
+			return fresh, false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// commitDone proposes the updateDone entry naming the driven update. Retries
+// until it lands or the drive is superseded (a fail-over mid-commit: the new
+// driver re-drives and commits instead).
+func (cp *ControlPlane) commitDone(inst, gen uint64) {
+	for cp.stillDriving(inst, gen) {
+		ctx, cancel := context.WithTimeout(context.Background(), cp.opts.RoundTimeout)
+		_, err := cp.cons.Submit(ctx, wire.Command{Kind: "updateDone", Ref: inst})
+		cancel()
+		if err == nil {
+			return
+		}
+	}
+}
+
+// onGossipStatus receives the failure detector's transitions. The agreed
+// view is corrected by the reconciliation loop, not here — a transition seen
+// during a minority partition must not block a transport goroutine on an
+// unreachable quorum. The callback only kicks the loop awake.
+func (cp *ControlPlane) onGossipStatus(string, Status) {
+	// reconcileLoop's ticker picks the change up; nothing to do inline.
+}
+
+// reconcileLoop keeps the agreed member view converged with the failure
+// detector: whenever a consensus member's gossip status (alive, suspect,
+// left) differs from the agreed view, propose the correction. Proposals are
+// cheap no-ops when a concurrent proposer got there first (apply is
+// idempotent), and a member holding stale suspicions after a heal simply
+// re-proposes the fresh status on the next tick — the loop converges on
+// whatever the detector currently believes.
+func (cp *ControlPlane) reconcileLoop() {
+	defer cp.wg.Done()
+	inSet := map[string]bool{}
+	for _, m := range cp.members {
+		inSet[m] = true
+	}
+	for {
+		select {
+		case <-cp.quit:
+			return
+		case <-time.After(cp.opts.ReconcileEvery):
+		}
+		for _, m := range cp.tr.Members() {
+			if !inSet[m.Name] || m.Status == StatusBook {
+				continue
+			}
+			cp.mu.Lock()
+			agreed := cp.view[m.Name]
+			cp.mu.Unlock()
+			if agreed == m.Status {
+				continue
+			}
+			// Re-check right before proposing: the quorum wait below can
+			// outlive the transition that motivated it.
+			cur, ok := cp.gossipStatus(m.Name)
+			if !ok || cur != m.Status {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), cp.opts.RoundTimeout)
+			_, _ = cp.cons.Submit(ctx, wire.Command{
+				Kind: "member", Node: m.Name, Addr: m.Addr, Status: uint8(m.Status),
+			})
+			cancel()
+		}
+	}
+}
+
+// gossipStatus reads the failure detector's current belief about one member.
+func (cp *ControlPlane) gossipStatus(name string) (Status, bool) {
+	for _, m := range cp.tr.Members() {
+		if m.Name == name {
+			return m.Status, true
+		}
+	}
+	return StatusBook, false
+}

@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/relalg"
+	"repro/internal/wire"
+)
+
+// A five-node chain: facts enter at E and flow up to the sink A, so every
+// member's database participates in the global fix-point and a dead member
+// anywhere in the chain blocks closure until it returns.
+const chainNet5 = `
+node A { rel a(x,y) }
+node B { rel b(x,y) }
+node C { rel c(x,y) }
+node D { rel d(x,y) }
+node E { rel e(x,y) }
+rule re: E:e(X,Y) -> D:d(X,Y)
+rule rd: D:d(X,Y) -> C:c(X,Y)
+rule rc: C:c(X,Y) -> B:b(X,Y)
+rule rb: B:b(X,Y) -> A:a(Y,X)
+fact E:e('1','2')
+fact E:e('3','4')
+super A
+`
+
+func fastCPOpts(logPath string) ControlPlaneOptions {
+	return ControlPlaneOptions{
+		PollEvery:      25 * time.Millisecond,
+		Settle:         2,
+		ReconcileEvery: 100 * time.Millisecond,
+		Consensus: consensus.Options{
+			Retry:     10 * time.Millisecond,
+			SyncEvery: 50 * time.Millisecond,
+			LogPath:   logPath,
+		},
+	}
+}
+
+// startCPMember boots one "process" with the replicated control plane on it.
+func startCPMember(t *testing.T, defText, node string, book map[string]string, dataDir string) (*core.Network, *Transport, *ControlPlane) {
+	t.Helper()
+	n, tr := startMember(t, defText, node, book, dataDir)
+	def := mustDef(t, defText)
+	var names []string
+	for _, d := range def.Nodes {
+		names = append(names, d.Name)
+	}
+	logPath := ""
+	if dataDir != "" {
+		logPath = filepath.Join(dataDir, node+".control.log")
+	}
+	cp, err := NewControlPlane(tr, n.Peer(node), names, fastCPOpts(logPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, tr, cp
+}
+
+// TestControlPlaneFailoverKillDriverMidUpdate is the acceptance scenario: a
+// five-member cluster, the member that accepted the update kick (and so
+// elected itself driver) is killed mid-update, and the agreed control plane
+// must elect a successor that re-drives the wave to closure — converging on
+// the oracle fix-point with a non-divergent agreed member table, without any
+// new ctl request.
+func TestControlPlaneFailoverKillDriverMidUpdate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("control-plane fail-over skipped in -short mode")
+	}
+	ctx := testCtx(t)
+
+	// The in-memory reference fix-point, kept in lockstep with the cluster.
+	memNet, err := core.Build(mustDef(t, chainNet5), core.Options{Delta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memNet.Close()
+	if err := memNet.RunToFixpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	dataRoot := t.TempDir()
+	book := map[string]string{}
+	nets := map[string]*core.Network{}
+	trs := map[string]*Transport{}
+	cps := map[string]*ControlPlane{}
+	boot := func(node string) {
+		seed := map[string]string{}
+		for k, v := range book {
+			seed[k] = v
+		}
+		n, tr, cp := startCPMember(t, chainNet5, node, seed, filepath.Join(dataRoot, node))
+		nets[node], trs[node], cps[node] = n, tr, cp
+		book[node] = tr.Addr()
+	}
+	for _, node := range []string{"A", "B", "C", "D", "E"} {
+		boot(node)
+	}
+	defer func() {
+		for _, cp := range cps {
+			cp.Close()
+		}
+		for _, n := range nets {
+			_ = n.Close()
+		}
+	}()
+
+	coord, err := NewCoordinator(mustDef(t, chainNet5), "127.0.0.1:0", book, fastCoordOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.WaitMembers(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Update(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for node, n := range nets {
+		if got, want := n.Peer(node).DB().Dump(), memNet.Peer(node).DB().Dump(); got != want {
+			t.Fatalf("baseline: node %s diverges:\n got: %s\nwant: %s", node, got, want)
+		}
+	}
+
+	// New facts at the source, mirrored into the reference.
+	for _, tup := range []relalg.Tuple{{relalg.S("5"), relalg.S("6")}, {relalg.S("7"), relalg.S("8")}} {
+		if _, err := nets["E"].Peer("E").InsertLocal("e", tup); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := memNet.Peer("E").InsertLocal("e", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := memNet.Update(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kick the update at E — E accepts, logs the entry, elects itself driver
+	// and starts the wave. Then kill it before closure.
+	if err := coord.Transport().Send(CoordinatorName, "E", wire.UpdateRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return cps["B"].Metrics().PendingInst > 0
+	}, "the update entry never reached B's applied log")
+	if d := cps["B"].Driver(); d != "E" {
+		t.Fatalf("driver before the kill = %q, want E", d)
+	}
+	if err := nets["E"].Crash(); err != nil {
+		t.Fatal(err)
+	}
+	cps["E"].Close()
+	delete(nets, "E")
+	delete(cps, "E")
+
+	// Suspicion → agreed member entry → fail-over: A (first eligible in
+	// sorted order) takes the driver role and re-kicks.
+	waitFor(t, 15*time.Second, func() bool {
+		m := cps["A"].Metrics()
+		return m.Failovers >= 1 && m.Driver == "A"
+	}, "no driver fail-over after the kill")
+
+	// Restart E from its WAL and control log; the driver's unbounded probes
+	// then pull the chain to closure and commit updateDone.
+	boot("E")
+	waitFor(t, 30*time.Second, func() bool {
+		for _, cp := range cps {
+			if cp.Metrics().PendingInst != 0 {
+				return false
+			}
+		}
+		return true
+	}, "the re-driven update never committed updateDone")
+
+	waitFor(t, 30*time.Second, func() bool {
+		for node, n := range nets {
+			if n.Peer(node).DB().Dump() != memNet.Peer(node).DB().Dump() {
+				return false
+			}
+		}
+		return true
+	}, "cluster never converged on the oracle fix-point after fail-over")
+
+	// The agreed member table must be identical everywhere (same fold of the
+	// same log) and settle on all-alive once E is back.
+	waitFor(t, 15*time.Second, func() bool {
+		refView, refVer := cps["A"].AgreedView()
+		for _, m := range []string{"A", "B", "C", "D", "E"} {
+			if cps[m].Metrics().ViewVersion != refVer {
+				return false
+			}
+			view, ver := cps[m].AgreedView()
+			if ver != refVer {
+				return false
+			}
+			for node, st := range refView {
+				if view[node] != st {
+					return false
+				}
+			}
+		}
+		for _, st := range refView {
+			if st != StatusAlive {
+				return false
+			}
+		}
+		return true
+	}, "agreed member views never converged to an identical all-alive table")
+}
+
+// TestControlPlaneMinorityPartition pins the quorum rule end to end: a
+// minority cut off from the cluster can neither advance the log nor mutate
+// the agreed member table, while the majority keeps deciding; on heal the
+// minority catches up to the identical view.
+func TestControlPlaneMinorityPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition test skipped in -short mode")
+	}
+	book := map[string]string{}
+	trs := map[string]*Transport{}
+	cps := map[string]*ControlPlane{}
+	var nets []*core.Network
+	members := []string{"A", "B", "C", "D", "E"}
+	for _, node := range members {
+		seed := map[string]string{}
+		for k, v := range book {
+			seed[k] = v
+		}
+		n, tr, cp := startCPMember(t, chainNet5, node, seed, "")
+		nets = append(nets, n)
+		trs[node], cps[node] = tr, cp
+		book[node] = tr.Addr()
+	}
+	defer func() {
+		for _, cp := range cps {
+			cp.Close()
+		}
+		for _, n := range nets {
+			_ = n.Close()
+		}
+	}()
+	waitFor(t, 10*time.Second, func() bool {
+		for _, tr := range trs {
+			alive := 0
+			for _, m := range tr.Members() {
+				if m.Status == StatusAlive {
+					alive++
+				}
+			}
+			if alive < 4 {
+				return false
+			}
+		}
+		return true
+	}, "membership never converged")
+
+	// Warm-up decision proves the log works whole.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	warm, err := cps["A"].Submit(ctx, wire.Command{Kind: "noop"})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut {D,E} off from {A,B,C}, both directions.
+	cut := func(down bool) {
+		for _, x := range []string{"A", "B", "C"} {
+			for _, y := range []string{"D", "E"} {
+				trs[x].SetLinkDown(y, down)
+				trs[y].SetLinkDown(x, down)
+			}
+		}
+	}
+	cut(true)
+
+	// The minority proposer must block until its context gives up.
+	ctx, cancel = context.WithTimeout(context.Background(), 500*time.Millisecond)
+	_, err = cps["D"].Submit(ctx, wire.Command{Kind: "noop"})
+	cancel()
+	if err == nil {
+		t.Fatal("minority member decided a log entry without a quorum")
+	}
+	minorityApplied := cps["D"].Metrics().Applied
+
+	// The majority keeps deciding, and its agreed view records the cut.
+	ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+	majority, err := cps["A"].Submit(ctx, wire.Command{Kind: "noop"})
+	cancel()
+	if err != nil {
+		t.Fatalf("majority member could not decide during the partition: %v", err)
+	}
+	if majority <= warm {
+		t.Fatalf("instances not monotone: warm=%d majority=%d", warm, majority)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		view, _ := cps["A"].AgreedView()
+		return view["D"] == StatusSuspect && view["E"] == StatusSuspect
+	}, "the majority's agreed view never recorded the isolated minority")
+
+	if got := cps["D"].Metrics().Applied; got != minorityApplied {
+		t.Fatalf("minority advanced its applied frontier during the partition: %d -> %d", minorityApplied, got)
+	}
+
+	// Heal: the minority catches up to the identical agreed state and the
+	// table returns to all-alive.
+	cut(false)
+	waitFor(t, 15*time.Second, func() bool {
+		if cps["D"].Metrics().Applied < majority || cps["E"].Metrics().Applied < majority {
+			return false
+		}
+		refView, refVer := cps["A"].AgreedView()
+		for _, st := range refView {
+			if st != StatusAlive {
+				return false
+			}
+		}
+		for _, m := range members {
+			view, ver := cps[m].AgreedView()
+			if ver != refVer {
+				return false
+			}
+			for node, st := range refView {
+				if view[node] != st {
+					return false
+				}
+			}
+		}
+		return true
+	}, "cluster never re-converged after the heal")
+}
+
+// TestControlPlaneRoutedRuleChange pins the log-routed rule verbs: an
+// AddRuleNotice from the coordinator becomes an agreed entry applied at the
+// head node, at every member's control plane, in the same log position.
+func TestControlPlaneRoutedRuleChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("control-plane rule routing skipped in -short mode")
+	}
+	book := map[string]string{}
+	cps := map[string]*ControlPlane{}
+	nets := map[string]*core.Network{}
+	for _, node := range []string{"A", "B", "C", "D", "E"} {
+		seed := map[string]string{}
+		for k, v := range book {
+			seed[k] = v
+		}
+		n, tr, cp := startCPMember(t, chainNet5, node, seed, "")
+		nets[node], cps[node] = n, cp
+		book[node] = tr.Addr()
+	}
+	defer func() {
+		for _, cp := range cps {
+			cp.Close()
+		}
+		for _, n := range nets {
+			_ = n.Close()
+		}
+	}()
+	coord, err := NewCoordinator(mustDef(t, chainNet5), "127.0.0.1:0", book, fastCoordOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := testCtx(t)
+	if err := coord.WaitMembers(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	// New coordination rule with head A: travels as a log entry, applies at A.
+	if err := coord.AddLink("rx: C:c(X,Y) -> A:a(X,Y)"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		for _, r := range nets["A"].Peer("A").Rules() {
+			if r == "rx" {
+				return true
+			}
+		}
+		return false
+	}, "the routed addRule entry never applied at the head node")
+	// Every member applied the same entry (same log): applied frontiers agree
+	// on at least one instance carrying it.
+	waitFor(t, 10*time.Second, func() bool {
+		for _, cp := range cps {
+			if cp.Metrics().Applied == 0 {
+				return false
+			}
+		}
+		return true
+	}, "the rule entry never reached every member's applied log")
+}

@@ -162,6 +162,24 @@ func (c *Coordinator) alivePeers() []string {
 	return out
 }
 
+// kickTarget picks the member a kick-off verb goes to: the preferred node
+// when it is alive, else the first alive member in sorted order — any member
+// of a consensus-run cluster can host a control request, so an unreachable
+// super-peer falls through to the next live member instead of erroring out.
+func (c *Coordinator) kickTarget(prefer string) (string, error) {
+	alive := c.alivePeers()
+	sort.Strings(alive)
+	for _, p := range alive {
+		if p == prefer {
+			return p, nil
+		}
+	}
+	if len(alive) > 0 {
+		return alive[0], nil
+	}
+	return "", fmt.Errorf("cluster: no alive member to target (preferred %q)", prefer)
+}
+
 // WaitMembers blocks until at least want database peers are alive (the
 // join handshake and heartbeat retries run underneath).
 func (c *Coordinator) WaitMembers(ctx context.Context, want int) error {
@@ -294,14 +312,30 @@ func (c *Coordinator) Quiesce(ctx context.Context) error {
 	}
 }
 
-// Discover kicks a topology-discovery wave at the super-peer and returns at
-// quiescence (every reached node then knows its maximal dependency paths;
-// participants self-discover lazily, as in the in-process runs).
+// Discover kicks a topology-discovery wave — at the super-peer when it is
+// alive, else at the next live member — and returns at quiescence (every
+// reached node then knows its maximal dependency paths; participants
+// self-discover lazily, as in the in-process runs).
 func (c *Coordinator) Discover(ctx context.Context) error {
-	if err := c.tr.Send(CoordinatorName, c.Super(), wire.DiscoverRequest{}); err != nil {
+	target, err := c.kickTarget(c.Super())
+	if err != nil {
+		return err
+	}
+	if err := c.tr.Send(CoordinatorName, target, wire.DiscoverRequest{}); err != nil {
 		return fmt.Errorf("cluster: discover kick-off: %w", err)
 	}
 	return c.Quiesce(ctx)
+}
+
+// maxEpoch returns the highest epoch any polled peer reports.
+func maxEpoch(states map[string]wire.StateReport) uint64 {
+	var max uint64
+	for _, st := range states {
+		if st.Epoch > max {
+			max = st.Epoch
+		}
+	}
+	return max
 }
 
 // Update runs the global update to completion: kick the wave at the
@@ -310,8 +344,38 @@ func (c *Coordinator) Discover(ctx context.Context) error {
 // confirming cascade — or a message died with a process), closure probes ask
 // the open nodes to re-issue their queries, each probe at fix-point cost.
 func (c *Coordinator) Update(ctx context.Context) error {
-	if err := c.tr.Send(CoordinatorName, c.Super(), wire.UpdateRequest{}); err != nil {
+	// Pin the epoch before kicking: with the replicated control plane the
+	// kick lands asynchronously (request → agreed log entry → elected driver
+	// starts the wave), so quiescence must not be declared against the
+	// still-settled counters of the PREVIOUS epoch. Waiting for the epoch to
+	// advance closes that window; the pre-consensus path advances it
+	// synchronously, so the wait is immediate there.
+	before, _, err := round(ctx, c, wire.StateRequest{}, func() map[string]report[wire.StateReport] { return c.states })
+	if err != nil {
+		return err
+	}
+	epoch0 := maxEpoch(before)
+	target, err := c.kickTarget(c.Super())
+	if err != nil {
+		return err
+	}
+	if err := c.tr.Send(CoordinatorName, target, wire.UpdateRequest{}); err != nil {
 		return fmt.Errorf("cluster: update kick-off: %w", err)
+	}
+	kickDeadline := time.Now().Add(c.opts.RoundTimeout)
+	for {
+		states, _, err := round(ctx, c, wire.StateRequest{}, func() map[string]report[wire.StateReport] { return c.states })
+		if err != nil {
+			return err
+		}
+		if maxEpoch(states) > epoch0 || time.Now().After(kickDeadline) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.opts.PollEvery):
+		}
 	}
 	for attempt := 0; ; attempt++ {
 		if err := c.Quiesce(ctx); err != nil {
@@ -398,16 +462,30 @@ func (c *Coordinator) Broadcast(text string) error {
 	return nil
 }
 
-// AddLink applies addLink(i,j,rule,id) remotely: the head node is notified.
+// AddLink applies addLink(i,j,rule,id) remotely: the head node is notified
+// when alive; otherwise the next live member takes the request (under the
+// replicated control plane the rule travels as a log entry and applies at
+// the head whenever it returns — the entry, not the notice, is the record).
 func (c *Coordinator) AddLink(ruleText string) error {
 	r, err := rules.ParseRule(ruleText)
 	if err != nil {
 		return err
 	}
-	return c.tr.Send(CoordinatorName, r.HeadNode, wire.AddRuleNotice{RuleText: ruleText})
+	target, err := c.kickTarget(r.HeadNode)
+	if err != nil {
+		return err
+	}
+	return c.tr.Send(CoordinatorName, target, wire.AddRuleNotice{RuleText: ruleText})
 }
 
-// DeleteLink applies deleteLink(i,j,id) remotely at the head node.
+// DeleteLink applies deleteLink(i,j,id) remotely: the head node is notified
+// when alive; otherwise the next live member takes the request (the agreed
+// deleteRule entry is a no-op everywhere but the head, which applies it —
+// live or from its control log on restart).
 func (c *Coordinator) DeleteLink(headNode, ruleID string) error {
-	return c.tr.Send(CoordinatorName, headNode, wire.DeleteRuleNotice{RuleID: ruleID})
+	target, err := c.kickTarget(headNode)
+	if err != nil {
+		return err
+	}
+	return c.tr.Send(CoordinatorName, target, wire.DeleteRuleNotice{RuleID: ruleID})
 }

@@ -43,12 +43,21 @@ type NodeMetrics struct {
 	PiggyBeats  uint64         `json:"beats_piggybacked"`
 	Stats       stats.Snapshot `json:"stats"`
 	Members     []Member       `json:"members"`
+	// Consensus is the replicated control plane's state (nil when the member
+	// runs without one): log frontiers, quorum size, elected driver and the
+	// fail-over count — the numbers an operator watches during a
+	// coordinator-kill to see the new driver take over.
+	Consensus *ControlPlaneMetrics `json:"consensus,omitempty"`
 }
 
 // CollectNodeMetrics snapshots a hosted node of a running network over a
-// cluster transport.
-func CollectNodeMetrics(n *core.Network, tr *Transport, node string) NodeMetrics {
+// cluster transport. cp may be nil (no replicated control plane).
+func CollectNodeMetrics(n *core.Network, tr *Transport, cp *ControlPlane, node string) NodeMetrics {
 	m := NodeMetrics{Node: node, Addr: tr.Addr(), Members: tr.Members()}
+	if cp != nil {
+		cm := cp.Metrics()
+		m.Consensus = &cm
+	}
 	if p := n.Peer(node); p != nil {
 		m.Epoch = p.Epoch()
 		m.State = p.State().String()

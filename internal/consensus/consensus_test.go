@@ -1,0 +1,491 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeNet is an in-memory message fabric with per-pair partitions and random
+// loss — the failure modes Paxos must absorb. Delivery is asynchronous (one
+// goroutine per frame), like the real TCP outbox.
+type fakeNet struct {
+	mu      sync.Mutex
+	nodes   map[string]*Node
+	cut     map[[2]string]bool // unordered pair → partitioned
+	dropPct int                // percent of frames lost at random
+	rng     *rand.Rand
+	wg      sync.WaitGroup
+}
+
+func newFakeNet() *fakeNet {
+	return &fakeNet{nodes: map[string]*Node{}, cut: map[[2]string]bool{}, rng: rand.New(rand.NewSource(1))}
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func (f *fakeNet) sender(from string) Sender {
+	return func(to string, msg wire.Message) error {
+		f.mu.Lock()
+		blocked := f.cut[pairKey(from, to)]
+		dropped := f.dropPct > 0 && f.rng.Intn(100) < f.dropPct
+		dst := f.nodes[to]
+		f.mu.Unlock()
+		if blocked || dropped || dst == nil {
+			return nil // silent loss, like an async outbox
+		}
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			dst.Handle(wire.Envelope{From: from, To: to, Msg: msg})
+		}()
+		return nil
+	}
+}
+
+// partition cuts every pair straddling the two groups.
+func (f *fakeNet) partition(a, b []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			f.cut[pairKey(x, y)] = true
+		}
+	}
+}
+
+func (f *fakeNet) heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cut = map[[2]string]bool{}
+}
+
+// applyLog records the applied sequence of one member.
+type applyLog struct {
+	mu      sync.Mutex
+	entries []logEntry
+}
+
+func (l *applyLog) apply(i uint64, c wire.Command) {
+	l.mu.Lock()
+	l.entries = append(l.entries, logEntry{Instance: i, Cmd: c})
+	l.mu.Unlock()
+}
+
+func (l *applyLog) snapshot() []logEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]logEntry(nil), l.entries...)
+}
+
+func fastOpts() Options {
+	return Options{Retry: 10 * time.Millisecond, SyncEvery: 25 * time.Millisecond, GapFill: 40 * time.Millisecond, KeepWindow: 1 << 20}
+}
+
+// startCluster builds and starts n members A, B, C, ... on one fabric.
+func startCluster(t *testing.T, f *fakeNet, names []string, opts Options) (map[string]*Node, map[string]*applyLog) {
+	t.Helper()
+	nodes := map[string]*Node{}
+	logs := map[string]*applyLog{}
+	for _, name := range names {
+		al := &applyLog{}
+		n, err := New(name, names, f.sender(name), al.apply, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[name] = n
+		logs[name] = al
+		f.mu.Lock()
+		f.nodes[name] = n
+		f.mu.Unlock()
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		f.wg.Wait()
+	})
+	return nodes, logs
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func submit(t *testing.T, n *Node, kind, text string) uint64 {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	at, err := n.Submit(ctx, wire.Command{Kind: kind, Text: text})
+	if err != nil {
+		t.Fatalf("submit %s/%s on %s: %v", kind, text, n.Self(), err)
+	}
+	return at
+}
+
+// sameOrder asserts every member applied the identical command sequence.
+func sameOrder(t *testing.T, logs map[string]*applyLog, want int) {
+	t.Helper()
+	var ref []logEntry
+	var refName string
+	for name, l := range logs {
+		got := l.snapshot()
+		if len(got) != want {
+			t.Fatalf("%s applied %d entries, want %d", name, len(got), want)
+		}
+		if ref == nil {
+			ref, refName = got, name
+			continue
+		}
+		for i := range got {
+			if got[i].Instance != ref[i].Instance || got[i].Cmd != ref[i].Cmd {
+				t.Fatalf("divergence at %d: %s=%+v %s=%+v", i, refName, ref[i], name, got[i])
+			}
+		}
+	}
+}
+
+func TestSingleProposerOrdersAll(t *testing.T) {
+	f := newFakeNet()
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	for i := 0; i < 8; i++ {
+		submit(t, nodes["A"], "noop", fmt.Sprint(i))
+	}
+	waitFor(t, 5*time.Second, "all applied", func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) != 8 {
+				return false
+			}
+		}
+		return true
+	})
+	sameOrder(t, logs, 8)
+	for i, e := range logs["B"].snapshot() {
+		if e.Cmd.Text != fmt.Sprint(i) {
+			t.Fatalf("entry %d out of submission order: %+v", i, e)
+		}
+	}
+}
+
+func TestContendingProposersNeverDiverge(t *testing.T) {
+	f := newFakeNet()
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	const per = 5
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				submit(t, n, "noop", fmt.Sprintf("%s-%d", n.Self(), i))
+			}
+		}(nodes[name])
+	}
+	wg.Wait()
+	want := per * len(names)
+	waitFor(t, 10*time.Second, "all applied", func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) < want {
+				return false
+			}
+		}
+		return true
+	})
+	total := len(logs["A"].snapshot())
+	sameOrder(t, logs, total)
+	// Every submission decided exactly once (no duplicates, no losses).
+	seen := map[string]int{}
+	for _, e := range logs["A"].snapshot() {
+		seen[e.Cmd.Origin+"#"+fmt.Sprint(e.Cmd.Seq)]++
+	}
+	if len(seen) != total {
+		t.Fatalf("duplicate decisions: %d unique of %d", len(seen), total)
+	}
+}
+
+func TestMessageLossStillDecides(t *testing.T) {
+	f := newFakeNet()
+	f.dropPct = 20
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	for i := 0; i < 6; i++ {
+		submit(t, nodes[names[i%3]], "noop", fmt.Sprint(i))
+	}
+	waitFor(t, 15*time.Second, "all applied despite loss", func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) < 6 {
+				return false
+			}
+		}
+		return true
+	})
+	sameOrder(t, logs, len(logs["A"].snapshot()))
+}
+
+func TestMinorityMakesNoProgress(t *testing.T) {
+	f := newFakeNet()
+	names := []string{"A", "B", "C", "D", "E"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	submit(t, nodes["A"], "noop", "warmup")
+
+	f.partition([]string{"A", "B"}, []string{"C", "D", "E"})
+
+	// The minority proposer must block until its context expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	_, err := nodes["A"].Submit(ctx, wire.Command{Kind: "noop", Text: "minority"})
+	cancel()
+	if err == nil {
+		t.Fatal("minority proposer decided without a quorum")
+	}
+	minorityApplied := len(logs["A"].snapshot())
+
+	// The majority side keeps deciding.
+	submit(t, nodes["C"], "noop", "majority-1")
+	submit(t, nodes["D"], "noop", "majority-2")
+	waitFor(t, 5*time.Second, "majority applied", func() bool {
+		return len(logs["E"].snapshot()) >= 3
+	})
+	if got := len(logs["A"].snapshot()); got != minorityApplied {
+		t.Fatalf("minority advanced during partition: %d -> %d", minorityApplied, got)
+	}
+
+	// Healed: the minority catches up and a fresh submit from it decides.
+	f.heal()
+	submit(t, nodes["A"], "noop", "healed")
+	waitFor(t, 5*time.Second, "all converged", func() bool {
+		n := len(logs["C"].snapshot())
+		for _, l := range logs {
+			if len(l.snapshot()) != n {
+				return false
+			}
+		}
+		return n >= 4
+	})
+	sameOrder(t, logs, len(logs["A"].snapshot()))
+}
+
+func TestCatchUpAfterSilence(t *testing.T) {
+	f := newFakeNet()
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	f.partition([]string{"C"}, []string{"A", "B"})
+	for i := 0; i < 5; i++ {
+		submit(t, nodes["A"], "noop", fmt.Sprint(i))
+	}
+	if n := len(logs["C"].snapshot()); n != 0 {
+		t.Fatalf("isolated member applied %d entries", n)
+	}
+	f.heal()
+	// No further proposals: the catch-up ticker alone must close the gap.
+	waitFor(t, 5*time.Second, "C caught up", func() bool {
+		return len(logs["C"].snapshot()) == 5
+	})
+	sameOrder(t, logs, 5)
+}
+
+// TestGapFill injects a decided successor with an undecided predecessor — the
+// state a proposer's death between Accept and Learn leaves behind — and
+// expects a no-op fill to unblock the applier.
+func TestGapFill(t *testing.T) {
+	f := newFakeNet()
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	for _, n := range nodes {
+		n.Handle(wire.Envelope{From: "A", To: n.Self(),
+			Msg: wire.Learn{Instance: 2, Val: wire.Command{Kind: "member", Origin: "A", Seq: 99, Node: "Z"}}})
+	}
+	waitFor(t, 5*time.Second, "gap filled and both applied", func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	sameOrder(t, logs, 2)
+	first := logs["A"].snapshot()[0]
+	if first.Instance != 1 || first.Cmd.Kind != "noop" {
+		t.Fatalf("gap not filled with noop: %+v", first)
+	}
+	if m := nodes["A"].Metrics(); m.NoopFills == 0 && nodes["B"].Metrics().NoopFills == 0 && nodes["C"].Metrics().NoopFills == 0 {
+		t.Errorf("no member counted a noop fill: %+v", m)
+	}
+}
+
+func TestGCBoundsInstanceState(t *testing.T) {
+	opts := fastOpts()
+	opts.KeepWindow = 8
+	f := newFakeNet()
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, opts)
+	const total = 40
+	for i := 0; i < total; i++ {
+		submit(t, nodes[names[i%3]], "noop", fmt.Sprint(i))
+	}
+	waitFor(t, 10*time.Second, "all applied", func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) < total {
+				return false
+			}
+		}
+		return true
+	})
+	// Done frontiers ride on the periodic catch-up; give them a few ticks.
+	waitFor(t, 5*time.Second, "GC floor advanced", func() bool {
+		for _, n := range nodes {
+			if n.Metrics().Floor == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	for name, n := range nodes {
+		m := n.Metrics()
+		n.mu.Lock()
+		kept := len(n.insts)
+		n.mu.Unlock()
+		if uint64(kept) > m.Applied-m.Floor+4 {
+			t.Errorf("%s retains %d instances above floor %d (applied %d)", name, kept, m.Floor, m.Applied)
+		}
+	}
+}
+
+// TestRestartReplaysControlLog runs each member with its own control log,
+// kills one (Close + detach), decides more entries, restarts it from its log
+// and expects offline replay + network catch-up to converge it.
+func TestRestartReplaysControlLog(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"A", "B", "C"}
+	f := newFakeNet()
+	nodes := map[string]*Node{}
+	logs := map[string]*applyLog{}
+	mk := func(name string) {
+		al := &applyLog{}
+		opts := fastOpts()
+		opts.LogPath = filepath.Join(dir, name+".control.log")
+		n, err := New(name, names, f.sender(name), al.apply, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[name], logs[name] = n, al
+		f.mu.Lock()
+		f.nodes[name] = n
+		f.mu.Unlock()
+		n.Start()
+	}
+	for _, name := range names {
+		mk(name)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		f.wg.Wait()
+	}()
+
+	for i := 0; i < 6; i++ {
+		submit(t, nodes["A"], "noop", fmt.Sprint(i))
+	}
+	waitFor(t, 5*time.Second, "all applied", func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) != 6 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// "Crash" C: close it and detach it from the fabric.
+	nodes["C"].Close()
+	f.mu.Lock()
+	delete(f.nodes, "C")
+	f.mu.Unlock()
+	preCrash := logs["C"].snapshot()
+
+	submit(t, nodes["A"], "noop", "while-down-1")
+	submit(t, nodes["B"], "noop", "while-down-2")
+
+	// Restart C from its control log (mk installs a fresh applyLog): New
+	// replays the persisted prefix synchronously, before any network frame.
+	mk("C")
+	replayed := logs["C"].snapshot()
+	if len(replayed) != len(preCrash) {
+		t.Fatalf("replay produced %d entries, want %d", len(replayed), len(preCrash))
+	}
+	for i, e := range preCrash {
+		if replayed[i].Instance != e.Instance || replayed[i].Cmd != e.Cmd {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, replayed[i], e)
+		}
+	}
+	waitFor(t, 5*time.Second, "C caught up past crash window", func() bool {
+		return len(logs["C"].snapshot()) == len(preCrash)+2
+	})
+	if m := nodes["C"].Metrics(); m.Applied != 8 {
+		t.Fatalf("restarted member applied=%d, want 8", m.Applied)
+	}
+}
+
+// TestAdoptsAcceptedValue pins the core safety rule: a new ballot must adopt
+// a value any acceptor has already accepted, not its own.
+func TestAdoptsAcceptedValue(t *testing.T) {
+	f := newFakeNet()
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	// Hand-feed B an accepted value at instance 1 (ballot 5, command "early").
+	early := wire.Command{Kind: "member", Origin: "Z", Seq: 1, Node: "N"}
+	nodes["B"].Handle(wire.Envelope{From: "A", To: "B", Msg: wire.Prepare{Instance: 1, Ballot: 5}})
+	nodes["B"].Handle(wire.Envelope{From: "A", To: "B", Msg: wire.Accept{Instance: 1, Ballot: 5, Val: early}})
+	// Now C proposes its own command at the same instance; the Prepare round
+	// must surface B's accepted value and decide it instead.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := nodes["C"].Submit(ctx, wire.Command{Kind: "noop", Text: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "two entries applied", func() bool {
+		return len(logs["A"].snapshot()) >= 2
+	})
+	first := logs["A"].snapshot()[0]
+	if first.Cmd.Origin != "Z" || first.Cmd.Kind != "member" {
+		t.Fatalf("instance 1 decided %+v, want the earlier accepted value", first.Cmd)
+	}
+}
+
+func TestMetricsShape(t *testing.T) {
+	f := newFakeNet()
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	submit(t, nodes["A"], "noop", "x")
+	waitFor(t, 5*time.Second, "applied", func() bool { return len(logs["A"].snapshot()) == 1 })
+	m := nodes["A"].Metrics()
+	if m.Quorum != 2 || m.Peers != 3 {
+		t.Fatalf("quorum/peers: %+v", m)
+	}
+	if m.Applied != 1 || m.MaxDecided < 1 || m.MaxProposed < 1 || m.Proposals != 1 {
+		t.Fatalf("counters: %+v", m)
+	}
+}

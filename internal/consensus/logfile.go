@@ -1,0 +1,104 @@
+package consensus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"io"
+	"os"
+
+	"repro/internal/wire"
+)
+
+// logEntry is one applied instance, persisted to the control log so a member
+// rebuilds its applied control-plane state offline after a restart. Writes
+// are not fsynced — losing the tail only means a longer catch-up from peers,
+// never divergence, because every entry here was already agreed by a
+// majority.
+//
+// Framing: each entry is a standalone gob blob behind a little-endian uint32
+// length prefix. Per-entry encoders (rather than one long gob stream) keep
+// the file appendable across restarts — a resumed gob stream would re-emit
+// type definitions that a single replay decoder rejects — and make torn-tail
+// truncation exact: replay stops at the first short or undecodable frame and
+// the writer truncates there.
+type logEntry struct {
+	Instance uint64
+	Cmd      wire.Command
+}
+
+type logWriter struct {
+	f *os.File
+}
+
+// openLog replays path's whole-entry prefix and returns a writer positioned
+// to append after it (any torn tail is truncated away). A missing file
+// starts an empty log.
+func openLog(path string) ([]logEntry, *logWriter, error) {
+	var entries []logEntry
+	var goodEnd int64
+	if f, err := os.Open(path); err == nil {
+		var hdr [4]byte
+		for {
+			if _, err := io.ReadFull(f, hdr[:]); err != nil {
+				break
+			}
+			n := binary.LittleEndian.Uint32(hdr[:])
+			if n == 0 || n > 1<<24 {
+				break // implausible frame: treat as torn tail
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(f, buf); err != nil {
+				break
+			}
+			var e logEntry
+			if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&e); err != nil {
+				break
+			}
+			entries = append(entries, e)
+			goodEnd += int64(4 + n)
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(goodEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return entries, &logWriter{f: f}, nil
+}
+
+// append writes one entry; errors are swallowed (the log is an optimisation —
+// a member that cannot persist still runs, it just catches up from peers
+// after a restart).
+func (w *logWriter) append(e logEntry) {
+	if w == nil {
+		return
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(e); err != nil {
+		return
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(body.Len()))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return
+	}
+	_, _ = w.f.Write(body.Bytes())
+}
+
+func (w *logWriter) close() {
+	if w != nil && w.f != nil {
+		w.f.Close()
+	}
+}

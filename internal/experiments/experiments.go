@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction of every table and figure
-// of the paper's evaluation (see DESIGN.md's experiment index, E1–E16). Each
+// of the paper's evaluation (see DESIGN.md's experiment index, E1–E17). Each
 // experiment builds its workload, runs the distributed algorithm, and
 // renders the same rows/series the paper reports. The cmd/p2pbench tool and
 // the repository-level benchmarks both drive this package.
@@ -153,7 +153,7 @@ func (c Config) withDefaults() Config {
 
 // All runs every experiment in order.
 func All(cfg Config) ([]Result, error) {
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 	var out []Result
 	for _, id := range ids {
 		r, err := Run(id, cfg)
@@ -209,6 +209,8 @@ func dispatch(id string, cfg Config) (Result, error) {
 		return E15Durability(cfg)
 	case "E16":
 		return E16Batching(cfg)
+	case "E17":
+		return E17Failover(cfg)
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

@@ -155,6 +155,21 @@ func TestE15DurabilityBackends(t *testing.T) {
 	}
 }
 
+func TestE17FailoverConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E17 spins a TCP cluster; skipped in -short mode")
+	}
+	r, err := Run("E17", Config{RecordsPerNode: 6, Seed: 3, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"driver fail-overs", "fail-over (new driver elected)", "identical at all 5 members"} {
+		if !strings.Contains(r.Table, want) {
+			t.Errorf("E17 table missing %q:\n%s", want, r.Table)
+		}
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
 	if _, err := Run("E99", quick); err == nil {
 		t.Error("unknown experiment must error")
@@ -169,7 +184,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 16 {
+	if len(results) != 17 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

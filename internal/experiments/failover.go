@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/relalg"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+// E17: the replicated control plane under a driver kill. Five single-node
+// processes-in-miniature (one cluster transport + hosted peer + consensus
+// member each, over TCP loopback) run a baseline update, take new facts at
+// the source, and kick a second update at the source member — which the
+// experiment then kills mid-wave. The agreed log must record the suspicion,
+// elect the next driver, re-drive the wave, and after the killed member
+// restarts from its WAL and control log the whole cluster must land on the
+// same fix-point as an in-memory reference run. The table reports the phase
+// costs an operator would see: time to fail over, time until the re-driven
+// update commits, and time to full data convergence.
+
+const e17Net = `
+node A { rel a(x,y) }
+node B { rel b(x,y) }
+node C { rel c(x,y) }
+node D { rel d(x,y) }
+node E { rel e(x,y) }
+rule re: E:e(X,Y) -> D:d(X,Y)
+rule rd: D:d(X,Y) -> C:c(X,Y)
+rule rc: C:c(X,Y) -> B:b(X,Y)
+rule rb: B:b(X,Y) -> A:a(Y,X)
+fact E:e('1','2')
+fact E:e('3','4')
+super A
+`
+
+// e17Member is one in-process cluster member with its control plane.
+type e17Member struct {
+	net *core.Network
+	tr  *cluster.Transport
+	cp  *cluster.ControlPlane
+}
+
+func (m *e17Member) close() {
+	if m.cp != nil {
+		m.cp.Close()
+	}
+	if m.net != nil {
+		_ = m.net.Close()
+	}
+}
+
+// e17Boot starts one member: transport, hosted network, control plane.
+func e17Boot(def *rules.Network, node string, book map[string]string, dataDir string) (*e17Member, error) {
+	seed := map[string]string{}
+	for k, v := range book {
+		seed[k] = v
+	}
+	tr, err := cluster.New(node, "127.0.0.1:0", seed, cluster.Options{
+		HeartbeatEvery: 25 * time.Millisecond,
+		SuspectAfter:   150 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n, err := core.Build(def, core.Options{
+		Delta:       true,
+		Hosted:      []string{node},
+		Transport:   tr,
+		DataDir:     dataDir,
+		ResendEvery: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sibling := node
+	tr.SetOnMemberUp(func(member string) {
+		if p := n.Peer(sibling); p != nil {
+			p.ResendUnackedTo(member)
+		}
+	})
+	var names []string
+	for _, d := range def.Nodes {
+		names = append(names, d.Name)
+	}
+	cp, err := cluster.NewControlPlane(tr, n.Peer(node), names, cluster.ControlPlaneOptions{
+		PollEvery:      25 * time.Millisecond,
+		Settle:         2,
+		ReconcileEvery: 100 * time.Millisecond,
+		Consensus: consensus.Options{
+			Retry:     10 * time.Millisecond,
+			SyncEvery: 50 * time.Millisecond,
+			LogPath:   filepath.Join(dataDir, node+".control.log"),
+		},
+	})
+	if err != nil {
+		_ = n.Close()
+		return nil, err
+	}
+	tr.Announce()
+	return &e17Member{net: n, tr: tr, cp: cp}, nil
+}
+
+// e17Wait polls cond until it holds or the deadline passes.
+func e17Wait(max time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(max)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+// E17Failover runs the driver-kill scenario and reports its phase costs.
+func E17Failover(cfg Config) (Result, error) {
+	def, err := rules.ParseNetwork(e17Net)
+	if err != nil {
+		return Result{}, err
+	}
+	refDef, err := rules.ParseNetwork(e17Net)
+	if err != nil {
+		return Result{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+
+	// The in-memory reference fix-point (same facts, same extra inserts).
+	ref, err := core.Build(refDef, core.Options{Delta: true})
+	if err != nil {
+		return Result{}, err
+	}
+	defer ref.Close()
+	if err := ref.RunToFixpoint(ctx); err != nil {
+		return Result{}, err
+	}
+
+	dataRoot, err := os.MkdirTemp("", "p2pdb-e17")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dataRoot)
+
+	names := []string{"A", "B", "C", "D", "E"}
+	book := map[string]string{}
+	members := map[string]*e17Member{}
+	defer func() {
+		for _, m := range members {
+			m.close()
+		}
+	}()
+	for _, node := range names {
+		m, err := e17Boot(def, node, book, filepath.Join(dataRoot, node))
+		if err != nil {
+			return Result{}, fmt.Errorf("E17: boot %s: %w", node, err)
+		}
+		members[node] = m
+		book[node] = m.tr.Addr()
+	}
+	coord, err := cluster.NewCoordinator(def, "127.0.0.1:0", book, cluster.CoordinatorOptions{
+		Membership: cluster.Options{HeartbeatEvery: 25 * time.Millisecond},
+		PollEvery:  25 * time.Millisecond,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer coord.Close()
+	if err := coord.WaitMembers(ctx, len(names)); err != nil {
+		return Result{}, fmt.Errorf("E17: join: %w", err)
+	}
+	t0 := time.Now()
+	if err := coord.Discover(ctx); err != nil {
+		return Result{}, fmt.Errorf("E17: discover: %w", err)
+	}
+	if err := coord.Update(ctx); err != nil {
+		return Result{}, fmt.Errorf("E17: baseline update: %w", err)
+	}
+	baseline := time.Since(t0)
+
+	// New facts at the source, mirrored into the reference.
+	extra := cfg.RecordsPerNode
+	if extra < 4 {
+		extra = 4
+	}
+	for i := 0; i < extra; i++ {
+		tup := relalg.Tuple{relalg.S(fmt.Sprintf("k%d", i)), relalg.S("failover")}
+		if _, err := members["E"].net.Peer("E").InsertLocal("e", tup); err != nil {
+			return Result{}, err
+		}
+		if _, err := ref.Peer("E").InsertLocal("e", tup); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := ref.Update(ctx); err != nil {
+		return Result{}, err
+	}
+
+	// Kick the second update at the source member and kill it mid-wave.
+	if err := coord.Transport().Send(cluster.CoordinatorName, "E", wire.UpdateRequest{}); err != nil {
+		return Result{}, err
+	}
+	if !e17Wait(10*time.Second, func() bool { return members["B"].cp.Metrics().PendingInst > 0 }) {
+		return Result{}, fmt.Errorf("E17: update entry never applied at a survivor")
+	}
+	tKill := time.Now()
+	if err := members["E"].net.Crash(); err != nil {
+		return Result{}, err
+	}
+	members["E"].cp.Close()
+	delete(members, "E")
+
+	if !e17Wait(15*time.Second, func() bool {
+		m := members["A"].cp.Metrics()
+		return m.Failovers >= 1 && m.Driver == "A"
+	}) {
+		return Result{}, fmt.Errorf("E17: no driver fail-over after the kill")
+	}
+	failover := time.Since(tKill)
+
+	// Restart the killed member; the new driver's unbounded probes then pull
+	// the chain to closure and commit updateDone.
+	m, err := e17Boot(def, "E", book, filepath.Join(dataRoot, "E"))
+	if err != nil {
+		return Result{}, fmt.Errorf("E17: restart E: %w", err)
+	}
+	members["E"] = m
+	if !e17Wait(30*time.Second, func() bool {
+		for _, m := range members {
+			if m.cp.Metrics().PendingInst != 0 {
+				return false
+			}
+		}
+		return true
+	}) {
+		return Result{}, fmt.Errorf("E17: re-driven update never committed updateDone")
+	}
+	redrive := time.Since(tKill)
+
+	if !e17Wait(30*time.Second, func() bool {
+		for node, m := range members {
+			if m.net.Peer(node).DB().Dump() != ref.Peer(node).DB().Dump() {
+				return false
+			}
+		}
+		return true
+	}) {
+		return Result{}, fmt.Errorf("E17: cluster diverged from the reference fix-point after fail-over")
+	}
+	converge := time.Since(tKill)
+
+	// The agreed member table must be identical at every member.
+	refView, refVer := members["A"].cp.AgreedView()
+	if !e17Wait(15*time.Second, func() bool {
+		refView, refVer = members["A"].cp.AgreedView()
+		for _, node := range names {
+			view, ver := members[node].cp.AgreedView()
+			if ver != refVer {
+				return false
+			}
+			for n, st := range refView {
+				if view[n] != st {
+					return false
+				}
+			}
+		}
+		return true
+	}) {
+		return Result{}, fmt.Errorf("E17: agreed member views diverged")
+	}
+	cm := members["A"].cp.Metrics()
+
+	tbl := table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "phase\tms")
+		fmt.Fprintf(w, "baseline discover+update\t%.1f\n", float64(baseline.Microseconds())/1000)
+		fmt.Fprintf(w, "kill -> fail-over (new driver elected)\t%.1f\n", float64(failover.Microseconds())/1000)
+		fmt.Fprintf(w, "kill -> re-driven update committed\t%.1f\n", float64(redrive.Microseconds())/1000)
+		fmt.Fprintf(w, "kill -> full data convergence\t%.1f\n", float64(converge.Microseconds())/1000)
+		fmt.Fprintf(w, "\nlog instances applied\t%d\n", cm.Applied)
+		fmt.Fprintf(w, "driver fail-overs\t%d\n", cm.Failovers)
+		fmt.Fprintf(w, "agreed view version\t%d (identical at all %d members)\n", refVer, len(names))
+		fmt.Fprintln(w, "\nnote:\tthe killed member was the elected update driver; the survivors'")
+		fmt.Fprintln(w, "\tquorum agreed on its suspicion, re-elected, and finished its update")
+	})
+	return Result{ID: "E17", Title: "replicated control plane — driver kill, fail-over, agreed recovery", Table: tbl}, nil
+}

@@ -24,6 +24,20 @@ func FuzzDecodeEnvelope(f *testing.F) {
 			Beats: []Heartbeat{{Node: "A", Addr: "127.0.0.1:1"}},
 		},
 		AnswerBatch{}, // empty batch must still decode and size itself
+		// Consensus control plane: every Paxos round frame, with and without
+		// a carried command, so the decoder's reach covers the replicated
+		// log's vocabulary.
+		Prepare{Instance: 4, Ballot: 17, Done: 3},
+		Promise{Instance: 4, Ballot: 17, OK: true, AccBallot: 9, HasVal: true,
+			Val: Command{Kind: "update", Origin: "B", Seq: 2, Node: "B"}, Done: 3},
+		Promise{Instance: 4, Ballot: 9, Promised: 17}, // rejection
+		Accept{Instance: 4, Ballot: 17,
+			Val: Command{Kind: "member", Origin: "A", Seq: 5, Node: "C", Addr: "127.0.0.1:9", Status: 2}},
+		Accepted{Instance: 4, Ballot: 17, OK: true, Done: 4},
+		Learn{Instance: 4, Val: Command{Kind: "noop", Origin: "C", Seq: 1}, Done: 4},
+		Learn{Instance: 9, Val: Command{Kind: "addRule", Origin: "A", Seq: 7,
+			Text: "r: B:b(X,Y) -> A:a(X,Y)"}},
+		CatchUp{From: 5, Done: 4},
 	}
 	for _, m := range seedMsgs {
 		if data, err := Encode(Envelope{From: "a", To: "b", Msg: m}); err == nil {

@@ -428,6 +428,157 @@ func mapSize(m map[string]string) int {
 }
 
 // ---------------------------------------------------------------------------
+// Replicated consensus control plane (internal/consensus)
+//
+// A Paxos-style replicated log over the fixed serve-member set re-founds the
+// cluster control plane: membership changes, epoch bumps and
+// discovery/update/rule-change kick-offs become agreed log entries applied in
+// sequence by every member, so any member can host control requests and a
+// killed proposer's in-flight update is re-driven by a new one. These frames
+// are — like the membership frames above — consumed below the peer runtime by
+// the cluster transport's consensus interceptor: a database peer never sees
+// them and they never touch the protocol counters quiescence polling reads.
+// Every frame piggybacks the sender's done-frontier (the highest log instance
+// it has applied) for instance garbage-collection.
+
+// Command is one replicated control-plane log entry. It is deliberately one
+// flat struct rather than an interface: gob stays simple, fuzzing reaches
+// every field, and unknown Kinds are skipped by appliers instead of failing
+// to decode (forward compatibility across member versions).
+type Command struct {
+	// Kind discriminates the entry: "noop" (gap fill), "member" (agreed
+	// status change), "discover", "update", "updateDone", "addRule",
+	// "deleteRule", "setNetwork".
+	Kind string
+	// Origin is the proposing member; Seq its proposer-local sequence number.
+	// Origin#Seq identifies one submission across proposer retries.
+	Origin string
+	Seq    uint64
+	// Node is the subject: the member whose status changed ("member"), the
+	// kick-off node ("discover"/"update"), or the head node ("deleteRule").
+	Node string
+	// Addr is the member's latest listen address ("member" entries).
+	Addr string
+	// Status is the agreed member status ("member" entries; cluster.Status).
+	Status uint8
+	// Text carries the rule text ("addRule"), the rule ID ("deleteRule"), or
+	// the network description ("setNetwork").
+	Text string
+	// Ref links an entry to an earlier instance: an "updateDone" names the
+	// log instance of the "update" it closes, so a stale done from a deposed
+	// driver cannot clear a newer in-flight update.
+	Ref uint64
+}
+
+// Kind strings of the consensus frames, also their stats/trace names.
+const (
+	KindPrepare  = "prepare"
+	KindPromise  = "promise"
+	KindAccept   = "accept"
+	KindAccepted = "accepted"
+	KindLearn    = "learn"
+	KindCatchUp  = "catchUp"
+)
+
+// Prepare opens a ballot for one log instance (phase 1a).
+type Prepare struct {
+	Instance uint64
+	Ballot   uint64
+	Done     uint64 // sender's applied frontier (instance GC)
+}
+
+// Kind implements Message.
+func (Prepare) Kind() string { return KindPrepare }
+
+// Size implements Message.
+func (Prepare) Size() int { return 32 }
+
+// Promise answers a Prepare (phase 1b). OK false is a rejection; Promised
+// then carries the ballot the acceptor is already bound to, so the proposer
+// can jump past it instead of walking ballots one by one. When the acceptor
+// has accepted a value in an earlier ballot, HasVal/AccBallot/Val carry it —
+// the proposer must adopt the highest-ballot such value.
+type Promise struct {
+	Instance  uint64
+	Ballot    uint64
+	OK        bool
+	Promised  uint64 // on rejection: the ballot already promised
+	AccBallot uint64 // highest ballot accepted so far (0 = none)
+	HasVal    bool
+	Val       Command
+	Done      uint64
+}
+
+// Kind implements Message.
+func (Promise) Kind() string { return KindPromise }
+
+// Size implements Message.
+func (m Promise) Size() int { return 52 + cmdSize(m.Val) }
+
+// Accept asks acceptors to accept a value under a ballot (phase 2a).
+type Accept struct {
+	Instance uint64
+	Ballot   uint64
+	Val      Command
+	Done     uint64
+}
+
+// Kind implements Message.
+func (Accept) Kind() string { return KindAccept }
+
+// Size implements Message.
+func (m Accept) Size() int { return 32 + cmdSize(m.Val) }
+
+// Accepted answers an Accept (phase 2b). OK false is a rejection with the
+// conflicting promised ballot.
+type Accepted struct {
+	Instance uint64
+	Ballot   uint64
+	OK       bool
+	Promised uint64
+	Done     uint64
+}
+
+// Kind implements Message.
+func (Accepted) Kind() string { return KindAccepted }
+
+// Size implements Message.
+func (Accepted) Size() int { return 41 }
+
+// Learn announces a decided instance (the proposer broadcasts it on reaching
+// a majority of Accepted; acceptors also reply with it when a round arrives
+// for an instance they already know decided, which is the catch-up path).
+type Learn struct {
+	Instance uint64
+	Val      Command
+	Done     uint64
+}
+
+// Kind implements Message.
+func (Learn) Kind() string { return KindLearn }
+
+// Size implements Message.
+func (m Learn) Size() int { return 24 + cmdSize(m.Val) }
+
+// CatchUp asks a peer to re-send Learns for decided instances at or above
+// From. Members also send it periodically as a done-frontier advertisement:
+// it is the only consensus frame an idle, fully caught-up cluster exchanges.
+type CatchUp struct {
+	From uint64
+	Done uint64
+}
+
+// Kind implements Message.
+func (CatchUp) Kind() string { return KindCatchUp }
+
+// Size implements Message.
+func (CatchUp) Size() int { return 24 }
+
+func cmdSize(c Command) int {
+	return 26 + len(c.Kind) + len(c.Origin) + len(c.Node) + len(c.Addr) + len(c.Text)
+}
+
+// ---------------------------------------------------------------------------
 // Remote control plane (cluster coordinator verbs)
 //
 // A thin coordinator (cmd/p2pdb ctl) orchestrates live serve processes over
@@ -548,12 +699,19 @@ func (m QueryResult) Size() int {
 // must exclude them — the polling itself generates them, and their replies
 // flow to a coordinator that keeps no counters, so including them would
 // either never settle or register as a permanent send/receive deficit.
+// The consensus frames are listed too: they never reach a peer (the cluster
+// transport consumes them below the peer runtime), so excluding them from
+// counter sums is moot, but membership in this set also makes them exempt
+// from TCP outbox eviction — dropping a Promise or Learn to make room for a
+// re-shippable data frame would stall agreement for a full retry cycle.
 func ControlKinds() map[string]bool {
 	return map[string]bool{
 		"statsRequest": true, "statsReport": true, "statsReset": true,
 		"discoverRequest": true, "updateRequest": true, "probeRequest": true,
 		"stateRequest": true, "stateReport": true,
 		"queryRequest": true, "queryResult": true,
+		KindPrepare: true, KindPromise: true, KindAccept: true,
+		KindAccepted: true, KindLearn: true, KindCatchUp: true,
 	}
 }
 
@@ -580,6 +738,12 @@ func init() {
 	gob.Register(JoinAck{})
 	gob.Register(Heartbeat{})
 	gob.Register(Goodbye{})
+	gob.Register(Prepare{})
+	gob.Register(Promise{})
+	gob.Register(Accept{})
+	gob.Register(Accepted{})
+	gob.Register(Learn{})
+	gob.Register(CatchUp{})
 	gob.Register(DiscoverRequest{})
 	gob.Register(UpdateRequest{})
 	gob.Register(ProbeRequest{})

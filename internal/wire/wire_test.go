@@ -41,6 +41,13 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		StateReport{Node: "A", Epoch: 4, Activated: true, Closed: true, PathsReady: true, Tuples: 12},
 		QueryRequest{ID: 7, Body: "a(X,Y)", Cols: []string{"X", "Y"}},
 		QueryResult{ID: 7, Columns: []string{"X"}, Tuples: []relalg.Tuple{{relalg.S("v")}}, Err: ""},
+		Prepare{Instance: 3, Ballot: 12, Done: 2},
+		Promise{Instance: 3, Ballot: 12, OK: true, AccBallot: 5, HasVal: true,
+			Val: Command{Kind: "update", Origin: "A", Seq: 1, Node: "A"}, Done: 2},
+		Accept{Instance: 3, Ballot: 12, Val: Command{Kind: "member", Origin: "B", Seq: 4, Node: "C", Status: 2}},
+		Accepted{Instance: 3, Ballot: 12, OK: true},
+		Learn{Instance: 3, Val: Command{Kind: "noop", Origin: "B", Seq: 5}},
+		CatchUp{From: 4, Done: 3},
 	}
 	for _, m := range msgs {
 		env := Envelope{From: "X", To: "Y", Msg: m}
@@ -102,6 +109,7 @@ func TestSizesArePositiveAndMonotone(t *testing.T) {
 		Join{}, JoinAck{}, Heartbeat{}, Goodbye{},
 		DiscoverRequest{}, UpdateRequest{}, ProbeRequest{},
 		StateRequest{}, StateReport{}, QueryRequest{}, QueryResult{},
+		Prepare{}, Promise{}, Accept{}, Accepted{}, Learn{}, CatchUp{},
 	}
 	kinds := map[string]bool{}
 	for _, m := range all {
@@ -123,6 +131,7 @@ func TestControlKindsCoverControlPlane(t *testing.T) {
 		StatsRequest{}, StatsReport{}, StatsReset{},
 		DiscoverRequest{}, UpdateRequest{}, ProbeRequest{},
 		StateRequest{}, StateReport{}, QueryRequest{}, QueryResult{},
+		Prepare{}, Promise{}, Accept{}, Accepted{}, Learn{}, CatchUp{},
 	} {
 		if !ck[m.Kind()] {
 			t.Errorf("control kind %s missing from ControlKinds", m.Kind())
