@@ -39,6 +39,9 @@ func cmdCtl(args []string) error {
 	}
 	coord, err := cluster.NewCoordinator(def, listen, joins, cluster.CoordinatorOptions{
 		Membership: clusterOpts(),
+		// Without the replicated control plane a rule notice is consumed only
+		// by its head node, so the coordinator must not redirect it.
+		LegacyRouting: !*useConsensus,
 	})
 	if err != nil {
 		return err

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"sort"
 	"sync"
 	"time"
@@ -109,7 +111,9 @@ type ControlPlane struct {
 	driver    string
 	failovers uint64
 	states    map[string]report[wire.StateReport]
-	driveGen  uint64 // invalidates superseded driver goroutines
+	rules     map[string]string // agreed rule set: rule ID -> rule text
+	driveGen  uint64            // invalidates superseded driver goroutines
+	replaying bool              // control-log replay in progress: fold only, no side effects
 	closed    bool
 
 	quit chan struct{}
@@ -121,27 +125,44 @@ type ControlPlane struct {
 // identical at every member — and must include tr.Self(). The hosted peer
 // must already be registered on tr (control-log replay applies rule and
 // kick entries to it synchronously, before any network frame flows).
+// Replay is fold-only: it rebuilds the agreed view, rule set and pending
+// update, but fires none of the entries' side effects — in particular a
+// replayed update entry must not re-kick a cluster-wide wave for an update
+// that completed before the restart. Only after replay finishes does the
+// plane act on what remains genuinely pending.
 func NewControlPlane(tr *Transport, hosted HostedPeer, members []string, opts ControlPlaneOptions) (*ControlPlane, error) {
 	opts = opts.withDefaults()
 	cp := &ControlPlane{
-		tr:      tr,
-		peer:    hosted,
-		self:    tr.Self(),
-		members: append([]string(nil), members...),
-		opts:    opts,
-		view:    map[string]Status{},
-		states:  map[string]report[wire.StateReport]{},
-		quit:    make(chan struct{}),
+		tr:        tr,
+		peer:      hosted,
+		self:      tr.Self(),
+		members:   append([]string(nil), members...),
+		opts:      opts,
+		view:      map[string]Status{},
+		states:    map[string]report[wire.StateReport]{},
+		rules:     map[string]string{},
+		replaying: true,
+		quit:      make(chan struct{}),
 	}
 	sort.Strings(cp.members)
 	send := func(to string, msg wire.Message) error {
 		return tr.Send(cp.self, to, msg)
 	}
-	cons, err := consensus.New(cp.self, cp.members, send, cp.applyEntry, opts.Consensus)
+	copts := opts.Consensus
+	copts.Snapshot = cp.snapshotState
+	copts.Restore = cp.restoreState
+	cons, err := consensus.New(cp.self, cp.members, send, cp.applyEntry, copts)
 	if err != nil {
 		return nil, err
 	}
 	cp.cons = cons
+	// Replay done (New replays the control log synchronously). If an update
+	// entry survived without its updateDone, it really is still in flight:
+	// elect and drive it now, exactly once.
+	cp.mu.Lock()
+	cp.replaying = false
+	cp.startDrivingLocked()
+	cp.mu.Unlock()
 	tr.SetConsensus(cp.intercept)
 	tr.SetOnStatusChange(cp.onGossipStatus)
 	cons.Start()
@@ -273,8 +294,11 @@ func (cp *ControlPlane) applyEntry(instance uint64, cmd wire.Command) {
 	case "discover":
 		cp.mu.Lock()
 		starter := cp.electLocked(cmd.Node)
+		replay := cp.replaying
 		cp.mu.Unlock()
-		if starter == cp.self {
+		// A replayed discover already ran before the restart; re-folding it
+		// must not re-flood the cluster.
+		if starter == cp.self && !replay {
 			go cp.peer.StartDiscovery()
 		}
 	case "update":
@@ -294,13 +318,23 @@ func (cp *ControlPlane) applyEntry(instance uint64, cmd wire.Command) {
 		}
 		cp.mu.Unlock()
 	case "addRule":
-		if r, err := rules.ParseRule(cmd.Text); err == nil && r.HeadNode == cp.self {
+		r, err := rules.ParseRule(cmd.Text)
+		if err != nil {
+			return
+		}
+		cp.mu.Lock()
+		cp.rules[r.ID] = cmd.Text
+		cp.mu.Unlock()
+		if r.HeadNode == cp.self {
 			_ = cp.peer.AddRuleLocal(cmd.Text)
 		}
 	case "deleteRule":
 		// Delete-by-id is a no-op at every member but the rule's head, so the
 		// entry needs no routing — any member can host the request and a dead
 		// head applies it from its control log on restart.
+		cp.mu.Lock()
+		delete(cp.rules, cmd.Text)
+		cp.mu.Unlock()
 		cp.peer.DeleteRuleLocal(cmd.Text)
 	}
 }
@@ -346,7 +380,7 @@ func (cp *ControlPlane) reelectLocked() {
 // a fresh generation. Callers hold mu and have established that this member
 // is the driver.
 func (cp *ControlPlane) startDrivingLocked() {
-	if cp.driver != cp.self || cp.pending == nil || cp.closed {
+	if cp.driver != cp.self || cp.pending == nil || cp.closed || cp.replaying {
 		return
 	}
 	cp.driveGen++
@@ -374,6 +408,13 @@ func (cp *ControlPlane) stillDriving(inst, gen uint64) bool {
 // the driver waits rather than declaring a half-done update finished.
 func (cp *ControlPlane) drive(inst, gen uint64) {
 	defer cp.wg.Done()
+	// Re-check before the kick, not just before each poll: a newer update (or
+	// this one's updateDone) may have been applied between startDrivingLocked
+	// and this goroutine getting scheduled, and a stale kick is a full
+	// cluster-wide epoch bump.
+	if !cp.stillDriving(inst, gen) {
+		return
+	}
 	kickEpoch := cp.peer.StartUpdateWave()
 	settle := 0
 	for {
@@ -537,4 +578,85 @@ func (cp *ControlPlane) gossipStatus(name string) (Status, bool) {
 		}
 	}
 	return StatusBook, false
+}
+
+// controlState is the gob-encoded control-plane fold shipped in a consensus
+// state transfer (consensus.Options.Snapshot/Restore): everything applyEntry
+// derives from the log prefix, so a member that lost its disk can resume
+// from a peer's applied frontier instead of stalling below the GC floor.
+type controlState struct {
+	View        map[string]uint8
+	Version     uint64
+	PendingInst uint64
+	PendingNode string
+	Rules       map[string]string // rule ID -> rule text
+}
+
+// snapshotState serialises the current fold for a catching-up peer.
+func (cp *ControlPlane) snapshotState() []byte {
+	cp.mu.Lock()
+	st := controlState{
+		View:    make(map[string]uint8, len(cp.view)),
+		Version: cp.version,
+		Rules:   make(map[string]string, len(cp.rules)),
+	}
+	for n, s := range cp.view {
+		st.View[n] = uint8(s)
+	}
+	for id, text := range cp.rules {
+		st.Rules[id] = text
+	}
+	if cp.pending != nil {
+		st.PendingInst = cp.pending.instance
+		st.PendingNode = cp.pending.node
+	}
+	cp.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// restoreState installs a transferred fold: the agreed view, pending update
+// and rule set are replaced wholesale, then the local side effects are
+// re-derived — driver election (gated like any apply during log replay) and
+// this member's head-local rules. Runs on the consensus applier goroutine,
+// or synchronously inside New when the applied log opens with a snapshot
+// marker from an earlier transfer.
+func (cp *ControlPlane) restoreState(_ uint64, data []byte) {
+	var st controlState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return
+	}
+	cp.mu.Lock()
+	cp.view = make(map[string]Status, len(st.View))
+	for n, s := range st.View {
+		cp.view[n] = Status(s)
+	}
+	cp.version = st.Version
+	old := cp.rules
+	cp.rules = st.Rules
+	if cp.rules == nil {
+		cp.rules = map[string]string{}
+	}
+	cp.pending = nil
+	if st.PendingInst > 0 {
+		cp.pending = &pendingUpdate{instance: st.PendingInst, node: st.PendingNode}
+	}
+	cp.reelectLocked()
+	cp.startDrivingLocked()
+	cp.mu.Unlock()
+	for _, text := range st.Rules {
+		if r, err := rules.ParseRule(text); err == nil && r.HeadNode == cp.self {
+			_ = cp.peer.AddRuleLocal(text)
+		}
+	}
+	// Rules this member knew before the transfer but the snapshot no longer
+	// carries were deleted while it was away.
+	for id := range old {
+		if _, ok := st.Rules[id]; !ok {
+			cp.peer.DeleteRuleLocal(id)
+		}
+	}
 }

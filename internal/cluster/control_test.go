@@ -3,11 +3,13 @@ package cluster
 import (
 	"context"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/peer"
 	"repro/internal/relalg"
 	"repro/internal/wire"
 )
@@ -149,12 +151,12 @@ func TestControlPlaneFailoverKillDriverMidUpdate(t *testing.T) {
 	if err := coord.Transport().Send(CoordinatorName, "E", wire.UpdateRequest{}); err != nil {
 		t.Fatal(err)
 	}
+	// Wait for E's entry specifically: the coordinator's earlier update may
+	// still be folding its updateDone at B, so a bare PendingInst > 0 can
+	// briefly reflect the OLD pending update (with its own driver).
 	waitFor(t, 10*time.Second, func() bool {
-		return cps["B"].Metrics().PendingInst > 0
-	}, "the update entry never reached B's applied log")
-	if d := cps["B"].Driver(); d != "E" {
-		t.Fatalf("driver before the kill = %q, want E", d)
-	}
+		return cps["B"].Metrics().PendingInst > 0 && cps["B"].Driver() == "E"
+	}, "the update entry from E never reached B's applied log")
 	if err := nets["E"].Crash(); err != nil {
 		t.Fatal(err)
 	}
@@ -336,6 +338,262 @@ func TestControlPlaneMinorityPartition(t *testing.T) {
 		}
 		return true
 	}, "cluster never re-converged after the heal")
+}
+
+// A three-node chain for the coordinator-routing tests below.
+const chainNet3 = `
+node A { rel a(x,y) }
+node B { rel b(x,y) }
+node C { rel c(x,y) }
+rule rc: C:c(X,Y) -> B:b(X,Y)
+rule rb: B:b(X,Y) -> A:a(X,Y)
+fact C:c('1','2')
+super A
+`
+
+// TestLegacyRoutingRefusesRedirectedRuleChange pins the legacy rule path:
+// without the replicated control plane, a rule notice is consumed only by its
+// head node, so a dead head must surface as an error — not as a notice
+// silently redirected to a member that will drop it.
+func TestLegacyRoutingRefusesRedirectedRuleChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("legacy routing test skipped in -short mode")
+	}
+	book := map[string]string{}
+	nets := map[string]*core.Network{}
+	// Boot only B and C: head A is down for the whole test.
+	for _, node := range []string{"B", "C"} {
+		seed := map[string]string{}
+		for k, v := range book {
+			seed[k] = v
+		}
+		n, tr := startMember(t, chainNet3, node, seed, "")
+		nets[node] = n
+		book[node] = tr.Addr()
+	}
+	defer func() {
+		for _, n := range nets {
+			_ = n.Close()
+		}
+	}()
+	opts := fastCoordOpts()
+	opts.LegacyRouting = true
+	coord, err := NewCoordinator(mustDef(t, chainNet3), "127.0.0.1:0", book, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := testCtx(t)
+	if err := coord.WaitMembers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.AddLink("rx: C:c(X,Y) -> A:a(X,Y)"); err == nil {
+		t.Fatal("AddLink for a dead head reported success under legacy routing")
+	}
+	if err := coord.DeleteLink("A", "rb"); err == nil {
+		t.Fatal("DeleteLink at a dead head reported success under legacy routing")
+	}
+	// A live head still takes the change directly.
+	if err := coord.AddLink("ry: C:c(X,Y) -> B:b(Y,X)"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		for _, r := range nets["B"].Peer("B").Rules() {
+			if r == "ry" {
+				return true
+			}
+		}
+		return false
+	}, "the rule never applied at its live head")
+}
+
+// TestUpdateErrorsWhenKickCannotLand pins Update's kick verification: with
+// every member unreachable from the coordinator, no epoch can advance, and
+// Update must report that instead of polling the settled network at the old
+// epoch and returning nil with no update run.
+func TestUpdateErrorsWhenKickCannotLand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kick verification test skipped in -short mode")
+	}
+	book := map[string]string{}
+	nets := map[string]*core.Network{}
+	for _, node := range []string{"B", "C"} {
+		seed := map[string]string{}
+		for k, v := range book {
+			seed[k] = v
+		}
+		n, tr := startMember(t, chainNet3, node, seed, "")
+		nets[node] = n
+		book[node] = tr.Addr()
+	}
+	defer func() {
+		for _, n := range nets {
+			_ = n.Close()
+		}
+	}()
+	opts := fastCoordOpts()
+	opts.RoundTimeout = 300 * time.Millisecond
+	coord, err := NewCoordinator(mustDef(t, chainNet3), "127.0.0.1:0", book, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := testCtx(t)
+	if err := coord.WaitMembers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	coord.Transport().SetLinkDown("B", true)
+	coord.Transport().SetLinkDown("C", true)
+	if err := coord.Update(ctx); err == nil {
+		t.Fatal("Update returned nil though its kick could not have landed")
+	}
+}
+
+// TestUpdateRetargetsUnreachableSuper: the preferred kick target (the super)
+// is cut off from the coordinator, and Update must still land its kick on
+// another member and run a real wave — verified by the epoch advancing.
+func TestUpdateRetargetsUnreachableSuper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kick retarget test skipped in -short mode")
+	}
+	book := map[string]string{}
+	nets := map[string]*core.Network{}
+	for _, node := range []string{"A", "B", "C"} {
+		seed := map[string]string{}
+		for k, v := range book {
+			seed[k] = v
+		}
+		n, tr := startMember(t, chainNet3, node, seed, "")
+		nets[node] = n
+		book[node] = tr.Addr()
+	}
+	defer func() {
+		for _, n := range nets {
+			_ = n.Close()
+		}
+	}()
+	opts := fastCoordOpts()
+	opts.RoundTimeout = 300 * time.Millisecond
+	coord, err := NewCoordinator(mustDef(t, chainNet3), "127.0.0.1:0", book, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := testCtx(t)
+	if err := coord.WaitMembers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the coordinator off from the super only; member-to-member links
+	// stay up, so the wave still crosses the whole chain.
+	coord.Transport().SetLinkDown("A", true)
+	if err := coord.Update(ctx); err != nil {
+		t.Fatalf("update with an unreachable super: %v", err)
+	}
+	if got := nets["B"].Peer("B").Epoch(); got == 0 {
+		t.Fatal("Update returned nil but no wave ran (epoch still 0)")
+	}
+}
+
+// fakeHosted is a HostedPeer stub whose update waves close instantly; it
+// counts the kicks it receives.
+type fakeHosted struct {
+	waves atomic.Uint64
+}
+
+func (h *fakeHosted) StartDiscovery() string    { return "" }
+func (h *fakeHosted) StartUpdateWave() uint64   { return h.waves.Add(1) }
+func (h *fakeHosted) Probe()                    {}
+func (h *fakeHosted) AddRuleLocal(string) error { return nil }
+func (h *fakeHosted) DeleteRuleLocal(string)    {}
+func (h *fakeHosted) Epoch() uint64             { return h.waves.Load() }
+func (h *fakeHosted) Activated() bool           { return true }
+func (h *fakeHosted) State() peer.UpdateState   { return peer.Closed }
+
+// openHosted never closes its wave, so a driven update stays pending.
+type openHosted struct{ fakeHosted }
+
+func (h *openHosted) State() peer.UpdateState { return peer.Open }
+
+// bootSoloCP boots a single-member control plane around a stub peer (quorum
+// one: every submit decides locally, replay is the whole story on restart).
+func bootSoloCP(t *testing.T, logPath string, h HostedPeer) (*Transport, *ControlPlane) {
+	t.Helper()
+	tr, err := New("A", "127.0.0.1:0", nil, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewControlPlane(tr, h, []string{"A"}, fastCPOpts(logPath))
+	if err != nil {
+		_ = tr.Close()
+		t.Fatal(err)
+	}
+	return tr, cp
+}
+
+// TestControlLogReplayDoesNotRekickUpdate pins restart idempotence: a control
+// log holding update…updateDone replays as a pure fold — the completed update
+// must not be re-driven into a fresh cluster-wide wave.
+func TestControlLogReplayDoesNotRekickUpdate(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "A.control.log")
+	h1 := &fakeHosted{}
+	tr1, cp1 := bootSoloCP(t, logPath, h1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if _, err := cp1.Submit(ctx, wire.Command{Kind: "update", Node: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	waitFor(t, 10*time.Second, func() bool {
+		return h1.waves.Load() == 1 && cp1.Metrics().PendingInst == 0
+	}, "the driven update never committed updateDone")
+	cp1.Close()
+	_ = tr1.Close()
+
+	h2 := &fakeHosted{}
+	tr2, cp2 := bootSoloCP(t, logPath, h2)
+	defer func() {
+		cp2.Close()
+		_ = tr2.Close()
+	}()
+	if got := cp2.Metrics().PendingInst; got != 0 {
+		t.Fatalf("replay left a completed update pending at instance %d", got)
+	}
+	// Give a would-be stale drive several poll periods to fire.
+	time.Sleep(250 * time.Millisecond)
+	if got := h2.waves.Load(); got != 0 {
+		t.Fatalf("replay re-kicked %d update wave(s) for a completed update", got)
+	}
+}
+
+// TestControlLogReplayRedrivesPendingUpdate is the counterpart: an update
+// logged WITHOUT its updateDone really is still in flight, and the restarted
+// member must elect itself and drive it to completion — exactly once.
+func TestControlLogReplayRedrivesPendingUpdate(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "A.control.log")
+	h1 := &openHosted{}
+	tr1, cp1 := bootSoloCP(t, logPath, h1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if _, err := cp1.Submit(ctx, wire.Command{Kind: "update", Node: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	waitFor(t, 10*time.Second, func() bool {
+		return h1.waves.Load() == 1 && cp1.Metrics().PendingInst > 0
+	}, "the update was never kicked")
+	cp1.Close() // crash mid-update: the wave never closed
+	_ = tr1.Close()
+
+	h2 := &fakeHosted{}
+	tr2, cp2 := bootSoloCP(t, logPath, h2)
+	defer func() {
+		cp2.Close()
+		_ = tr2.Close()
+	}()
+	waitFor(t, 10*time.Second, func() bool {
+		return h2.waves.Load() == 1 && cp2.Metrics().PendingInst == 0
+	}, "the replayed pending update was not re-driven to completion")
 }
 
 // TestControlPlaneRoutedRuleChange pins the log-routed rule verbs: an

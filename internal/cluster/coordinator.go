@@ -29,6 +29,12 @@ type CoordinatorOptions struct {
 	Settle, SettleDeficit int
 	// Probes bounds the closure probes of Update (default 8).
 	Probes int
+	// LegacyRouting marks a cluster whose serve members run WITHOUT the
+	// replicated control plane (-consensus=false). There a rule notice is
+	// consumed only by the head node itself, so AddLink/DeleteLink refuse to
+	// fall back to another member — the redirected notice would be silently
+	// dropped — and instead report the dead head to the caller.
+	LegacyRouting bool
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -178,6 +184,23 @@ func (c *Coordinator) kickTarget(prefer string) (string, error) {
 		return alive[0], nil
 	}
 	return "", fmt.Errorf("cluster: no alive member to target (preferred %q)", prefer)
+}
+
+// ruleTarget picks the member a rule notice goes to. Under the replicated
+// control plane any member can host the change — it travels as an agreed log
+// entry and applies at the head whenever it returns — so a dead head falls
+// through to the next live member. With LegacyRouting there is no log: only
+// the head consumes the notice, so a redirect would lose the change and the
+// dead head is an error instead.
+func (c *Coordinator) ruleTarget(head string) (string, error) {
+	target, err := c.kickTarget(head)
+	if err != nil {
+		return "", err
+	}
+	if c.opts.LegacyRouting && target != head {
+		return "", fmt.Errorf("cluster: head node %q is not alive and legacy routing cannot redirect a rule change", head)
+	}
+	return target, nil
 }
 
 // WaitMembers blocks until at least want database peers are alive (the
@@ -355,26 +378,56 @@ func (c *Coordinator) Update(ctx context.Context) error {
 		return err
 	}
 	epoch0 := maxEpoch(before)
-	target, err := c.kickTarget(c.Super())
-	if err != nil {
-		return err
-	}
-	if err := c.tr.Send(CoordinatorName, target, wire.UpdateRequest{}); err != nil {
-		return fmt.Errorf("cluster: update kick-off: %w", err)
-	}
-	kickDeadline := time.Now().Add(c.opts.RoundTimeout)
-	for {
-		states, _, err := round(ctx, c, wire.StateRequest{}, func() map[string]report[wire.StateReport] { return c.states })
-		if err != nil {
-			return err
+	// Kick, then verify the kick LANDED by watching the epoch advance. A
+	// kick can be swallowed whole — the target crashed right after the send,
+	// or the elected driver sits in a partition — and declaring success by
+	// polling an already-settled network at the old epoch would report an
+	// update that never ran. A deadline without an epoch bump retries the
+	// kick against the next live member; only exhausting the attempt budget
+	// with the epoch still pinned is an error.
+	kicked := false
+	var tried []string
+	for attempt := 0; !kicked; attempt++ {
+		alive := c.alivePeers()
+		sort.Strings(alive)
+		if len(alive) == 0 {
+			return fmt.Errorf("cluster: no alive member to kick the update")
 		}
-		if maxEpoch(states) > epoch0 || time.Now().After(kickDeadline) {
-			break
+		// Preferred member first, then rotate through the others on retries.
+		if super := c.Super(); super != "" {
+			for i, p := range alive {
+				if p == super {
+					alive[0], alive[i] = alive[i], alive[0]
+					break
+				}
+			}
 		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(c.opts.PollEvery):
+		target := alive[attempt%len(alive)]
+		tried = append(tried, target)
+		if err := c.tr.Send(CoordinatorName, target, wire.UpdateRequest{}); err != nil {
+			return fmt.Errorf("cluster: update kick-off: %w", err)
+		}
+		kickDeadline := time.Now().Add(c.opts.RoundTimeout)
+		for !kicked {
+			states, _, err := round(ctx, c, wire.StateRequest{}, func() map[string]report[wire.StateReport] { return c.states })
+			if err != nil {
+				return err
+			}
+			if maxEpoch(states) > epoch0 {
+				kicked = true
+				break
+			}
+			if time.Now().After(kickDeadline) {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.opts.PollEvery):
+			}
+		}
+		if !kicked && attempt+1 >= c.opts.Probes {
+			return fmt.Errorf("cluster: update kick never took: epoch still %d after kicking %v", epoch0, tried)
 		}
 	}
 	for attempt := 0; ; attempt++ {
@@ -471,7 +524,7 @@ func (c *Coordinator) AddLink(ruleText string) error {
 	if err != nil {
 		return err
 	}
-	target, err := c.kickTarget(r.HeadNode)
+	target, err := c.ruleTarget(r.HeadNode)
 	if err != nil {
 		return err
 	}
@@ -483,7 +536,7 @@ func (c *Coordinator) AddLink(ruleText string) error {
 // deleteRule entry is a no-op everywhere but the head, which applies it —
 // live or from its control log on restart).
 func (c *Coordinator) DeleteLink(headNode, ruleID string) error {
-	target, err := c.kickTarget(headNode)
+	target, err := c.ruleTarget(headNode)
 	if err != nil {
 		return err
 	}

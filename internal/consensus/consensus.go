@@ -12,9 +12,15 @@
 // Guarantees and their boundaries:
 //
 //   - Agreement: two members never apply different commands at the same
-//     instance, as long as acceptor state survives (it is in-memory; see the
-//     restart caveat below). Majority-quorum intersection does the work: a
-//     value accepted by a majority is seen by every later Prepare majority.
+//     instance. Majority-quorum intersection does the work: a value accepted
+//     by a majority is seen by every later Prepare majority — which is why,
+//     with Options.LogPath set, every promise and accepted value is persisted
+//     (one write + fsync) BEFORE the matching reply leaves: a vote a peer may
+//     have counted towards a quorum survives this member's crash, so a
+//     restarted member cannot re-promise or re-accept conflictingly. Without
+//     LogPath nothing is durable and a crash-restart under the same name can
+//     violate earlier promises — run memory-only members only where restarts
+//     mean fresh processes (tests, experiments).
 //   - Progress: a proposer that can reach a majority decides; one cut off
 //     with a minority retries forever and makes no progress until healed —
 //     exactly the partition behaviour the control plane wants (a minority
@@ -24,10 +30,12 @@
 //     filled with no-ops after GapFill.
 //   - Restart: applied entries are replayed from an append-only log file
 //     (Options.LogPath), so a restarted member rebuilds its applied state
-//     offline and catches up only the suffix from its peers. Acceptor
-//     promises are NOT persisted — a restarted member rejoins as a learner
-//     and should catch up before proposing; the keep-window GC retains
-//     enough tail for that. Durable acceptor state is future work.
+//     offline and catches up only the suffix from its peers; the acceptor
+//     log beside it restores this member's votes for still-undecided
+//     instances. A member that lost its disk entirely re-enters at applied
+//     zero and is caught up from a peer — entry by entry while the prefix is
+//     still retained, by state transfer (Options.Snapshot/Restore) once the
+//     prefix has been garbage-collected.
 //
 // Instance garbage-collection rides on piggybacked done-frontiers: every
 // frame carries the sender's highest applied instance, each member remembers
@@ -78,7 +86,21 @@ type Options struct {
 	KeepWindow uint64
 	// LogPath, when set, appends every applied entry to this file and
 	// replays it on construction (through Apply) before any message flows.
+	// The acceptor log at LogPath+".acc" rides along: this member's votes
+	// are fsynced there before each Promise/Accepted reply, so a restarted
+	// member still honours them (without LogPath a crash-restart can break
+	// agreement; see the package comment).
 	LogPath string
+	// Snapshot and Restore, when both set, enable state-transfer catch-up
+	// for a member whose applied frontier fell below its peers' GC floor
+	// (it lost its log, or was down long past KeepWindow). Snapshot returns
+	// an opaque encoding of the application state after every applied entry
+	// so far; Restore installs such an encoding in place of the per-entry
+	// Apply calls for the skipped prefix. Restore runs where Apply runs: on
+	// the applier goroutine (or synchronously during New when the applied
+	// log ends in a state-transfer marker).
+	Snapshot func() []byte
+	Restore  func(through uint64, state []byte)
 }
 
 func (o Options) withDefaults() Options {
@@ -154,10 +176,14 @@ type Node struct {
 	accepted uint64            // metrics: highest instance we accepted in
 	props    uint64            // metrics: Submit count
 	noops    uint64            // metrics: gap fills
+	filling  map[uint64]bool   // instances with an in-flight gap-fill proposer
+	balK     uint64            // proposer ballot epoch (see nextBallot)
 	rrNext   int               // round-robin catch-up target
 	closed   bool
 
-	log     *logWriter
+	log     *frameLog[logEntry]
+	acc     *frameLog[accEntry]
+	snap    *wire.Snapshot // pending state transfer, installed by the applier
 	applyCh chan struct{}
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -192,23 +218,44 @@ func New(self string, peers []string, send Sender, apply Apply, opts Options) (*
 		rounds:  map[roundKey]*round{},
 		done:    map[string]uint64{},
 		chosen:  map[uint64]uint64{},
+		filling: map[uint64]bool{},
 		applyCh: make(chan struct{}, 1),
 		quit:    make(chan struct{}),
 	}
 	if opts.LogPath != "" {
-		entries, w, err := openLog(opts.LogPath)
+		entries, w, err := openFrameLog[logEntry](opts.LogPath)
 		if err != nil {
 			return nil, err
 		}
 		n.log = w
 		for _, e := range entries {
+			if e.Cmd.Kind == snapshotMarker {
+				// A state-transfer marker: entries up to Instance were never
+				// held locally; the recorded state stands in for them.
+				if e.Instance < n.applied {
+					break // implausible ordering: trust only the prefix so far
+				}
+				n.applied = e.Instance
+				if e.Instance > n.maxSeen {
+					n.maxSeen = e.Instance
+				}
+				if e.Instance > n.floor {
+					n.floor = e.Instance
+				}
+				if opts.Restore != nil {
+					opts.Restore(e.Instance, []byte(e.Cmd.Text))
+				}
+				continue
+			}
 			if e.Instance != n.applied+1 {
 				// A torn or reordered log tail: trust only the contiguous
 				// prefix, the rest comes back through catch-up.
 				break
 			}
 			n.applied = e.Instance
-			n.maxSeen = e.Instance
+			if e.Instance > n.maxSeen {
+				n.maxSeen = e.Instance
+			}
 			if e.Cmd.Origin == self {
 				n.chosen[e.Cmd.Seq] = e.Instance
 				if e.Cmd.Seq >= n.seq {
@@ -218,9 +265,39 @@ func New(self string, peers []string, send Sender, apply Apply, opts Options) (*
 			apply(e.Instance, e.Cmd)
 		}
 		n.done[self] = n.applied
+
+		// Replay this member's durable votes for instances still in play, so
+		// promises and accepted values survive a crash-restart (the agreement
+		// guarantee; see the package comment). Stale votes — instances already
+		// applied or below the floor — are dropped here and removed from the
+		// file at the next compaction.
+		votes, aw, err := openFrameLog[accEntry](opts.LogPath + ".acc")
+		if err != nil {
+			n.log.close()
+			return nil, err
+		}
+		n.acc = aw
+		for _, v := range votes {
+			if v.Instance <= n.applied || v.Instance <= n.floor {
+				continue
+			}
+			in := &inst{promised: v.Promised, accBallot: v.AccBallot}
+			if v.HasVal {
+				in.accVal = v.Val
+			}
+			n.insts[v.Instance] = in // latest entry per instance wins
+			if v.Instance > n.maxSeen {
+				n.maxSeen = v.Instance
+			}
+		}
 	}
 	return n, nil
 }
+
+// snapshotMarker is the Command.Kind of the applied log's state-transfer
+// marker entries. Appliers never see it (it stands in for entries, it is not
+// one), so the name cannot collide with real command kinds.
+const snapshotMarker = "\x00snapshot"
 
 // Start runs the applier and catch-up goroutines.
 func (n *Node) Start() {
@@ -240,9 +317,8 @@ func (n *Node) Close() {
 	n.mu.Unlock()
 	close(n.quit)
 	n.wg.Wait()
-	if n.log != nil {
-		n.log.close()
-	}
+	n.log.close()
+	n.acc.close()
 }
 
 // Self returns the member name.
@@ -340,7 +416,7 @@ func (n *Node) nextFreeLocked() uint64 {
 // an earlier accepted value to adopt it, so "my command won" is checked by
 // the caller, not here.
 func (n *Node) proposeOnce(ctx context.Context, instance uint64, cmd wire.Command) (uint64, wire.Command, error) {
-	ballot := n.firstBallot()
+	ballot := n.nextBallot(0)
 	for attempt := 0; ; attempt++ {
 		if done, val := n.decidedValue(instance); done {
 			return instance, val, nil
@@ -354,12 +430,20 @@ func (n *Node) proposeOnce(ctx context.Context, instance uint64, cmd wire.Comman
 			return instance, outcome.val, nil
 		case ballotRejected:
 			// Jump past the conflicting ballot instead of walking.
-			ballot = n.ballotAbove(outcome.conflict)
+			ballot = n.nextBallot(outcome.conflict)
 		case ballotTimeout:
-			ballot = n.ballotAbove(ballot)
+			ballot = n.nextBallot(ballot)
 		}
-		// Randomised backoff un-synchronises duelling proposers.
-		pause := n.opts.Retry + time.Duration(rand.Int63n(int64(n.opts.Retry)))
+		// Randomised, exponentially growing backoff un-synchronises duelling
+		// proposers: with a fixed interval, N contenders re-arriving faster
+		// than a two-phase round completes preempt each other's Accepts
+		// forever, and the ballot numbers escalate without a decision.
+		shift := attempt
+		if shift > 4 {
+			shift = 4
+		}
+		base := n.opts.Retry << uint(shift)
+		pause := base + time.Duration(rand.Int63n(int64(base)))
 		select {
 		case <-ctx.Done():
 			return 0, wire.Command{}, ctx.Err()
@@ -371,14 +455,23 @@ func (n *Node) proposeOnce(ctx context.Context, instance uint64, cmd wire.Comman
 }
 
 // Ballot numbering: ballots are unique per proposer (b ≡ idx mod len(peers),
-// offset by one so 0 means "none") and totally ordered across proposers.
-func (n *Node) firstBallot() uint64 {
-	return n.idx + 1
-}
-
-func (n *Node) ballotAbove(b uint64) uint64 {
-	k := b / uint64(len(n.peers))
-	return (k+1)*uint64(len(n.peers)) + n.idx + 1
+// offset by one so 0 means "none") and totally ordered across proposers. The
+// per-node epoch counter additionally makes every LOCAL round's ballot
+// unique: this node's proposers can run concurrently (a Submit against a
+// gap-fill no-op, two hosted control verbs), and two rounds sharing one
+// (instance, ballot) key would ship two different values under one ballot —
+// acceptors could then accept either, splitting a quorum on a single ballot.
+// Pass the ballot to beat (a rejection's conflict, or the round's own timed-
+// out ballot); zero asks for the next fresh ballot.
+func (n *Node) nextBallot(above uint64) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := n.balK + 1
+	if ak := above/uint64(len(n.peers)) + 1; ak > k {
+		k = ak
+	}
+	n.balK = k
+	return k*uint64(len(n.peers)) + n.idx + 1
 }
 
 type ballotState int
@@ -426,6 +519,13 @@ func (n *Node) runBallot(ctx context.Context, instance, ballot uint64, cmd wire.
 			return ballotOutcome{state: ballotDecided, val: val}
 		}
 		r := n.rounds[key]
+		if r == nil {
+			// Unreachable by construction (nextBallot makes local round keys
+			// unique), but a panic here would unwind into the cleanup defer
+			// with n.mu still held and wedge the whole node.
+			n.mu.Unlock()
+			return ballotOutcome{state: ballotTimeout}
+		}
 		oks := 0
 		var conflict uint64
 		for _, p := range r.promises {
@@ -472,6 +572,10 @@ func (n *Node) runBallot(ctx context.Context, instance, ballot uint64, cmd wire.
 			return ballotOutcome{state: ballotDecided, val: v}
 		}
 		r := n.rounds[key]
+		if r == nil {
+			n.mu.Unlock()
+			return ballotOutcome{state: ballotTimeout}
+		}
 		oks := 0
 		var conflict uint64
 		for _, a := range r.accepts {
@@ -593,6 +697,12 @@ func (n *Node) Handle(env wire.Envelope) bool {
 		}
 		n.observeDone(env.From, m.Done)
 		n.handleCatchUp(env.From, m)
+	case wire.Snapshot:
+		if !n.isPeer(env.From) {
+			return true
+		}
+		n.observeDone(env.From, m.Done)
+		n.acceptSnapshot(m)
 	default:
 		return false
 	}
@@ -641,6 +751,7 @@ func (n *Node) handlePrepare(from string, m wire.Prepare) {
 	var msg wire.Promise
 	if m.Ballot > in.promised {
 		in.promised = m.Ballot
+		n.persistVoteLocked(m.Instance, in)
 		msg = wire.Promise{Instance: m.Instance, Ballot: m.Ballot, OK: true,
 			AccBallot: in.accBallot, HasVal: in.accBallot > 0, Val: in.accVal, Done: n.applied}
 	} else {
@@ -668,6 +779,7 @@ func (n *Node) handleAccept(from string, m wire.Accept) {
 		in.promised = m.Ballot
 		in.accBallot = m.Ballot
 		in.accVal = m.Val
+		n.persistVoteLocked(m.Instance, in)
 		if m.Instance > n.accepted {
 			n.accepted = m.Instance
 		}
@@ -677,6 +789,37 @@ func (n *Node) handleAccept(from string, m wire.Accept) {
 	}
 	n.mu.Unlock()
 	n.reply(from, msg)
+}
+
+// persistVoteLocked makes one acceptor vote durable before its reply leaves
+// (callers hold mu and send the Promise/Accepted only after this returns).
+// Once the file accumulates enough dead entries it is compacted down to the
+// live votes — instances above the floor and not yet decided. No-op for
+// memory-only nodes.
+func (n *Node) persistVoteLocked(instance uint64, in *inst) {
+	if n.acc == nil {
+		return
+	}
+	n.acc.append(accEntry{
+		Instance:  instance,
+		Promised:  in.promised,
+		AccBallot: in.accBallot,
+		HasVal:    in.accBallot > 0,
+		Val:       in.accVal,
+	}, true)
+	const compactAt = 4096
+	if n.acc.count < compactAt {
+		return
+	}
+	var live []accEntry
+	for i, st := range n.insts {
+		if i <= n.floor || st.decided || (st.promised == 0 && st.accBallot == 0) {
+			continue
+		}
+		live = append(live, accEntry{Instance: i, Promised: st.promised,
+			AccBallot: st.accBallot, HasVal: st.accBallot > 0, Val: st.accVal})
+	}
+	n.acc.rewrite(live)
 }
 
 func (n *Node) recordPromise(from string, m wire.Promise) {
@@ -698,6 +841,11 @@ func (n *Node) recordAccepted(from string, m wire.Accepted) {
 func (n *Node) handleCatchUp(from string, m wire.CatchUp) {
 	const maxLearns = 64
 	n.mu.Lock()
+	// A request below the GC floor asks for instances this member has
+	// forgotten: no Learn can serve it, so a member that lost its log would
+	// stall at applied zero forever (and its zero done-frontier would halt GC
+	// cluster-wide). State transfer covers the forgotten prefix instead.
+	needSnap := m.From <= n.floor && n.opts.Snapshot != nil
 	var out []wire.Learn
 	for i := m.From; i <= n.maxSeen && len(out) < maxLearns; i++ {
 		if in, ok := n.insts[i]; ok && in.decided {
@@ -705,8 +853,53 @@ func (n *Node) handleCatchUp(from string, m wire.CatchUp) {
 		}
 	}
 	n.mu.Unlock()
+	if needSnap {
+		if snap, ok := n.takeSnapshot(); ok {
+			n.reply(from, snap)
+		}
+	}
 	for _, l := range out {
 		n.reply(from, l)
+	}
+}
+
+// takeSnapshot captures the application state together with the applied
+// frontier it covers. The two reads race the applier, so retry until a
+// Snapshot call is bracketed by an unchanged frontier; a busy applier just
+// defers the transfer to the requester's next catch-up tick.
+func (n *Node) takeSnapshot() (wire.Snapshot, bool) {
+	for tries := 0; tries < 4; tries++ {
+		n.mu.Lock()
+		before := n.applied
+		n.mu.Unlock()
+		state := n.opts.Snapshot()
+		n.mu.Lock()
+		after := n.applied
+		n.mu.Unlock()
+		if before == after {
+			return wire.Snapshot{Through: after, State: state, Done: after}, true
+		}
+	}
+	return wire.Snapshot{}, false
+}
+
+// acceptSnapshot queues a received state transfer for the applier (Restore
+// must run where Apply runs, strictly ordered against it). Snapshots that
+// do not advance the applied frontier are dropped.
+func (n *Node) acceptSnapshot(m wire.Snapshot) {
+	if n.opts.Restore == nil {
+		return
+	}
+	n.mu.Lock()
+	if m.Through <= n.applied || (n.snap != nil && n.snap.Through >= m.Through) {
+		n.mu.Unlock()
+		return
+	}
+	n.snap = &m
+	n.mu.Unlock()
+	select {
+	case n.applyCh <- struct{}{}:
+	default:
 	}
 }
 
@@ -751,6 +944,10 @@ func (n *Node) applyLoop() {
 		}
 		for {
 			n.mu.Lock()
+			if s := n.installSnapshotLocked() /* unlocks when non-nil */; s != nil {
+				n.opts.Restore(s.Through, s.State)
+				continue
+			}
 			var batch []wire.Command
 			var first uint64
 			for {
@@ -771,13 +968,44 @@ func (n *Node) applyLoop() {
 				break
 			}
 			for i, cmd := range batch {
-				if n.log != nil {
-					n.log.append(logEntry{Instance: first + uint64(i), Cmd: cmd})
-				}
+				n.log.append(logEntry{Instance: first + uint64(i), Cmd: cmd}, false)
 				n.apply(first+uint64(i), cmd)
 			}
 		}
 	}
+}
+
+// installSnapshotLocked moves the node past a queued state transfer: the
+// applied frontier jumps to Through, everything at or below it is forgotten
+// (the floor follows — this member cannot serve a prefix it never held), and
+// the applied log restarts from a marker entry so the next replay restores
+// the same state instead of finding a gap. Called with mu held; when a
+// transfer was pending it unlocks mu and returns it so the caller can run
+// Restore (and then re-check for decided successors), otherwise mu stays
+// held and nil is returned.
+func (n *Node) installSnapshotLocked() *wire.Snapshot {
+	s := n.snap
+	n.snap = nil
+	if s == nil || s.Through <= n.applied {
+		return nil
+	}
+	for i := range n.insts {
+		if i <= s.Through {
+			delete(n.insts, i)
+		}
+	}
+	n.applied = s.Through
+	if s.Through > n.maxSeen {
+		n.maxSeen = s.Through
+	}
+	if s.Through > n.floor {
+		n.floor = s.Through
+	}
+	n.done[n.self] = n.applied
+	n.mu.Unlock()
+	n.log.rewrite([]logEntry{{Instance: s.Through,
+		Cmd: wire.Command{Kind: snapshotMarker, Text: string(s.State)}}})
+	return s
 }
 
 // gcLocked forgets instances every peer has applied, keeping a tail window
@@ -855,8 +1083,19 @@ func (n *Node) syncLoop() {
 						in.gapSince = time.Now()
 					}
 				}
-				if in != nil && !in.gapSince.IsZero() && time.Since(in.gapSince) > n.opts.GapFill && n.decidedAboveLocked(i) {
+				// Stagger the trigger by member index: the lowest-index member
+				// fills first and the others step in only if the gap outlives
+				// their (longer) fuse — N symmetric fillers would duel.
+				fuse := n.opts.GapFill * time.Duration(1+n.idx)
+				if in != nil && !in.gapSince.IsZero() && time.Since(in.gapSince) > fuse &&
+					n.decidedAboveLocked(i) && !n.filling[i] {
+					// One in-flight filler per instance: stacking a fresh
+					// proposer on every tick escalates ballots faster than any
+					// of them can finish both phases — with several members
+					// doing the same, the instance livelocks and the applier
+					// (and everything folded from the log) stalls behind it.
 					gap = i
+					n.filling[i] = true
 					in.gapSince = time.Now() // restart the clock; don't spam proposals
 				}
 			}
@@ -871,9 +1110,15 @@ func (n *Node) syncLoop() {
 			n.noops++
 			n.mu.Unlock()
 			go func(i uint64) {
-				ctx, cancel := context.WithTimeout(context.Background(), 4*n.opts.Retry)
+				// A generous budget: a filler that dies mid-duel just forces
+				// its successor to an even higher ballot. The filling guard
+				// above keeps this to one proposer per instance per member.
+				ctx, cancel := context.WithTimeout(context.Background(), 40*n.opts.Retry)
 				defer cancel()
 				_, _, _ = n.proposeOnce(ctx, i, wire.Command{Kind: "noop", Origin: n.self})
+				n.mu.Lock()
+				delete(n.filling, i)
+				n.mu.Unlock()
 			}(gap)
 		}
 	}

@@ -1,9 +1,12 @@
 package consensus
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -87,6 +90,26 @@ func (l *applyLog) snapshot() []logEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]logEntry(nil), l.entries...)
+}
+
+// stateBytes/installState wire an applyLog as a state-transfer application:
+// the "state" is simply the applied sequence so far.
+func (l *applyLog) stateBytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(l.entries)
+	return buf.Bytes()
+}
+
+func (l *applyLog) installState(_ uint64, data []byte) {
+	var entries []logEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries = entries
+	l.mu.Unlock()
 }
 
 func fastOpts() Options {
@@ -218,6 +241,46 @@ func TestContendingProposersNeverDiverge(t *testing.T) {
 	total := len(logs["A"].snapshot())
 	sameOrder(t, logs, total)
 	// Every submission decided exactly once (no duplicates, no losses).
+	seen := map[string]int{}
+	for _, e := range logs["A"].snapshot() {
+		seen[e.Cmd.Origin+"#"+fmt.Sprint(e.Cmd.Seq)]++
+	}
+	if len(seen) != total {
+		t.Fatalf("duplicate decisions: %d unique of %d", len(seen), total)
+	}
+}
+
+// TestConcurrentLocalProposersKeepDistinctBallots hammers ONE node with
+// parallel Submits. Before ballots carried a per-node epoch, two concurrent
+// local rounds could pick the same (instance, ballot) key — one's cleanup
+// deleted the other's round state mid-flight (a nil-dereference panic under
+// the node mutex), and worse, the two rounds could ship different values
+// under a single ballot. All submissions must decide, exactly once, in the
+// same order everywhere.
+func TestConcurrentLocalProposersKeepDistinctBallots(t *testing.T) {
+	f := newFakeNet()
+	names := []string{"A", "B", "C"}
+	nodes, logs := startCluster(t, f, names, fastOpts())
+	const par = 8
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			submit(t, nodes["A"], "noop", fmt.Sprint(i))
+		}(i)
+	}
+	wg.Wait()
+	waitFor(t, 10*time.Second, "all applied", func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) < par {
+				return false
+			}
+		}
+		return true
+	})
+	total := len(logs["A"].snapshot())
+	sameOrder(t, logs, total)
 	seen := map[string]int{}
 	for _, e := range logs["A"].snapshot() {
 		seen[e.Cmd.Origin+"#"+fmt.Sprint(e.Cmd.Seq)]++
@@ -447,6 +510,161 @@ func TestRestartReplaysControlLog(t *testing.T) {
 	if m := nodes["C"].Metrics(); m.Applied != 8 {
 		t.Fatalf("restarted member applied=%d, want 8", m.Applied)
 	}
+}
+
+// TestRestartHonoursDurableVotes pins the acceptor-durability rule: a vote
+// (a promise, or an accepted ballot and value) is fsynced before the reply
+// leaves, so a crash-restart cannot forget it — a restarted member still
+// rejects lower ballots and surfaces its accepted value to higher ones.
+// Forgetting either would let two majorities accept different values at the
+// same instance (broken quorum intersection).
+func TestRestartHonoursDurableVotes(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var sent []wire.Message
+	send := func(to string, msg wire.Message) error {
+		mu.Lock()
+		sent = append(sent, msg)
+		mu.Unlock()
+		return nil
+	}
+	last := func() wire.Message {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(sent) == 0 {
+			t.Fatal("no reply captured")
+		}
+		return sent[len(sent)-1]
+	}
+	opts := fastOpts()
+	opts.LogPath = filepath.Join(dir, "B.control.log")
+	mk := func() *Node {
+		n, err := New("B", []string{"A", "B", "C"}, send, func(uint64, wire.Command) {}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	val := wire.Command{Kind: "member", Origin: "A", Seq: 7, Node: "X"}
+	n := mk()
+	n.Handle(wire.Envelope{From: "A", To: "B", Msg: wire.Prepare{Instance: 1, Ballot: 5}})
+	if p, ok := last().(wire.Promise); !ok || !p.OK {
+		t.Fatalf("pre-crash promise: %+v", last())
+	}
+	n.Handle(wire.Envelope{From: "A", To: "B", Msg: wire.Accept{Instance: 1, Ballot: 5, Val: val}})
+	if a, ok := last().(wire.Accepted); !ok || !a.OK {
+		t.Fatalf("pre-crash accept: %+v", last())
+	}
+	n.Close() // crash stand-in: only what reached the acceptor log survives
+
+	n = mk()
+	defer n.Close()
+	// Lower ballots must still bounce off the restored promise.
+	n.Handle(wire.Envelope{From: "C", To: "B", Msg: wire.Prepare{Instance: 1, Ballot: 3}})
+	if p, ok := last().(wire.Promise); !ok || p.OK || p.Promised != 5 {
+		t.Fatalf("restarted acceptor re-promised below its durable promise: %+v", last())
+	}
+	n.Handle(wire.Envelope{From: "C", To: "B", Msg: wire.Accept{Instance: 1, Ballot: 3, Val: wire.Command{Kind: "noop"}}})
+	if a, ok := last().(wire.Accepted); !ok || a.OK || a.Promised != 5 {
+		t.Fatalf("restarted acceptor re-accepted below its durable promise: %+v", last())
+	}
+	// A higher ballot's Prepare must surface the durable accepted value.
+	n.Handle(wire.Envelope{From: "C", To: "B", Msg: wire.Prepare{Instance: 1, Ballot: 9}})
+	if p, ok := last().(wire.Promise); !ok || !p.OK || !p.HasVal || p.AccBallot != 5 || p.Val != val {
+		t.Fatalf("restarted acceptor lost its durable accepted value: %+v", last())
+	}
+}
+
+// TestLostDiskStateTransferCatchUp rejoins a member whose disk is gone after
+// its needed prefix was GC'd at every peer: no Learn can serve instances
+// below the floor, so only the Snapshot/Restore state transfer can catch it
+// up — and its recovered done-frontier must let GC resume cluster-wide.
+func TestLostDiskStateTransferCatchUp(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"A", "B", "C"}
+	f := newFakeNet()
+	nodes := map[string]*Node{}
+	logs := map[string]*applyLog{}
+	mk := func(name string) {
+		al := &applyLog{}
+		opts := fastOpts()
+		opts.KeepWindow = 4
+		opts.LogPath = filepath.Join(dir, name+".control.log")
+		opts.Snapshot = al.stateBytes
+		opts.Restore = al.installState
+		n, err := New(name, names, f.sender(name), al.apply, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[name], logs[name] = n, al
+		f.mu.Lock()
+		f.nodes[name] = n
+		f.mu.Unlock()
+		n.Start()
+	}
+	for _, name := range names {
+		mk(name)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		f.wg.Wait()
+	}()
+
+	const total = 30
+	for i := 0; i < total; i++ {
+		submit(t, nodes[names[i%3]], "noop", fmt.Sprint(i))
+	}
+	waitFor(t, 10*time.Second, "all applied", func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) < total {
+				return false
+			}
+		}
+		return true
+	})
+	waitFor(t, 5*time.Second, "GC floor advanced", func() bool {
+		return nodes["A"].Metrics().Floor > 0 && nodes["B"].Metrics().Floor > 0
+	})
+
+	// Crash C and destroy its disk: both log files gone, fresh applyLog.
+	nodes["C"].Close()
+	f.mu.Lock()
+	delete(f.nodes, "C")
+	f.mu.Unlock()
+	os.Remove(filepath.Join(dir, "C.control.log"))
+	os.Remove(filepath.Join(dir, "C.control.log.acc"))
+
+	submit(t, nodes["A"], "noop", "while-down")
+
+	mk("C") // re-enters at applied zero, below every peer's floor
+	waitFor(t, 10*time.Second, "C restored by state transfer and caught up", func() bool {
+		return len(logs["C"].snapshot()) == len(logs["A"].snapshot()) &&
+			nodes["C"].Metrics().Applied == nodes["A"].Metrics().Applied
+	})
+	a, c := logs["A"].snapshot(), logs["C"].snapshot()
+	for i := range a {
+		if c[i] != a[i] {
+			t.Fatalf("C diverges at %d: %+v vs %+v", i, c[i], a[i])
+		}
+	}
+
+	// GC resumes: C's done-frontier recovered, so new decisions push the
+	// floor past its pre-crash value everywhere.
+	preFloor := nodes["A"].Metrics().Floor
+	for i := 0; i < 10; i++ {
+		submit(t, nodes["A"], "noop", fmt.Sprintf("post-%d", i))
+	}
+	waitFor(t, 10*time.Second, "floor advanced past its pre-crash value", func() bool {
+		for _, n := range nodes {
+			if n.Metrics().Floor <= preFloor {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // TestAdoptsAcceptedValue pins the core safety rule: a new ballot must adopt

@@ -10,32 +10,62 @@ import (
 	"repro/internal/wire"
 )
 
-// logEntry is one applied instance, persisted to the control log so a member
-// rebuilds its applied control-plane state offline after a restart. Writes
-// are not fsynced — losing the tail only means a longer catch-up from peers,
-// never divergence, because every entry here was already agreed by a
-// majority.
+// Two durable files back a consensus node (both optional, both rooted at
+// Options.LogPath):
 //
-// Framing: each entry is a standalone gob blob behind a little-endian uint32
-// length prefix. Per-entry encoders (rather than one long gob stream) keep
-// the file appendable across restarts — a resumed gob stream would re-emit
-// type definitions that a single replay decoder rejects — and make torn-tail
+//   - the applied log (LogPath itself): every applied entry in instance
+//     order, so a restarted member rebuilds its applied control-plane state
+//     offline and catches up only the suffix from its peers. Writes are not
+//     fsynced — losing the tail only means a longer catch-up, never
+//     divergence, because every entry here was already agreed by a majority.
+//   - the acceptor log (LogPath + ".acc"): this member's per-instance votes
+//     (highest promised ballot, highest accepted ballot and value), appended
+//     BEFORE the matching Promise/Accepted reply leaves and fsynced, because
+//     a vote another member may already have counted towards a quorum must
+//     survive this member's crash — forgetting it would let a restarted
+//     member re-promise or re-accept conflictingly and break quorum
+//     intersection. Latest entry per instance wins on replay; the file is
+//     compacted once enough dead (decided or GC'd) entries accumulate.
+//
+// Framing (shared): each entry is a standalone gob blob behind a
+// little-endian uint32 length prefix, written with a single write call.
+// Per-entry encoders (rather than one long gob stream) keep the files
+// appendable across restarts — a resumed gob stream would re-emit type
+// definitions that a single replay decoder rejects — and make torn-tail
 // truncation exact: replay stops at the first short or undecodable frame and
 // the writer truncates there.
+
+// logEntry is one applied instance in the applied log. A Kind "snapshot"
+// entry is a state-transfer marker instead: it records that entries up to
+// Instance were skipped and Cmd.Text carries the Options.Restore state.
 type logEntry struct {
 	Instance uint64
 	Cmd      wire.Command
 }
 
-type logWriter struct {
-	f *os.File
+// accEntry is one acceptor vote in the acceptor log: the full per-instance
+// acceptor state at the moment of the vote (not a delta), so replay just
+// keeps the last entry per instance.
+type accEntry struct {
+	Instance  uint64
+	Promised  uint64
+	AccBallot uint64
+	HasVal    bool
+	Val       wire.Command
 }
 
-// openLog replays path's whole-entry prefix and returns a writer positioned
-// to append after it (any torn tail is truncated away). A missing file
-// starts an empty log.
-func openLog(path string) ([]logEntry, *logWriter, error) {
-	var entries []logEntry
+// frameLog is an append-only file of length-prefixed gob frames.
+type frameLog[T any] struct {
+	path  string
+	f     *os.File
+	count int // frames written since open/rewrite (compaction trigger)
+}
+
+// openFrameLog replays path's whole-entry prefix and returns a writer
+// positioned to append after it (any torn tail is truncated away). A missing
+// file starts an empty log.
+func openFrameLog[T any](path string) ([]T, *frameLog[T], error) {
+	var entries []T
 	var goodEnd int64
 	if f, err := os.Open(path); err == nil {
 		var hdr [4]byte
@@ -51,7 +81,7 @@ func openLog(path string) ([]logEntry, *logWriter, error) {
 			if _, err := io.ReadFull(f, buf); err != nil {
 				break
 			}
-			var e logEntry
+			var e T
 			if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&e); err != nil {
 				break
 			}
@@ -75,29 +105,76 @@ func openLog(path string) ([]logEntry, *logWriter, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return entries, &logWriter{f: f}, nil
+	return entries, &frameLog[T]{path: path, f: f}, nil
 }
 
-// append writes one entry; errors are swallowed (the log is an optimisation —
-// a member that cannot persist still runs, it just catches up from peers
-// after a restart).
-func (w *logWriter) append(e logEntry) {
+// append writes one entry as a single write call (header and body together,
+// so a crash mid-call cannot leave a half-frame that replay would mistake
+// for the prefix end with good frames behind it), then fsyncs when asked.
+// Errors are swallowed: a member that cannot persist still runs — the
+// applied log is an optimisation, and an unpersisted vote only matters if
+// this member ALSO crashes before the round ends, which the torn-tail replay
+// treats as the vote never having been made durable at all.
+func (w *frameLog[T]) append(e T, sync bool) {
 	if w == nil {
 		return
 	}
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(e); err != nil {
+	var frame bytes.Buffer
+	frame.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&frame).Encode(e); err != nil {
 		return
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(body.Len()))
-	if _, err := w.f.Write(hdr[:]); err != nil {
+	b := frame.Bytes()
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	if _, err := w.f.Write(b); err != nil {
 		return
 	}
-	_, _ = w.f.Write(body.Bytes())
+	w.count++
+	if sync {
+		_ = w.f.Sync()
+	}
 }
 
-func (w *logWriter) close() {
+// rewrite replaces the whole file with the given entries (compaction, or the
+// applied log's snapshot reset) via write-to-temp + fsync + rename, so a
+// crash mid-rewrite leaves either the old file or the new one, never a torn
+// half — live acceptor votes must not evaporate because compaction was
+// interrupted. On any error the old file (and writer) stay in place.
+func (w *frameLog[T]) rewrite(entries []T) {
+	if w == nil {
+		return
+	}
+	tmp := w.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	nw := &frameLog[T]{path: tmp, f: tf}
+	for _, e := range entries {
+		nw.append(e, false)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return
+	}
+	if err := tf.Close(); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return
+	}
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Degraded: the old fd now points at the unlinked inode; appends
+		// keep the process running but won't survive a restart.
+		return
+	}
+	w.f.Close()
+	w.f = nf
+	w.count = nw.count
+}
+
+func (w *frameLog[T]) close() {
 	if w != nil && w.f != nil {
 		w.f.Close()
 	}

@@ -38,6 +38,7 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		Learn{Instance: 9, Val: Command{Kind: "addRule", Origin: "A", Seq: 7,
 			Text: "r: B:b(X,Y) -> A:a(X,Y)"}},
 		CatchUp{From: 5, Done: 4},
+		Snapshot{Through: 40, State: []byte("opaque fold"), Done: 40},
 	}
 	for _, m := range seedMsgs {
 		if data, err := Encode(Envelope{From: "a", To: "b", Msg: m}); err == nil {

@@ -478,6 +478,7 @@ const (
 	KindAccepted = "accepted"
 	KindLearn    = "learn"
 	KindCatchUp  = "catchUp"
+	KindSnapshot = "ctlSnapshot"
 )
 
 // Prepare opens a ballot for one log instance (phase 1a).
@@ -573,6 +574,24 @@ func (CatchUp) Kind() string { return KindCatchUp }
 
 // Size implements Message.
 func (CatchUp) Size() int { return 24 }
+
+// Snapshot is a state transfer: the answer to a CatchUp whose From fell
+// below the sender's instance-GC floor (the requester lost its control log,
+// or was down far longer than the keep window — either way the prefix it
+// needs is forgotten cluster-wide). State is the sender's opaque application
+// state covering every instance up to Through; the receiver installs it in
+// place of replaying those instances and resumes entry-wise catch-up above.
+type Snapshot struct {
+	Through uint64 // applied frontier the state covers
+	State   []byte
+	Done    uint64
+}
+
+// Kind implements Message.
+func (Snapshot) Kind() string { return KindSnapshot }
+
+// Size implements Message.
+func (m Snapshot) Size() int { return 28 + len(m.State) }
 
 func cmdSize(c Command) int {
 	return 26 + len(c.Kind) + len(c.Origin) + len(c.Node) + len(c.Addr) + len(c.Text)
@@ -712,6 +731,7 @@ func ControlKinds() map[string]bool {
 		"queryRequest": true, "queryResult": true,
 		KindPrepare: true, KindPromise: true, KindAccept: true,
 		KindAccepted: true, KindLearn: true, KindCatchUp: true,
+		KindSnapshot: true,
 	}
 }
 
@@ -744,6 +764,7 @@ func init() {
 	gob.Register(Accepted{})
 	gob.Register(Learn{})
 	gob.Register(CatchUp{})
+	gob.Register(Snapshot{})
 	gob.Register(DiscoverRequest{})
 	gob.Register(UpdateRequest{})
 	gob.Register(ProbeRequest{})
