@@ -3,7 +3,9 @@
 // engine ablations that go beyond it (E14: semi-naive delta evaluation;
 // E15: durable backend at each fsync policy vs in-memory; E16: batched
 // wire protocol, frames per tuple with and without a batch window; E17:
-// replicated control plane, driver kill and agreed fail-over recovery).
+// replicated control plane, driver kill and agreed fail-over recovery;
+// E18: k-way replication, primary kill, mirror promotion and the
+// under-replication window).
 //
 // Usage:
 //
@@ -13,6 +15,7 @@
 //	p2pbench -e E15          # in-memory vs wal fsync always/interval/never
 //	p2pbench -e E16          # batched vs unbatched wire protocol
 //	p2pbench -e E17          # control-plane driver kill and fail-over
+//	p2pbench -e E18          # replication primary kill and mirror promotion
 //	p2pbench -records 1000   # paper-scale data (~1000 records per node)
 //	p2pbench -seed 7
 //	p2pbench -json BENCH_$(date +%Y%m%d).json   # machine-readable results
@@ -53,7 +56,7 @@ type benchExperiment struct {
 
 func main() {
 	var (
-		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E17) or 'all'")
+		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E18) or 'all'")
 		records  = flag.Int("records", 50, "records per node (paper used ~1000)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-experiment timeout")

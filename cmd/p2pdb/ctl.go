@@ -133,8 +133,9 @@ func cmdCtl(args []string) error {
 	}
 }
 
-// ctlStatus prints the member table and, for the alive peers, their polled
-// protocol states.
+// ctlStatus prints the member table, the alive peers' polled protocol states
+// and — where members run with -replicas — their replication status: role,
+// placement streams, durable frontiers and the under_replicated gauge.
 func ctlStatus(ctx context.Context, coord *cluster.Coordinator) error {
 	states, err := coord.States(ctx)
 	if err != nil {
@@ -152,6 +153,29 @@ func ctlStatus(ctx context.Context, coord *cluster.Coordinator) error {
 			line += fmt.Sprintf("   epoch=%d state=%s paths_ready=%v tuples=%d", st.Epoch, state, st.PathsReady, st.Tuples)
 		}
 		fmt.Println(line)
+	}
+	// The replica round is allowed to come back partial (members without
+	// -replicas never answer); print whatever arrived.
+	reps, err := coord.ReplicaStatuses(ctx)
+	if err != nil || len(reps) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(reps))
+	for name := range reps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep := reps[name]
+		fmt.Printf("replication @ %-8s k=%d under_replicated=%d\n", rep.Member, rep.K, rep.UnderReplicated)
+		for _, e := range rep.Entries {
+			switch e.Role {
+			case "primary":
+				fmt.Printf("  %s: primary -> %s  acked=%d/%d\n", e.Node, e.Peer, e.Applied, e.Target)
+			default:
+				fmt.Printf("  %s: mirror (primary %s)  applied=%d\n", e.Node, e.Peer, e.Applied)
+			}
+		}
 	}
 	return nil
 }

@@ -485,6 +485,157 @@ func TestServeKillProposerMidUpdate(t *testing.T) {
 	}
 }
 
+// TestServeKillPrimaryPromotes is the replication acceptance scenario across
+// real processes: three members with -replicas 2, the fact source C SIGKILLed
+// (no goodbye, no WAL seal). Continuous suspicion must escalate to an agreed
+// death, a survivor promotes its durable mirror of C, the cluster re-converges
+// with zero lost extensional tuples (C's facts still answer through the
+// adopter, under C's own name), and a restarted C — deposed by the agreed
+// log — refuses to serve instead of forking the fix-point.
+func TestServeKillPrimaryPromotes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process promotion lifecycle skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	ports := freePorts(t, 6)
+	dir := t.TempDir()
+	netFile := filepath.Join(dir, "promote.net")
+	netText := serveChainNet + fmt.Sprintf("addr A 127.0.0.1:%d\naddr B 127.0.0.1:%d\naddr C 127.0.0.1:%d\n",
+		ports[0], ports[1], ports[2])
+	if err := os.WriteFile(netFile, []byte(netText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataRoot := filepath.Join(dir, "data")
+	maddrs := map[string]string{
+		"A": fmt.Sprintf("127.0.0.1:%d", ports[3]),
+		"B": fmt.Sprintf("127.0.0.1:%d", ports[4]),
+		"C": fmt.Sprintf("127.0.0.1:%d", ports[5]),
+	}
+	serveArgs := func(node string) []string {
+		return []string{"-replicas", "2", "-dead-after", "2s", "-metrics", maddrs[node]}
+	}
+
+	procs := map[string]*serveProc{}
+	for _, node := range []string{"A", "B", "C"} {
+		procs[node] = startServe(t, bin, netFile, dataRoot, node, serveArgs(node)...)
+	}
+	for _, verb := range [][]string{
+		{"ctl", netFile, "discover"},
+		{"ctl", netFile, "update"},
+	} {
+		if err := run(verb); err != nil {
+			t.Fatalf("run(%v): %v", verb, err)
+		}
+	}
+
+	// Zero-loss precondition: every member's primaries fully, durably mirrored
+	// on their placements before the kill.
+	for _, node := range []string{"A", "B", "C"} {
+		waitMetrics(t, maddrs[node], time.Minute, func(m cluster.NodeMetrics) bool {
+			return m.Replication != nil && len(m.Replication.Placement) == 2 && m.Replication.UnderReplicated == 0
+		}, node+" never became fully replicated")
+	}
+
+	// SIGKILL the fact source: no goodbye, no WAL seal.
+	procs["C"].kill(t, "C")
+	delete(procs, "C")
+
+	// A survivor must win the election and adopt C (visible as its promotions
+	// counter; the 2s dead-after gate is why this takes a few seconds).
+	adopter := ""
+	deadline := time.Now().Add(time.Minute)
+	for adopter == "" && time.Now().Before(deadline) {
+		for _, node := range []string{"A", "B"} {
+			if m, err := scrapeMetrics(maddrs[node]); err == nil &&
+				m.Replication != nil && m.Replication.Promotions >= 1 {
+				adopter = node
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if adopter == "" {
+		t.Fatal("no survivor ever promoted its mirror of C")
+	}
+	t.Logf("C re-homed to %s", adopter)
+
+	// Re-converge and check zero loss: A's fix-point still carries both of
+	// C's facts, and C's own relation answers through the adopter.
+	def := mustParseNet(t, netText)
+	coord, err := cluster.NewCoordinator(def, "127.0.0.1:0", nil, cluster.CoordinatorOptions{
+		Membership: cluster.Options{HeartbeatEvery: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := coord.WaitMembers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Update(ctx); err != nil {
+		t.Fatalf("post-promotion update: %v", err)
+	}
+	for q, want := range map[string]int{"a(X,Y)": 2, "c(X,Y)": 2} {
+		node := string(q[0:1])
+		node = strings.ToUpper(node)
+		rows, err := coord.Query(ctx, node, q, []string{"X", "Y"})
+		if err != nil {
+			t.Fatalf("query %s after promotion: %v", q, err)
+		}
+		if len(rows) != want {
+			t.Fatalf("%s answers %d rows after the promotion, want %d (lost extensional tuples)", q, len(rows), want)
+		}
+	}
+
+	// The deposed member must refuse to serve on: restarted from its old data
+	// dir, the agreed log (via boot replay or state transfer) tells it C is
+	// hosted elsewhere, and it exits on its own rather than fork the node.
+	args := append([]string{"-delta", "-data", dataRoot, "-hb", "100ms"}, serveArgs("C")...)
+	args = append(args, "serve", netFile, "C")
+	revenant := exec.Command(bin, args...)
+	out, err := func() ([]byte, error) {
+		type res struct {
+			out []byte
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			o, e := revenant.CombinedOutput()
+			ch <- res{o, e}
+		}()
+		select {
+		case r := <-ch:
+			return r.out, r.err
+		case <-time.After(90 * time.Second):
+			_ = revenant.Process.Kill()
+			return nil, fmt.Errorf("deposed C kept serving instead of exiting")
+		}
+	}()
+	if err != nil && revenant.ProcessState == nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "deposed") && !strings.Contains(string(out), "refusing to serve") {
+		t.Fatalf("restarted C exited without acknowledging deposal:\n%s", out)
+	}
+
+	// The survivors are unaffected by the revenant's brief appearance.
+	if err := coord.Update(ctx); err != nil {
+		t.Fatalf("update after the deposed restart: %v", err)
+	}
+	rows, err := coord.Query(ctx, "A", "a(X,Y)", []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("A answers %d rows after the deposed restart, want 2", len(rows))
+	}
+	for _, node := range []string{"A", "B"} {
+		procs[node].terminate(t, node)
+	}
+}
+
 func mustParseNet(t *testing.T, text string) *rules.Network {
 	t.Helper()
 	def, err := rules.ParseNetwork(text)

@@ -61,6 +61,13 @@ const (
 	StatusSuspect
 	// StatusLeft members said Goodbye. They re-enter as alive on re-join.
 	StatusLeft
+	// StatusDead members have been declared permanently dead by the agreed
+	// control plane: suspicion persisted past the configured grace window and
+	// a consensus member entry recorded it. The gossip detector itself never
+	// produces dead — it cannot tell a long partition from a lost disk — so
+	// the status only ever appears in the agreed view, where it triggers
+	// replica promotion and re-homing (internal/replica).
+	StatusDead
 )
 
 // String renders the status.
@@ -72,6 +79,8 @@ func (s Status) String() string {
 		return "suspect"
 	case StatusLeft:
 		return "left"
+	case StatusDead:
+		return "dead"
 	default:
 		return "book"
 	}
@@ -158,6 +167,16 @@ type Transport struct {
 	// peer; returning true consumes it. The replicated control plane hooks
 	// its consensus rounds and control verbs here (SetConsensus).
 	intercept func(env wire.Envelope) bool
+	// replica, when set, sees replication stream frames (ReplicaAppend and
+	// friends, plus the replica halves of an AnswerBatch) before the control
+	// plane and the hosted peer (SetReplica). The replica manager hooks here.
+	replica func(env wire.Envelope) bool
+	// aliasOK holds node names AllowAlias pre-authorised for Register;
+	// aliases the handlers of adopted peers this process answers for after a
+	// promotion (re-homed nodes). Alias heartbeats carry this process's
+	// listen address, so the rest of the cluster re-homes the name.
+	aliasOK map[string]bool
+	aliases map[string]transport.Handler
 	// linkDown cuts outgoing frames per destination — transient-partition
 	// injection for tests and experiments (cut both directions by calling it
 	// on each side).
@@ -192,6 +211,8 @@ func New(self, listenAddr string, book map[string]string, opts Options) (*Transp
 		out:      tcp,
 		members:  map[string]*member{},
 		linkDown: map[string]bool{},
+		aliasOK:  map[string]bool{},
+		aliases:  map[string]transport.Handler{},
 		quit:     make(chan struct{}),
 	}
 	if opts.BatchWindow > 0 {
@@ -349,14 +370,42 @@ func (c *Transport) dispatch(env wire.Envelope) {
 	case wire.AnswerBatch:
 		// A batched frame may carry a piggybacked heartbeat: consume the
 		// membership plane here (as for a bare Heartbeat) and forward the
-		// database-plane remainder — if any — to the hosted peer.
+		// database-plane remainder — if any — to the hosted peer. Replication
+		// frames riding the batch are split off to the replica manager the
+		// same way, in order.
 		for _, hb := range m.Beats {
 			c.observe(hb.Node, hb.Addr)
+		}
+		if len(m.RepAppends) > 0 || len(m.RepAcks) > 0 {
+			c.mu.Lock()
+			rep := c.replica
+			c.mu.Unlock()
+			if rep != nil {
+				for _, ra := range m.RepAcks {
+					rep(wire.Envelope{From: env.From, To: env.To, Msg: ra})
+				}
+				for _, ra := range m.RepAppends {
+					rep(wire.Envelope{From: env.From, To: env.To, Msg: ra})
+				}
+			}
 		}
 		if len(m.Answers) == 0 && len(m.Acks) == 0 {
 			return
 		}
 		env.Msg = wire.AnswerBatch{Answers: m.Answers, Acks: m.Acks}
+	case wire.ReplicaAppend, wire.ReplicaAck, wire.ReplicaSyncReq,
+		wire.ReplicaState, wire.ReplicaStatusRequest:
+		// Replication stream frames are consumed below the peer runtime, like
+		// membership and consensus frames: the hosted peer never sees them.
+		// Without a registered manager they are dropped — the stream's ack
+		// discipline re-ships anything that mattered.
+		c.mu.Lock()
+		rep := c.replica
+		c.mu.Unlock()
+		if rep != nil {
+			rep(env)
+		}
+		return
 	}
 	c.mu.Lock()
 	ic := c.intercept
@@ -368,6 +417,16 @@ func (c *Transport) dispatch(env wire.Envelope) {
 	if h != nil {
 		h(env)
 	}
+}
+
+// SetReplica installs the replica manager's frame handler: it consumes the
+// replication stream (appends, acks, anti-entropy requests, shipped state,
+// status requests) below the control plane and the hosted peer. The callback
+// runs on transport goroutines; it must not block on quorum waits.
+func (c *Transport) SetReplica(fn func(env wire.Envelope) bool) {
+	c.mu.Lock()
+	c.replica = fn
+	c.mu.Unlock()
 }
 
 // SetConsensus installs the control-plane interceptor: it sees every frame
@@ -487,7 +546,18 @@ func (c *Transport) heartbeatLoop() {
 		}
 		var tasks []task
 		var suspected []string
+		var hosted []string
 		c.mu.Lock()
+		for name := range c.aliases {
+			// Adopted peers live exactly as long as this process: their table
+			// entries never age into suspicion here, and the loop announces
+			// them below so everyone else keeps them alive too.
+			if m, ok := c.members[name]; ok {
+				m.status = StatusAlive
+				m.lastSeen = now
+			}
+			hosted = append(hosted, name)
+		}
 		for name, m := range c.members {
 			switch m.status {
 			case StatusAlive:
@@ -510,6 +580,7 @@ func (c *Transport) heartbeatLoop() {
 			}
 		}
 		addr := c.tcp.Addr()
+		sort.Strings(hosted)
 		for _, tk := range tasks {
 			if tk.join {
 				c.sendJoin(tk.name)
@@ -518,17 +589,31 @@ func (c *Transport) heartbeatLoop() {
 				// one window for a data frame to ride on (latest wins when
 				// several queue) instead of always paying its own frame.
 				_ = c.transmit(c.self, tk.name, wire.Heartbeat{Node: c.self, Addr: addr})
+				// Heartbeats on behalf of adopted peers assert this process's
+				// address under their names — the re-homing signal.
+				for _, alias := range hosted {
+					if alias != tk.name {
+						_ = c.transmit(alias, tk.name, wire.Heartbeat{Node: alias, Addr: addr})
+					}
+				}
 			}
 		}
 	}
 }
 
-// Register implements transport.Transport. A cluster transport hosts exactly
-// one peer — the process's own node (or the coordinator) — whose name was
-// fixed at New.
+// Register implements transport.Transport. A cluster transport hosts its own
+// node (or the coordinator), whose name was fixed at New — plus any adopted
+// peers whose names were pre-authorised with AllowAlias (replica promotion
+// re-homes a dead member's database peer into this process).
 func (c *Transport) Register(node string, h transport.Handler) error {
 	if node != c.self {
-		return fmt.Errorf("cluster: this process hosts %q, cannot register %q", c.self, node)
+		c.mu.Lock()
+		allowed := c.aliasOK[node]
+		c.mu.Unlock()
+		if !allowed {
+			return fmt.Errorf("cluster: this process hosts %q, cannot register %q", c.self, node)
+		}
+		return c.registerAlias(node, h)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -540,6 +625,150 @@ func (c *Transport) Register(node string, h transport.Handler) error {
 	}
 	c.handler = h
 	return nil
+}
+
+// AllowAlias pre-authorises hosting an adopted peer under the given node
+// name: the next Register(node, ...) — which peer construction performs —
+// binds it instead of being rejected. Replica promotion calls it right
+// before re-building the dead member's peer in this process.
+func (c *Transport) AllowAlias(node string) {
+	c.mu.Lock()
+	c.aliasOK[node] = true
+	c.mu.Unlock()
+}
+
+// registerAlias binds an adopted peer's handler: frames addressed to the
+// alias that reach this process's listener route to it, and the heartbeat
+// loop starts announcing the alias at this process's address so the rest of
+// the cluster re-homes the name (every member's observe adopts the newest
+// directly-asserted address). Sources then fire their member-up resend hook
+// for the alias, which re-ships whatever accumulated past its acked
+// frontiers while the original host was dying.
+func (c *Transport) registerAlias(node string, h transport.Handler) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if _, ok := c.aliases[node]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: alias %q already registered", node)
+	}
+	c.aliases[node] = h
+	// The local table entry stops aging: this process answers for the name
+	// now, so its own failure detector must not keep calling it suspect (and
+	// the reconciliation loop must not propose stale statuses for it).
+	m, ok := c.members[node]
+	if !ok {
+		m = &member{}
+		c.members[node] = m
+	}
+	m.status = StatusAlive
+	m.lastSeen = time.Now()
+	m.addr = c.tcp.Addr()
+	c.mu.Unlock()
+	if err := c.tcp.Register(node, func(env wire.Envelope) { c.dispatchAlias(node, env) }); err != nil {
+		c.mu.Lock()
+		delete(c.aliases, node)
+		c.mu.Unlock()
+		return err
+	}
+	// Announce immediately on behalf of the alias: a Join asserting this
+	// process's address re-homes the name everywhere without waiting a
+	// heartbeat tick.
+	for _, name := range c.targets(func(m *member) bool { return m.status != StatusLeft }) {
+		if name == node {
+			continue
+		}
+		_ = c.transmit(node, name, wire.Join{Node: node, Addr: c.tcp.Addr(), Members: c.bookSnapshot()})
+	}
+	return nil
+}
+
+// Aliases lists the adopted peer names this process answers for, sorted.
+func (c *Transport) Aliases() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.aliases))
+	for name := range c.aliases {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostsAlias reports whether this process answers for node as an alias.
+func (c *Transport) HostsAlias(node string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.aliases[node]
+	return ok
+}
+
+// dispatchAlias is the TCP handler of an adopted peer: membership frames are
+// consumed exactly as for the process's own name, consensus rounds addressed
+// to the dead member are dropped (its consensus identity died with it — this
+// process must not answer Paxos rounds under a second name, which would
+// double-count its vote), and everything else flows through the control
+// plane's interceptor to the adopted peer.
+func (c *Transport) dispatchAlias(alias string, env wire.Envelope) {
+	c.mu.Lock()
+	if c.linkDown[env.From] {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	switch m := env.Msg.(type) {
+	case wire.Join:
+		c.observe(m.Node, m.Addr)
+		c.merge(m.Members)
+		_ = c.transmit(alias, m.Node, wire.JoinAck{Members: c.bookSnapshot()})
+		return
+	case wire.JoinAck:
+		c.observe(env.From, "")
+		c.merge(m.Members)
+		return
+	case wire.Heartbeat:
+		c.observe(m.Node, m.Addr)
+		return
+	case wire.Goodbye:
+		c.mu.Lock()
+		var fire func(string, Status)
+		if entry, ok := c.members[m.Node]; ok && entry.status != StatusLeft {
+			entry.status = StatusLeft
+			fire = c.onStatus
+		}
+		c.mu.Unlock()
+		if fire != nil {
+			fire(m.Node, StatusLeft)
+		}
+		return
+	case wire.AnswerBatch:
+		for _, hb := range m.Beats {
+			c.observe(hb.Node, hb.Addr)
+		}
+		if len(m.Answers) == 0 && len(m.Acks) == 0 {
+			return
+		}
+		env.Msg = wire.AnswerBatch{Answers: m.Answers, Acks: m.Acks}
+	}
+	if wire.ControlKinds()[env.Msg.Kind()] {
+		switch env.Msg.(type) {
+		case wire.Prepare, wire.Promise, wire.Accept, wire.Accepted,
+			wire.Learn, wire.CatchUp, wire.Snapshot:
+			return // a dead member's Paxos identity is not inherited
+		}
+	}
+	c.mu.Lock()
+	ic := c.intercept
+	h := c.aliases[alias]
+	c.mu.Unlock()
+	if ic != nil && ic(env) {
+		return
+	}
+	if h != nil {
+		h(env)
+	}
 }
 
 // Send implements transport.Transport: the member table has already fed the

@@ -61,6 +61,43 @@ type ControlPlaneOptions struct {
 	// Consensus tunes the underlying replicated log (including LogPath for
 	// the applied-entry control log).
 	Consensus consensus.Options
+	// Replication configures k-way replica placement and fail-over
+	// (internal/replica). Zero K disables all of it.
+	Replication ReplicationOptions
+}
+
+// ReplicationOptions wires the control plane to the replica subsystem: the
+// plane owns the agreed decisions (placement inputs, death declarations,
+// promotion elections, the host map), the replica.Manager owns the data
+// stream. The hooks decouple the two packages.
+type ReplicationOptions struct {
+	// K is the replica count per node: each node's extensional relations are
+	// mirrored on the K highest-scoring eligible members under
+	// RendezvousPlacement. Zero disables replication entirely.
+	K int
+	// DeadAfter is how long a member must stay continuously suspect before
+	// the reconciliation loop proposes declaring it permanently dead —
+	// the trigger for promotion. Crash-restarts faster than this window
+	// rejoin unharmed (default 10s). Declaring death is a judgement call no
+	// failure detector gets right in all worlds: a member partitioned away
+	// longer than DeadAfter is deposed and must rejoin as a fresh process.
+	DeadAfter time.Duration
+	// Frontier reports this member's durable replication frontier for a
+	// node (the sum of its mirror's per-relation applied sequences) — the
+	// promotion bid. Zero when no mirror exists.
+	Frontier func(node string) uint64
+	// OnPromote fires when this member wins a node's promotion election:
+	// adopt the node's peer (rebuild it from the mirror and the shipped
+	// subscription state) and start replicating it onward. Fired from a
+	// fresh goroutine, never during control-log replay (boot recovery asks
+	// AdoptedNodes instead).
+	OnPromote func(node string)
+	// OnDeposed fires when the agreed log records that this member's own
+	// node has been re-homed to another member (this process was declared
+	// dead — usually wrongly, from its point of view: a long partition).
+	// The process must stop serving; a deposed primary that kept accepting
+	// writes would fork the fix-point.
+	OnDeposed func(node string)
 }
 
 func (o ControlPlaneOptions) withDefaults() ControlPlaneOptions {
@@ -76,6 +113,9 @@ func (o ControlPlaneOptions) withDefaults() ControlPlaneOptions {
 	if o.ReconcileEvery <= 0 {
 		o.ReconcileEvery = 500 * time.Millisecond
 	}
+	if o.Replication.K > 0 && o.Replication.DeadAfter <= 0 {
+		o.Replication.DeadAfter = 10 * time.Second
+	}
 	return o
 }
 
@@ -87,6 +127,12 @@ type ControlPlaneMetrics struct {
 	Driver      string `json:"driver"`         // elected update driver ("" when none eligible)
 	Failovers   uint64 `json:"failovers"`      // driver changes while an update was in flight
 	PendingInst uint64 `json:"pending_update"` // log instance of the in-flight update (0 = none)
+
+	// Replication slice (zero-valued when Replication.K == 0).
+	Adopted       []string `json:"adopted,omitempty"`        // nodes this member hosts besides its own
+	Deposed       bool     `json:"deposed,omitempty"`        // this member's own node was re-homed elsewhere
+	OpenElections int      `json:"open_elections,omitempty"` // promotion elections not yet decided
+	Promotions    uint64   `json:"promotions,omitempty"`     // elections this member won
 }
 
 // pendingUpdate is the agreed update entry not yet matched by an updateDone.
@@ -116,6 +162,11 @@ type ControlPlane struct {
 	replaying bool              // control-log replay in progress: fold only, no side effects
 	closed    bool
 
+	// Replication fold (all agreed state, rebuilt by log replay).
+	hosts      map[string]string            // node -> member hosting it (absent = itself)
+	elections  map[string]map[string]uint64 // open promotions: node -> bidder -> frontier
+	promotions uint64                       // elections this member won
+
 	quit chan struct{}
 	wg   sync.WaitGroup
 }
@@ -141,6 +192,8 @@ func NewControlPlane(tr *Transport, hosted HostedPeer, members []string, opts Co
 		view:      map[string]Status{},
 		states:    map[string]report[wire.StateReport]{},
 		rules:     map[string]string{},
+		hosts:     map[string]string{},
+		elections: map[string]map[string]uint64{},
 		replaying: true,
 		quit:      make(chan struct{}),
 	}
@@ -162,6 +215,12 @@ func NewControlPlane(tr *Transport, hosted HostedPeer, members []string, opts Co
 	cp.mu.Lock()
 	cp.replaying = false
 	cp.startDrivingLocked()
+	// Elections still open after replay really are undecided: re-submit this
+	// member's bid (max-merge in the fold makes duplicates harmless) and
+	// re-check completion now that side effects may fire.
+	for node := range cp.elections {
+		cp.checkElectionLocked(node)
+	}
 	cp.mu.Unlock()
 	tr.SetConsensus(cp.intercept)
 	tr.SetOnStatusChange(cp.onGossipStatus)
@@ -210,6 +269,51 @@ func (cp *ControlPlane) Driver() string {
 	return cp.driver
 }
 
+// PlacementFor returns the members that should hold a node's replicas under
+// the current agreed view, plus the view version pinning this placement
+// epoch. Deterministic across members at the same version.
+func (cp *ControlPlane) PlacementFor(node string) ([]string, uint64) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.electorateLocked(node), cp.version
+}
+
+// HostOf returns the member hosting a node's primary — the node itself until
+// a promotion election re-homed it.
+func (cp *ControlPlane) HostOf(node string) string {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.hostOfLocked(node)
+}
+
+// AdoptedNodes lists the nodes (other than its own) whose primaries this
+// member hosts per the agreed log — what a restarting serve process must
+// re-adopt before traffic flows.
+func (cp *ControlPlane) AdoptedNodes() []string {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	var out []string
+	for n, h := range cp.hosts {
+		if h == cp.self && n != cp.self {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deposed reports whether the agreed log has re-homed this member's own node
+// to another member: the cluster declared this process dead while it lived.
+// A deposed process must not serve.
+func (cp *ControlPlane) Deposed() bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.hostOfLocked(cp.self) != cp.self
+}
+
+// ReplicationK returns the configured replica count (0 = replication off).
+func (cp *ControlPlane) ReplicationK() int { return cp.opts.Replication.K }
+
 // Metrics snapshots the control plane for the serve metrics endpoint.
 func (cp *ControlPlane) Metrics() ControlPlaneMetrics {
 	m := ControlPlaneMetrics{Metrics: cp.cons.Metrics()}
@@ -220,6 +324,15 @@ func (cp *ControlPlane) Metrics() ControlPlaneMetrics {
 	if cp.pending != nil {
 		m.PendingInst = cp.pending.instance
 	}
+	for n, h := range cp.hosts {
+		if h == cp.self && n != cp.self {
+			m.Adopted = append(m.Adopted, n)
+		}
+	}
+	sort.Strings(m.Adopted)
+	m.Deposed = cp.hostOfLocked(cp.self) != cp.self
+	m.OpenElections = len(cp.elections)
+	m.Promotions = cp.promotions
 	cp.mu.Unlock()
 	return m
 }
@@ -281,14 +394,54 @@ func (cp *ControlPlane) applyEntry(instance uint64, cmd wire.Command) {
 	switch cmd.Kind {
 	case "member":
 		cp.mu.Lock()
+		prev := cp.view[cmd.Node]
 		cp.view[cmd.Node] = Status(cmd.Status)
 		cp.version++
+		switch {
+		case Status(cmd.Status) == StatusDead && prev != StatusDead:
+			// A death declaration opens a promotion election for the dead
+			// member's own node and for every node it had adopted — all of
+			// them just lost their primary.
+			cp.startElectionLocked(cmd.Node)
+			for n, h := range cp.hosts {
+				if h == cmd.Node {
+					cp.startElectionLocked(n)
+				}
+			}
+		case Status(cmd.Status) == StatusAlive:
+			// The member is heard from again before any election decided: the
+			// sitting primary is back, the elections are moot. (After a
+			// decision this entry usually records the adopter heartbeating on
+			// the dead name's behalf — the elections are long gone by then.)
+			delete(cp.elections, cmd.Node)
+			for n, h := range cp.hosts {
+				if h == cmd.Node {
+					delete(cp.elections, n)
+				}
+			}
+		}
+		// Any view change can shrink an election's expected electorate (a
+		// bidder died) or re-add a bidder: re-check every open election.
+		for node := range cp.elections {
+			cp.checkElectionLocked(node)
+		}
 		wasDriver := cp.driver
 		cp.reelectLocked()
 		// A view change hands the driver role over only on an actual change
 		// of holder; the sitting driver's goroutine keeps running untouched.
 		if cp.driver == cp.self && wasDriver != cp.self {
 			cp.startDrivingLocked()
+		}
+		cp.mu.Unlock()
+	case "promoteBid":
+		cp.mu.Lock()
+		if bids, open := cp.elections[cmd.Node]; open {
+			// Max-merge: a bidder may re-submit after a restart with a fresher
+			// frontier; presence in the map is what marks the bid cast.
+			if old, ok := bids[cmd.Origin]; !ok || cmd.Ref > old {
+				bids[cmd.Origin] = cmd.Ref
+			}
+			cp.checkElectionLocked(cmd.Node)
 		}
 		cp.mu.Unlock()
 	case "discover":
@@ -339,10 +492,17 @@ func (cp *ControlPlane) applyEntry(instance uint64, cmd wire.Command) {
 	}
 }
 
-// statusOKLocked reports whether a member is eligible for driver duty under
-// the agreed view: never-heard-from (book) counts as eligible so a freshly
-// booted cluster with an empty log can still elect. Callers hold mu.
+// statusOKLocked reports whether a member is eligible for driver duty (and
+// replica placement) under the agreed view: never-heard-from (book) counts as
+// eligible so a freshly booted cluster with an empty log can still elect.
+// Re-homed members are never eligible even when the view shows them alive —
+// after a promotion the adopter heartbeats on the dead name's behalf (so
+// sends re-route), and electing a name with no consensus node behind it as
+// update driver would stall the wave forever. Callers hold mu.
 func (cp *ControlPlane) statusOKLocked(name string) bool {
+	if h, ok := cp.hosts[name]; ok && h != name {
+		return false
+	}
 	st := cp.view[name]
 	return st == StatusBook || st == StatusAlive
 }
@@ -374,6 +534,138 @@ func (cp *ControlPlane) reelectLocked() {
 		cp.failovers++
 	}
 	cp.driver = next
+}
+
+// hostOfLocked resolves the member currently hosting a node's primary (the
+// node itself until a promotion re-homed it). Callers hold mu.
+func (cp *ControlPlane) hostOfLocked(node string) string {
+	if h, ok := cp.hosts[node]; ok && h != "" {
+		return h
+	}
+	return node
+}
+
+// electorateLocked computes a node's promotion electorate — the members that
+// should hold its replicas under the current agreed view: the k
+// rendezvous-highest eligible members, excluding the node's current host (the
+// primary is not its own replica). Every member computes the same set from
+// the same fold, so election completion is agreed without its own protocol.
+// Callers hold mu.
+func (cp *ControlPlane) electorateLocked(node string) []string {
+	host := cp.hostOfLocked(node)
+	return RendezvousPlacement(node, cp.members, cp.opts.Replication.K,
+		func(m string) bool { return m != host && cp.statusOKLocked(m) })
+}
+
+// startElectionLocked opens a promotion election for a node that lost its
+// primary, and casts this member's bid when it is in the electorate. Callers
+// hold mu.
+func (cp *ControlPlane) startElectionLocked(node string) {
+	if cp.opts.Replication.K <= 0 {
+		return
+	}
+	if _, open := cp.elections[node]; open {
+		return
+	}
+	cp.elections[node] = map[string]uint64{}
+	cp.bidLocked(node)
+}
+
+// bidLocked submits this member's promotion bid for an open election it
+// belongs to: an agreed promoteBid entry carrying the durable replication
+// frontier of its mirror. Replay never bids (the log already holds whatever
+// this member bid before the restart; NewControlPlane re-bids after replay if
+// the election is still open). Callers hold mu.
+func (cp *ControlPlane) bidLocked(node string) {
+	if cp.replaying || cp.closed {
+		return
+	}
+	inSet := false
+	for _, e := range cp.electorateLocked(node) {
+		if e == cp.self {
+			inSet = true
+			break
+		}
+	}
+	if !inSet {
+		return
+	}
+	frontier := cp.opts.Replication.Frontier
+	self := cp.self
+	// Frontier and Submit both run off the applier goroutine: the frontier
+	// callback takes the replica manager's lock, and Submit blocks on quorum
+	// — a minority member parks here until the partition heals, which is the
+	// "minority replicas refuse promotion" rule falling out of consensus.
+	go func() {
+		var f uint64
+		if frontier != nil {
+			f = frontier(node)
+		}
+		cp.submitAsync(wire.Command{Kind: "promoteBid", Origin: self, Node: node, Ref: f})
+	}()
+}
+
+// checkElectionLocked decides an open election once every expected bidder has
+// bid: the highest durable frontier wins (ties to the lexicographically least
+// name), the host map re-homes the node, and — outside replay — the winner
+// starts its promotion while a deposed self learns its fate. When this
+// member's own bid is the missing one (a bidder died and the electorate
+// shrank onto us, or we just finished replay), it re-bids. Callers hold mu.
+func (cp *ControlPlane) checkElectionLocked(node string) {
+	bids, open := cp.elections[node]
+	if !open {
+		return
+	}
+	expect := cp.electorateLocked(node)
+	if len(expect) == 0 {
+		// Nobody eligible can host the node right now; the election stays
+		// open until a member entry changes the electorate.
+		return
+	}
+	for _, e := range expect {
+		if _, ok := bids[e]; !ok {
+			if e == cp.self {
+				cp.bidLocked(node)
+			}
+			return
+		}
+	}
+	var winner string
+	var best uint64
+	for _, e := range expect {
+		if f := bids[e]; winner == "" || f > best || (f == best && e < winner) {
+			winner, best = e, f
+		}
+	}
+	delete(cp.elections, node)
+	cp.hosts[node] = winner
+	if winner == cp.self {
+		cp.promotions++
+	}
+	if !cp.replaying {
+		if winner == cp.self {
+			go cp.runPromotion(node)
+		}
+		if node == cp.self && winner != cp.self {
+			// This process is alive but the cluster agreed it was dead — a
+			// partition outlasted DeadAfter. It must stop serving: a deposed
+			// primary that kept accepting inserts would fork the fix-point.
+			if fn := cp.opts.Replication.OnDeposed; fn != nil {
+				go fn(node)
+			}
+		}
+	}
+}
+
+// runPromotion executes a won election off the applier goroutine: adopt the
+// node (rebuild its peer from the mirror and shipped subscription state),
+// then kick a cluster-wide update wave so re-driven subscriptions and resends
+// re-converge the fix-point through the new home.
+func (cp *ControlPlane) runPromotion(node string) {
+	if fn := cp.opts.Replication.OnPromote; fn != nil {
+		fn(node)
+	}
+	cp.submitAsync(wire.Command{Kind: "update", Node: cp.self})
 }
 
 // startDrivingLocked spawns a driver goroutine for the pending update under
@@ -539,6 +831,12 @@ func (cp *ControlPlane) reconcileLoop() {
 	for _, m := range cp.members {
 		inSet[m] = true
 	}
+	// suspectSince tracks how long each member has been *continuously*
+	// suspect by the local detector; past Replication.DeadAfter the loop
+	// escalates the proposal from suspect to dead — the agreed declaration
+	// that triggers promotion. Any other status resets the clock, so a
+	// crash-restart (or a heal) inside the window never escalates.
+	suspectSince := map[string]time.Time{}
 	for {
 		select {
 		case <-cp.quit:
@@ -549,10 +847,28 @@ func (cp *ControlPlane) reconcileLoop() {
 			if !inSet[m.Name] || m.Status == StatusBook {
 				continue
 			}
+			want := m.Status
+			if cp.opts.Replication.K > 0 && m.Status == StatusSuspect {
+				since, ok := suspectSince[m.Name]
+				if !ok {
+					suspectSince[m.Name] = time.Now()
+				} else if time.Since(since) >= cp.opts.Replication.DeadAfter {
+					want = StatusDead
+				}
+			} else {
+				delete(suspectSince, m.Name)
+			}
 			cp.mu.Lock()
 			agreed := cp.view[m.Name]
 			cp.mu.Unlock()
-			if agreed == m.Status {
+			// Death is sticky: once agreed dead, only a live return — the
+			// restarted member itself, or its adopter heartbeating on its
+			// behalf — may overwrite it. Proposing mere suspicion over an
+			// agreed death would re-open a decided election's premise.
+			if agreed == StatusDead && want != StatusAlive {
+				continue
+			}
+			if agreed == want {
 				continue
 			}
 			// Re-check right before proposing: the quorum wait below can
@@ -563,7 +879,7 @@ func (cp *ControlPlane) reconcileLoop() {
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), cp.opts.RoundTimeout)
 			_, _ = cp.cons.Submit(ctx, wire.Command{
-				Kind: "member", Node: m.Name, Addr: m.Addr, Status: uint8(m.Status),
+				Kind: "member", Node: m.Name, Addr: m.Addr, Status: uint8(want),
 			})
 			cancel()
 		}
@@ -589,7 +905,9 @@ type controlState struct {
 	Version     uint64
 	PendingInst uint64
 	PendingNode string
-	Rules       map[string]string // rule ID -> rule text
+	Rules       map[string]string            // rule ID -> rule text
+	Hosts       map[string]string            // node -> hosting member
+	Elections   map[string]map[string]uint64 // open promotions: node -> bidder -> frontier
 }
 
 // snapshotState serialises the current fold for a catching-up peer.
@@ -605,6 +923,18 @@ func (cp *ControlPlane) snapshotState() []byte {
 	}
 	for id, text := range cp.rules {
 		st.Rules[id] = text
+	}
+	st.Hosts = make(map[string]string, len(cp.hosts))
+	for n, h := range cp.hosts {
+		st.Hosts[n] = h
+	}
+	st.Elections = make(map[string]map[string]uint64, len(cp.elections))
+	for n, bids := range cp.elections {
+		cp2 := make(map[string]uint64, len(bids))
+		for b, f := range bids {
+			cp2[b] = f
+		}
+		st.Elections[n] = cp2
 	}
 	if cp.pending != nil {
 		st.PendingInst = cp.pending.instance
@@ -640,13 +970,49 @@ func (cp *ControlPlane) restoreState(_ uint64, data []byte) {
 	if cp.rules == nil {
 		cp.rules = map[string]string{}
 	}
+	oldHosts := cp.hosts
+	cp.hosts = st.Hosts
+	if cp.hosts == nil {
+		cp.hosts = map[string]string{}
+	}
+	cp.elections = st.Elections
+	if cp.elections == nil {
+		cp.elections = map[string]map[string]uint64{}
+	}
 	cp.pending = nil
 	if st.PendingInst > 0 {
 		cp.pending = &pendingUpdate{instance: st.PendingInst, node: st.PendingNode}
 	}
 	cp.reelectLocked()
 	cp.startDrivingLocked()
+	// Promotions the transferred fold decided while this member was away:
+	// anything newly homed on us must be adopted now (outside replay; boot
+	// recovery re-adopts from AdoptedNodes instead), and a newly deposed self
+	// must learn it. Open elections get our bid re-cast via the usual check.
+	var promote []string
+	deposed := false
+	if !cp.replaying {
+		for n, h := range cp.hosts {
+			if h == cp.self && n != cp.self && oldHosts[n] != cp.self {
+				promote = append(promote, n)
+			}
+		}
+		wasDeposed := oldHosts[cp.self] != "" && oldHosts[cp.self] != cp.self
+		deposed = !wasDeposed && cp.hostOfLocked(cp.self) != cp.self
+		for node := range cp.elections {
+			cp.checkElectionLocked(node)
+		}
+	}
 	cp.mu.Unlock()
+	sort.Strings(promote)
+	for _, n := range promote {
+		go cp.runPromotion(n)
+	}
+	if deposed {
+		if fn := cp.opts.Replication.OnDeposed; fn != nil {
+			go fn(cp.self)
+		}
+	}
 	for _, text := range st.Rules {
 		if r, err := rules.ParseRule(text); err == nil && r.HeadNode == cp.self {
 			_ = cp.peer.AddRuleLocal(text)

@@ -73,11 +73,12 @@ type Coordinator struct {
 	tr   *Transport
 	opts CoordinatorOptions
 
-	mu      sync.Mutex
-	stats   map[string]report[stats.Snapshot]
-	states  map[string]report[wire.StateReport]
-	queries map[uint64]chan wire.QueryResult
-	qseq    uint64
+	mu       sync.Mutex
+	stats    map[string]report[stats.Snapshot]
+	states   map[string]report[wire.StateReport]
+	replicas map[string]report[wire.ReplicaStatusReport]
+	queries  map[uint64]chan wire.QueryResult
+	qseq     uint64
 }
 
 // NewCoordinator joins the cluster as the control plane. The address book is
@@ -97,12 +98,13 @@ func NewCoordinator(def *rules.Network, listenAddr string, extra map[string]stri
 		return nil, err
 	}
 	c := &Coordinator{
-		def:     def,
-		tr:      tr,
-		opts:    opts,
-		stats:   map[string]report[stats.Snapshot]{},
-		states:  map[string]report[wire.StateReport]{},
-		queries: map[uint64]chan wire.QueryResult{},
+		def:      def,
+		tr:       tr,
+		opts:     opts,
+		stats:    map[string]report[stats.Snapshot]{},
+		states:   map[string]report[wire.StateReport]{},
+		replicas: map[string]report[wire.ReplicaStatusReport]{},
+		queries:  map[uint64]chan wire.QueryResult{},
 	}
 	if err := tr.Register(CoordinatorName, c.handle); err != nil {
 		_ = tr.Close()
@@ -128,6 +130,10 @@ func (c *Coordinator) handle(env wire.Envelope) {
 	case wire.StateReport:
 		c.mu.Lock()
 		c.states[m.Node] = report[wire.StateReport]{at: time.Now(), val: m}
+		c.mu.Unlock()
+	case wire.ReplicaStatusReport:
+		c.mu.Lock()
+		c.replicas[m.Member] = report[wire.ReplicaStatusReport]{at: time.Now(), val: m}
 		c.mu.Unlock()
 	case wire.QueryResult:
 		c.mu.Lock()
@@ -268,6 +274,15 @@ func (c *Coordinator) ResetStats() {
 	for _, p := range c.alivePeers() {
 		_ = c.tr.Send(CoordinatorName, p, wire.StatsReset{})
 	}
+}
+
+// ReplicaStatuses polls every alive member's replication status (stream
+// frontiers, mirrors, the under_replicated gauge). Members running without
+// -replicas never answer, so the round is allowed to come back partial: the
+// fresh reports are returned as they stand at the round deadline.
+func (c *Coordinator) ReplicaStatuses(ctx context.Context) (map[string]wire.ReplicaStatusReport, error) {
+	reps, _, err := round(ctx, c, wire.ReplicaStatusRequest{}, func() map[string]report[wire.ReplicaStatusReport] { return c.replicas })
+	return reps, err
 }
 
 // States polls every alive peer's protocol state.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/replica"
 	"repro/internal/stats"
 )
 
@@ -48,6 +49,46 @@ type NodeMetrics struct {
 	// fail-over count — the numbers an operator watches during a
 	// coordinator-kill to see the new driver take over.
 	Consensus *ControlPlaneMetrics `json:"consensus,omitempty"`
+	// Replication is the replica manager's view (nil without -replicas): the
+	// under_replicated gauge, stream counters, this member's role and the
+	// agreed placement of its own node — the numbers an operator watches
+	// during a primary-kill to see the under-replication window close.
+	Replication *ReplicationMetrics `json:"replication,omitempty"`
+}
+
+// ReplicationMetrics joins the replica manager's counters with the agreed
+// placement view for this member's own node.
+type ReplicationMetrics struct {
+	replica.Metrics
+	// Role is "primary" while this process serves its own node, "deposed"
+	// once the agreed log has re-homed it elsewhere.
+	Role string `json:"role"`
+	// Placement lists the members mirroring this process's own node, under
+	// the agreed view version pinning that placement epoch.
+	Placement        []string `json:"placement"`
+	PlacementVersion uint64   `json:"placement_version"`
+	// FrontierLag sums, over every outbound replication stream, how many
+	// tuples the mirror's durable frontier trails the primary's. Zero means
+	// every established replica is caught up.
+	FrontierLag uint64 `json:"frontier_lag"`
+}
+
+// CollectReplicationMetrics snapshots the replica manager against the agreed
+// control plane (cp may be nil; the placement is then unknown).
+func CollectReplicationMetrics(mgr *replica.Manager, cp *ControlPlane, self string) ReplicationMetrics {
+	rm := ReplicationMetrics{Metrics: mgr.Metrics(), Role: "primary"}
+	if cp != nil {
+		if cp.Deposed() {
+			rm.Role = "deposed"
+		}
+		rm.Placement, rm.PlacementVersion = cp.PlacementFor(self)
+	}
+	for _, e := range mgr.StatusReport().Entries {
+		if e.Role == "primary" && e.Target > e.Applied {
+			rm.FrontierLag += e.Target - e.Applied
+		}
+	}
+	return rm
 }
 
 // CollectNodeMetrics snapshots a hosted node of a running network over a

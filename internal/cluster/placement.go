@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous placement: each node's replicas live on the k serve members
+// with the highest hash distance score for that node, computed over the
+// consensus-agreed member table. Every member evaluates the same pure
+// function over the same agreed view, so placements need no coordination of
+// their own — the latest-agreed view version pins each placement epoch, and
+// a member entry (a death, a leave, a return) moves replicas deterministically
+// and minimally: only the assignments whose top-k set the change disturbs
+// migrate, which is the property that makes rendezvous hashing cheaper under
+// churn than mod-N assignment.
+
+// placementScore ranks one (member, node) pair. FNV-64a over the joint key
+// spreads placements evenly without any cryptographic pretensions; the
+// tie-break on member name below makes the full order total.
+func placementScore(member, node string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(node))
+	return h.Sum64()
+}
+
+// RendezvousPlacement returns the up-to-k members that should hold replicas
+// of node's relations, sorted by descending score: the members for which
+// eligible returns true, excluding the node itself (its primary already
+// holds the data). Fewer than k eligible members yields a shorter placement.
+func RendezvousPlacement(node string, members []string, k int, eligible func(string) bool) []string {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		name  string
+		score uint64
+	}
+	cands := make([]cand, 0, len(members))
+	for _, m := range members {
+		if m == node || (eligible != nil && !eligible(m)) {
+			continue
+		}
+		cands = append(cands, cand{m, placementScore(m, node)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.name
+	}
+	return out
+}

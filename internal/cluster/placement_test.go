@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRendezvousPlacementProperties pins the placement function's contract:
+// deterministic, self-excluding, eligibility-filtered, truncated to k, and
+// total (score ties broken by name).
+func TestRendezvousPlacementProperties(t *testing.T) {
+	members := []string{"A", "B", "C", "D", "E"}
+	p1 := RendezvousPlacement("A", members, 2, nil)
+	p2 := RendezvousPlacement("A", members, 2, nil)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("placement not deterministic: %v vs %v", p1, p2)
+	}
+	if len(p1) != 2 {
+		t.Fatalf("placement size %d, want 2", len(p1))
+	}
+	for _, m := range p1 {
+		if m == "A" {
+			t.Fatal("a node must not be placed on itself")
+		}
+	}
+	if got := RendezvousPlacement("A", members, 0, nil); got != nil {
+		t.Fatalf("k=0 placement = %v, want nil", got)
+	}
+	// Eligibility excludes members; fewer eligible than k shortens the set.
+	only := func(m string) bool { return m == "B" }
+	if got := RendezvousPlacement("A", members, 3, only); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("eligibility-filtered placement = %v, want [B]", got)
+	}
+	// Every member computes the same placement from the same view: permuting
+	// the member list must not change the answer.
+	perm := []string{"E", "C", "A", "D", "B"}
+	if got := RendezvousPlacement("A", perm, 2, nil); !reflect.DeepEqual(got, p1) {
+		t.Fatalf("placement depends on member order: %v vs %v", got, p1)
+	}
+}
+
+// TestRendezvousPlacementMinimalDisruption pins the property that justifies
+// rendezvous over mod-N: removing one member only moves the placements that
+// member participated in — every other node's replica set is unchanged.
+func TestRendezvousPlacementMinimalDisruption(t *testing.T) {
+	var members []string
+	for i := 0; i < 12; i++ {
+		members = append(members, fmt.Sprintf("M%02d", i))
+	}
+	before := map[string][]string{}
+	for _, node := range members {
+		before[node] = RendezvousPlacement(node, members, 3, nil)
+	}
+	// Kill a member that actually holds replicas, so the test is not vacuous.
+	held := map[string]int{}
+	for _, p := range before {
+		for _, m := range p {
+			held[m]++
+		}
+	}
+	dead := ""
+	for _, m := range members {
+		if held[m] > 0 && (dead == "" || held[m] > held[dead]) {
+			dead = m
+		}
+	}
+	alive := func(m string) bool { return m != dead }
+	moved := 0
+	for _, node := range members {
+		if node == dead {
+			continue
+		}
+		after := RendezvousPlacement(node, members, 3, alive)
+		held := false
+		for _, m := range before[node] {
+			if m == dead {
+				held = true
+			}
+		}
+		if !held {
+			if !reflect.DeepEqual(after, before[node]) {
+				t.Errorf("node %s: placement moved though %s held no replica: %v -> %v", node, dead, before[node], after)
+			}
+			continue
+		}
+		moved++
+		// The survivors of the old set must all remain placed (the new member
+		// fills in behind them in score order).
+		pos := map[string]bool{}
+		for _, m := range after {
+			pos[m] = true
+		}
+		for _, m := range before[node] {
+			if m != dead && !pos[m] {
+				t.Errorf("node %s: surviving replica %s evicted on unrelated death: %v -> %v", node, m, before[node], after)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: the dead member held no replicas at all")
+	}
+}

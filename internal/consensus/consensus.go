@@ -944,7 +944,7 @@ func (n *Node) applyLoop() {
 		}
 		for {
 			n.mu.Lock()
-			if s := n.installSnapshotLocked() /* unlocks when non-nil */; s != nil {
+			if s := n.installSnapshotLocked(); /* unlocks when non-nil */ s != nil {
 				n.opts.Restore(s.Through, s.State)
 				continue
 			}

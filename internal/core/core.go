@@ -363,17 +363,18 @@ func BuildWith(def *rules.Network, tr transport.Transport, opts Options) (*Netwo
 // flight: marks written at Close cover everything evaluated and sent, and a
 // quiescent network is what guarantees all of it was also received.
 func (n *Network) Close() error {
-	for _, p := range n.peers {
+	peers, stores, order := n.hosted()
+	for _, p := range peers {
 		p.CloseWatchers()
 	}
 	err := n.tr.Close()
-	for _, id := range n.order {
-		if st := n.stores[id]; st != nil {
+	for _, id := range order {
+		if st := stores[id]; st != nil {
 			// Clean close: receipt-confirmed frontiers become durability
 			// grade (the network-wide close seals every dependent's store,
 			// making received data durable) before the state is captured.
 			// Crash() deliberately skips this promotion.
-			n.peers[id].SealFrontiers()
+			peers[id].SealFrontiers()
 			if cerr := st.Close(); cerr != nil && err == nil {
 				err = cerr
 			}
@@ -388,12 +389,13 @@ func (n *Network) Close() error {
 // process leaves on disk. A subsequent Build with the same DataDir exercises
 // crash recovery. On an in-memory network it behaves like Close.
 func (n *Network) Crash() error {
-	for _, p := range n.peers {
+	peers, stores, order := n.hosted()
+	for _, p := range peers {
 		p.CloseWatchers()
 	}
 	err := n.tr.Close()
-	for _, id := range n.order {
-		if st := n.stores[id]; st != nil {
+	for _, id := range order {
+		if st := stores[id]; st != nil {
 			st.Abort()
 		}
 	}
@@ -404,15 +406,24 @@ func (n *Network) Crash() error {
 func (n *Network) Super() string { return n.super }
 
 // Peer returns a peer by name (nil if absent).
-func (n *Network) Peer(id string) *peer.Peer { return n.peers[id] }
+func (n *Network) Peer(id string) *peer.Peer {
+	peers, _, _ := n.hosted()
+	return peers[id]
+}
 
 // Store returns a hosted node's durable store (nil without Options.DataDir
 // or for a node this process does not host). Exposed for observability: the
 // serve metrics endpoint reports each store's appended-record high water.
-func (n *Network) Store(id string) *wal.Store { return n.stores[id] }
+func (n *Network) Store(id string) *wal.Store {
+	_, stores, _ := n.hosted()
+	return stores[id]
+}
 
-// Nodes returns all node names, sorted.
-func (n *Network) Nodes() []string { return append([]string(nil), n.order...) }
+// Nodes returns all node names this process hosts, sorted.
+func (n *Network) Nodes() []string {
+	_, _, order := n.hosted()
+	return append([]string(nil), order...)
+}
 
 // Transport exposes the transport carrying the network's messages (the
 // Batcher when Options.BatchWindow wrapped one around the base transport).
@@ -496,9 +507,10 @@ func (n *Network) quiesceByPolling(ctx context.Context) error {
 	stable := 0
 	first := true
 	for {
+		peers, _, order := n.hosted()
 		var sent, recv uint64
-		for _, id := range n.order {
-			s := n.peers[id].Counters().Snapshot()
+		for _, id := range order {
+			s := peers[id].Counters().Snapshot()
 			sent += s.TotalSent()
 			recv += s.TotalReceived()
 		}
@@ -528,8 +540,8 @@ func (n *Network) quiesceByPolling(ctx context.Context) error {
 // participating node lazily discovers for itself too) and the call returns
 // at quiescence, when every reached node knows its maximal dependency paths.
 func (n *Network) Discover(ctx context.Context) error {
-	sp, ok := n.peers[n.super]
-	if !ok {
+	sp := n.Peer(n.super)
+	if sp == nil {
 		return fmt.Errorf("core: super-peer %q not in network", n.super)
 	}
 	sp.StartDiscovery()
@@ -542,8 +554,8 @@ func (n *Network) Discover(ctx context.Context) error {
 // asynchronous race swallowed a confirming cascade), closure probes re-issue
 // queries at the open nodes, each probe running at fix-point cost.
 func (n *Network) Update(ctx context.Context) error {
-	sp, ok := n.peers[n.super]
-	if !ok {
+	sp := n.Peer(n.super)
+	if sp == nil {
 		return fmt.Errorf("core: super-peer %q not in network", n.super)
 	}
 	sp.StartUpdateWave()
@@ -564,7 +576,9 @@ func (n *Network) Update(ctx context.Context) error {
 				len(open), probes, open)
 		}
 		for _, id := range open {
-			n.peers[id].Probe()
+			if p := n.Peer(id); p != nil {
+				p.Probe()
+			}
 		}
 	}
 }
@@ -574,9 +588,10 @@ func (n *Network) Update(ctx context.Context) error {
 // components) are not counted: the wave covers its own component, as in the
 // paper.
 func (n *Network) OpenPeers() []string {
+	peers, _, order := n.hosted()
 	var out []string
-	for _, id := range n.order {
-		p := n.peers[id]
+	for _, id := range order {
+		p := peers[id]
 		if p.Activated() && p.State() != peer.Closed {
 			out = append(out, id)
 		}
@@ -590,8 +605,8 @@ func (n *Network) AllClosed() bool { return len(n.OpenPeers()) == 0 }
 // LocalQuery evaluates a query body at a node against its local database
 // only (Definition 4; sound and complete globally once Update finished).
 func (n *Network) LocalQuery(node, body string, outVars []string) ([]relalg.Tuple, error) {
-	p, ok := n.peers[node]
-	if !ok {
+	p := n.Peer(node)
+	if p == nil {
 		return nil, fmt.Errorf("core: unknown node %q", node)
 	}
 	return p.LocalQuery(body, outVars)
@@ -601,8 +616,8 @@ func (n *Network) LocalQuery(node, body string, outVars []string) ([]relalg.Tupl
 // relevant to the query, waits for quiescence, and evaluates locally
 // (Section 5's query-dependent updates / distributed query answering).
 func (n *Network) QueryDependentUpdate(ctx context.Context, node, body string, outVars []string) ([]relalg.Tuple, error) {
-	p, ok := n.peers[node]
-	if !ok {
+	p := n.Peer(node)
+	if p == nil {
 		return nil, fmt.Errorf("core: unknown node %q", node)
 	}
 	if err := p.QueryDependentUpdate(body); err != nil {
@@ -621,12 +636,13 @@ func (n *Network) AddLink(ruleText string) error {
 	if err != nil {
 		return err
 	}
-	p, ok := n.peers[r.HeadNode]
+	peers, _, _ := n.hosted()
+	p, ok := peers[r.HeadNode]
 	if !ok {
 		return fmt.Errorf("core: addLink targets unknown node %q", r.HeadNode)
 	}
 	for _, src := range r.SourceNodes() {
-		if _, ok := n.peers[src]; !ok {
+		if _, ok := peers[src]; !ok {
 			return fmt.Errorf("core: addLink reads unknown node %q", src)
 		}
 	}
@@ -635,8 +651,8 @@ func (n *Network) AddLink(ruleText string) error {
 
 // DeleteLink applies the deleteLink(i,j,id) atomic change at the head node.
 func (n *Network) DeleteLink(headNode, ruleID string) error {
-	p, ok := n.peers[headNode]
-	if !ok {
+	p := n.Peer(headNode)
+	if p == nil {
 		return fmt.Errorf("core: deleteLink at unknown node %q", headNode)
 	}
 	p.DeleteRuleLocal(ruleID)
@@ -645,24 +661,27 @@ func (n *Network) DeleteLink(headNode, ruleID string) error {
 
 // Stats snapshots every node's counters.
 func (n *Network) Stats() []stats.Snapshot {
-	out := make([]stats.Snapshot, 0, len(n.order))
-	for _, id := range n.order {
-		out = append(out, n.peers[id].Counters().Snapshot())
+	peers, _, order := n.hosted()
+	out := make([]stats.Snapshot, 0, len(order))
+	for _, id := range order {
+		out = append(out, peers[id].Counters().Snapshot())
 	}
 	return out
 }
 
 // ResetStats zeroes every node's counters.
 func (n *Network) ResetStats() {
-	for _, id := range n.order {
-		n.peers[id].Counters().Reset()
+	peers, _, order := n.hosted()
+	for _, id := range order {
+		peers[id].Counters().Reset()
 	}
 }
 
 // Snapshot deep-copies every node's database (for validation).
 func (n *Network) Snapshot() map[string]*storage.DB {
-	out := make(map[string]*storage.DB, len(n.peers))
-	for id, p := range n.peers {
+	peers, _, _ := n.hosted()
+	out := make(map[string]*storage.DB, len(peers))
+	for id, p := range peers {
 		out[id] = p.DB().Clone()
 	}
 	return out
@@ -685,10 +704,11 @@ func (n *Network) ValidateAgainstCentralized() error {
 		return err
 	}
 	if len(n.opts.Hosted) > 0 {
-		// A hosted-subset process can only vouch for its own peers; remote
-		// nodes' databases live in other processes.
-		trimmed := make(map[string]*storage.DB, len(n.peers))
-		for id := range n.peers {
+		// A hosted-subset process can only vouch for its own peers (including
+		// adopted ones); remote nodes' databases live in other processes.
+		peers, _, _ := n.hosted()
+		trimmed := make(map[string]*storage.DB, len(peers))
+		for id := range peers {
 			trimmed[id] = want.DBs[id]
 		}
 		want.DBs = trimmed
@@ -728,7 +748,8 @@ func (n *Network) Broadcast(text string) error {
 	def.Facts = n.def.Facts // databases are not reseeded; keep the originals
 	n.def = def
 	n.defMu.Unlock()
-	for _, id := range n.order {
+	_, _, order := n.hosted()
+	for _, id := range order {
 		if err := n.tr.Send(n.super, id, wire.SetNetwork{Text: text}); err != nil {
 			return err
 		}
@@ -740,11 +761,12 @@ func (n *Network) Broadcast(text string) error {
 // (StatsRequest/StatsReport, the super-peer verbs of Section 5) and returns
 // them keyed by node, including the super-peer's own.
 func (n *Network) CollectStats(ctx context.Context) (map[string]stats.Snapshot, error) {
-	sp, ok := n.peers[n.super]
+	peers, _, order := n.hosted()
+	sp, ok := peers[n.super]
 	if !ok {
 		return nil, fmt.Errorf("core: super-peer %q not in network", n.super)
 	}
-	for _, id := range n.order {
+	for _, id := range order {
 		if id == n.super {
 			continue
 		}

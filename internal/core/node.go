@@ -28,8 +28,8 @@ type Watcher = peer.Watcher
 // Node returns a live handle on the named peer, or nil when the node does
 // not exist (the handle's methods then report the error).
 func (n *Network) Node(id string) *Node {
-	p, ok := n.peers[id]
-	if !ok {
+	p := n.Peer(id)
+	if p == nil {
 		return nil
 	}
 	return &Node{n: n, p: p, id: id}

@@ -22,15 +22,16 @@ import (
 func (n *Network) UpdateStaged(ctx context.Context) error {
 	// One shared epoch, adopted quietly by every peer so that queries do
 	// not trigger activation floods.
+	peers, _, nodeOrder := n.hosted()
 	var epoch uint64
-	for _, id := range n.order {
-		if e := n.peers[id].Epoch(); e > epoch {
+	for _, id := range nodeOrder {
+		if e := peers[id].Epoch(); e > epoch {
 			epoch = e
 		}
 	}
 	epoch++
-	for _, id := range n.order {
-		n.peers[id].ActivateQuiet(epoch)
+	for _, id := range nodeOrder {
+		peers[id].ActivateQuiet(epoch)
 	}
 	if err := n.Quiesce(ctx); err != nil { // discovery waves from activation
 		return err
@@ -40,7 +41,7 @@ func (n *Network) UpdateStaged(ctx context.Context) error {
 	defRules := n.def.Rules
 	n.defMu.Unlock()
 	g := graph.FromRules(defRules)
-	for _, id := range n.order {
+	for _, id := range nodeOrder {
 		g.AddNode(id)
 	}
 	sccs := g.SCCs() // Tarjan emits components children-first on this graph
@@ -51,7 +52,7 @@ func (n *Network) UpdateStaged(ctx context.Context) error {
 	for i := len(order) - 1; i >= 0; i-- {
 		comp := order[i]
 		for _, id := range comp {
-			n.peers[id].ForcePull()
+			peers[id].ForcePull()
 		}
 		if err := n.Quiesce(ctx); err != nil {
 			return err
@@ -61,7 +62,7 @@ func (n *Network) UpdateStaged(ctx context.Context) error {
 		for probe := 0; probe < 4; probe++ {
 			open := false
 			for _, id := range comp {
-				p := n.peers[id]
+				p := peers[id]
 				if p.Activated() && p.State() != peer.Closed {
 					open = true
 					p.Probe()
@@ -93,7 +94,9 @@ func (n *Network) UpdateStaged(ctx context.Context) error {
 			return fmt.Errorf("core: staged update left %d node(s) open: %v", len(open), open)
 		}
 		for _, id := range open {
-			n.peers[id].Probe()
+			if p := n.Peer(id); p != nil {
+				p.Probe()
+			}
 		}
 	}
 }

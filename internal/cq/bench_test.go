@@ -104,7 +104,7 @@ func BenchmarkEvalDeltaAdaptiveOrder(b *testing.B) {
 	src, c, delta := deltaOrderingBench()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := evalDelta(src, c, []string{"X", "Z"}, delta, true); err != nil {
+		if _, err := evalDelta(src, c, []string{"X", "Z"}, delta, true, true); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -116,7 +116,65 @@ func BenchmarkEvalDeltaBodyOrder(b *testing.B) {
 	src, c, delta := deltaOrderingBench()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := evalDelta(src, c, []string{"X", "Z"}, delta, false); err != nil {
+		if _, err := evalDelta(src, c, []string{"X", "Z"}, delta, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// prefixSharingBench builds the shared-prefix workload: a chain join whose
+// delta tuples collide heavily on the join variable (50 distinct Y values
+// over 400 delta rows), into an atom with a repeated variable — so most
+// bindings present the same join prefix, each probe fans out to ten tuples
+// of which nine fail unification, and the cache collapses all of that
+// per-prefix work (including the failed-unify clones) into one computation.
+func prefixSharingBench() (MapSource, Conjunction, map[string][]relalg.Tuple) {
+	e := relalg.NewRelation(relalg.MakeSchema("e", 2))
+	f := relalg.NewRelation(relalg.MakeSchema("f", 3))
+	var delta []relalg.Tuple
+	for i := 0; i < 2000; i++ {
+		t := relalg.Tuple{relalg.S(fmt.Sprintf("x%d", i)), relalg.S(fmt.Sprintf("y%d", i%50))}
+		_, _ = e.Insert(t)
+		if i >= 1600 {
+			delta = append(delta, t)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		// Only every tenth row satisfies the Z=Z repeat.
+		z2 := i
+		if i%10 != 0 {
+			z2 = i + 1
+		}
+		_, _ = f.Insert(relalg.Tuple{
+			relalg.S(fmt.Sprintf("y%d", i%50)),
+			relalg.S(fmt.Sprintf("z%d", i)),
+			relalg.S(fmt.Sprintf("z%d", z2)),
+		})
+	}
+	src := MapSource{"e": e, "f": f}
+	c, _ := ParseConjunction("e(X,Y), f(Y,Z,Z)")
+	return src, c, map[string][]relalg.Tuple{"e": delta}
+}
+
+// BenchmarkEvalDeltaPrefixShared measures EvalDelta with the joined-prefix
+// cache: bindings agreeing on the probed join positions expand once.
+func BenchmarkEvalDeltaPrefixShared(b *testing.B) {
+	src, c, delta := prefixSharingBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := evalDelta(src, c, []string{"X", "Z"}, delta, true, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalDeltaPrefixUnshared is the ablation baseline: every binding
+// probes and unifies for itself (the pre-optimisation behaviour).
+func BenchmarkEvalDeltaPrefixUnshared(b *testing.B) {
+	src, c, delta := prefixSharingBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := evalDelta(src, c, []string{"X", "Z"}, delta, true, false); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -64,11 +64,15 @@ func TestEvalDeltaAdaptiveMatchesBodyOrder(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		adaptive, err := evalDelta(src, c, pick.out, delta, true)
+		adaptive, err := evalDelta(src, c, pick.out, delta, true, true)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bodyOrder, err := evalDelta(src, c, pick.out, delta, false)
+		unshared, err := evalDelta(src, c, pick.out, delta, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodyOrder, err := evalDelta(src, c, pick.out, delta, false, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,6 +83,17 @@ func TestEvalDeltaAdaptiveMatchesBodyOrder(t *testing.T) {
 		for k := range want {
 			if !got[k] {
 				t.Fatalf("trial %d %q: body-order result %s missing from adaptive", trial, pick.body, k)
+			}
+		}
+		// The joined-prefix cache must be invisible in the results: shared and
+		// unshared expansion agree tuple for tuple.
+		cached := tupleSet(unshared)
+		if len(got) != len(cached) {
+			t.Fatalf("trial %d %q: shared %d results, unshared %d", trial, pick.body, len(got), len(cached))
+		}
+		for k := range cached {
+			if !got[k] {
+				t.Fatalf("trial %d %q: unshared result %s missing from shared", trial, pick.body, k)
 			}
 		}
 	}

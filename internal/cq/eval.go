@@ -76,14 +76,19 @@ func Eval(src Source, c Conjunction, outVars []string) ([]relalg.Tuple, error) {
 // (full minus that atom's delta). A binding is therefore produced by exactly
 // one pass — the first whose seed atom it binds to a delta tuple — instead
 // of once per delta atom it touches, and the cheapest seeds run first.
+// Seed passes share joined prefixes: the non-seed extents are static for the
+// whole call, so bindings that agree on an atom's probed positions — within
+// one pass or across passes — expand identically, and the probe-and-unify
+// work is done once per distinct prefix and replayed from a cache.
 func EvalDelta(src Source, c Conjunction, outVars []string, delta map[string][]relalg.Tuple) ([]relalg.Tuple, error) {
-	return evalDelta(src, c, outVars, delta, true)
+	return evalDelta(src, c, outVars, delta, true, true)
 }
 
-// evalDelta is EvalDelta with the adaptive ordering switchable: the
-// body-order variant (adaptive=false) is the pre-optimisation behaviour,
-// kept for the ablation benchmark and the equivalence test.
-func evalDelta(src Source, c Conjunction, outVars []string, delta map[string][]relalg.Tuple, adaptive bool) ([]relalg.Tuple, error) {
+// evalDelta is EvalDelta with its optimisations switchable: adaptive=false
+// seeds in body order without the old/new split, share=false disables the
+// joined-prefix cache — both pre-optimisation behaviours, kept for the
+// ablation benchmarks and the equivalence tests.
+func evalDelta(src Source, c Conjunction, outVars []string, delta map[string][]relalg.Tuple, adaptive, share bool) ([]relalg.Tuple, error) {
 	atomVars := c.AtomVars()
 	for _, v := range outVars {
 		if !atomVars[v] {
@@ -103,13 +108,17 @@ func evalDelta(src Source, c Conjunction, outVars []string, delta map[string][]r
 	}
 	seen := map[string]bool{}
 	var out []relalg.Tuple
+	var cache *joinCache
+	if share {
+		cache = &joinCache{m: map[string][]extension{}}
+	}
 	// exclude maps an already-seeded atom's index to its delta tuple keys:
 	// later passes must not bind that atom to its delta (those combinations
 	// were produced when it was the seed).
 	var exclude map[int]map[string]bool
 	for _, i := range order {
 		seedTuples := delta[c.Atoms[i].Rel]
-		bindings, err := evalSeeded(src, c, i, seedTuples, exclude)
+		bindings, err := evalSeeded(src, c, i, seedTuples, exclude, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +152,7 @@ func evalDelta(src Source, c Conjunction, outVars []string, delta map[string][]r
 // evalSeeded runs the pipelined join with atom `seed` restricted to the given
 // tuples, atoms in exclude restricted to their pre-delta extents, and every
 // other atom drawn from its full extent in src.
-func evalSeeded(src Source, c Conjunction, seed int, seedTuples []relalg.Tuple, exclude map[int]map[string]bool) ([]Binding, error) {
+func evalSeeded(src Source, c Conjunction, seed int, seedTuples []relalg.Tuple, exclude map[int]map[string]bool, cache *joinCache) ([]Binding, error) {
 	atom := c.Atoms[seed]
 	bindings := make([]Binding, 0, len(seedTuples))
 	for _, t := range seedTuples {
@@ -168,7 +177,7 @@ func evalSeeded(src Source, c Conjunction, seed int, seedTuples []relalg.Tuple, 
 		excl = append(excl, exclude[i])
 	}
 	remainingBuiltins := applyReadyBuiltins(append([]Builtin(nil), c.Builtins...), bound, &bindings)
-	return joinRemaining(src, remainingAtoms, excl, remainingBuiltins, bindings, bound)
+	return joinRemaining(src, remainingAtoms, excl, remainingBuiltins, bindings, bound, cache)
 }
 
 // EvalBindings evaluates the conjunction and returns all satisfying bindings
@@ -194,7 +203,7 @@ func EvalBindings(src Source, c Conjunction) ([]Binding, error) {
 		append([]Atom(nil), c.Atoms...),
 		nil,
 		append([]Builtin(nil), c.Builtins...),
-		[]Binding{{}}, map[string]bool{})
+		[]Binding{{}}, map[string]bool{}, nil)
 }
 
 // joinRemaining drives the pipelined join over the remaining atoms, starting
@@ -202,7 +211,7 @@ func EvalBindings(src Source, c Conjunction) ([]Binding, error) {
 // excl, when non-nil, runs in lockstep with remainingAtoms and restricts an
 // atom to its pre-delta extent by skipping probed tuples with the listed
 // keys (the semi-naive old/new split).
-func joinRemaining(src Source, remainingAtoms []Atom, excl []map[string]bool, remainingBuiltins []Builtin, bindings []Binding, bound map[string]bool) ([]Binding, error) {
+func joinRemaining(src Source, remainingAtoms []Atom, excl []map[string]bool, remainingBuiltins []Builtin, bindings []Binding, bound map[string]bool, cache *joinCache) ([]Binding, error) {
 	for len(remainingAtoms) > 0 {
 		idx := pickNextAtom(src, remainingAtoms, bound)
 		atom := remainingAtoms[idx]
@@ -213,7 +222,7 @@ func joinRemaining(src Source, remainingAtoms []Atom, excl []map[string]bool, re
 			excl = append(excl[:idx], excl[idx+1:]...)
 		}
 
-		bindings = expand(src, bindings, atom, skip, bound)
+		bindings = expand(src, bindings, atom, skip, bound, cache)
 		for _, v := range atom.Vars() {
 			bound[v] = true
 		}
@@ -257,14 +266,50 @@ func pickNextAtom(src Source, atoms []Atom, bound map[string]bool) int {
 	return best
 }
 
+// extension is one cached way an atom extends a binding: the atom's unbound
+// variables and the values a matching tuple assigns them.
+type extension struct {
+	vars []string
+	vals []relalg.Value
+}
+
+// joinCache shares joined prefixes between the seed passes of one EvalDelta
+// call. The non-seed extents (full or pre-delta) are static for the whole
+// call, so the set of ways an atom extends a binding depends only on the
+// atom's pattern, which positions are probed, the old/new exclusion in force
+// and the probed values — the binding's join prefix. Bindings agreeing on
+// that prefix, within one pass or across passes, replay the cached
+// extensions instead of re-probing and re-unifying.
+type joinCache struct {
+	m map[string][]extension
+}
+
+// keyPrefix builds the per-expand-call half of the cache key — everything
+// except the probed values, which vary per binding. The skip set is keyed by
+// identity: each seeded atom's exclusion map is allocated once and reused
+// across all later passes.
+func (c *joinCache) keyPrefix(atom Atom, idxPos []int, skip map[string]bool) string {
+	var b strings.Builder
+	b.WriteString(atom.String())
+	b.WriteByte(0)
+	for _, p := range idxPos {
+		fmt.Fprintf(&b, "%d,", p)
+	}
+	b.WriteByte(0)
+	fmt.Fprintf(&b, "%p", skip)
+	b.WriteByte(0)
+	return b.String()
+}
+
 // expand joins the current binding set with one atom by probing the
 // relation's persistent per-position index on the atom's bound positions
 // (constants and variables already in scope). Unlike a per-call hash build,
 // the probe costs nothing when the binding set is small — the semi-naive
 // delta path depends on this to stay O(delta). skip, when non-nil, holds
 // tuple keys this atom must not bind (its own delta, under the old/new
-// split).
-func expand(src Source, bindings []Binding, atom Atom, skip map[string]bool, bound map[string]bool) []Binding {
+// split). cache, when non-nil, shares the probe-and-unify work between
+// bindings with equal join prefixes (see joinCache).
+func expand(src Source, bindings []Binding, atom Atom, skip map[string]bool, bound map[string]bool, cache *joinCache) []Binding {
 	rel := src.Rel(atom.Rel)
 	if rel == nil || rel.Len() == 0 {
 		return nil
@@ -275,7 +320,21 @@ func expand(src Source, bindings []Binding, atom Atom, skip map[string]bool, bou
 			idxPos = append(idxPos, i)
 		}
 	}
+	// The atom's unbound variables in first-occurrence order — the shape of
+	// every cached extension.
+	var extVars []string
+	extSeen := map[string]bool{}
+	for _, t := range atom.Terms {
+		if t.IsVar && !bound[t.Var] && !extSeen[t.Var] {
+			extSeen[t.Var] = true
+			extVars = append(extVars, t.Var)
+		}
+	}
 
+	var keyPrefix string
+	if cache != nil {
+		keyPrefix = cache.keyPrefix(atom, idxPos, skip)
+	}
 	var out []Binding
 	vals := make([]relalg.Value, len(idxPos))
 	for _, b := range bindings {
@@ -296,6 +355,22 @@ func expand(src Source, bindings []Binding, atom Atom, skip map[string]bool, bou
 		if !ok {
 			continue
 		}
+		if cache != nil {
+			k := keyPrefix + relalg.Tuple(vals).Key()
+			exts, hit := cache.m[k]
+			if !hit {
+				exts = probeExtensions(rel, atom, idxPos, vals, skip, extVars)
+				cache.m[k] = exts
+			}
+			for _, e := range exts {
+				nb := b.Clone()
+				for i, v := range e.vars {
+					nb[v] = e.vals[i]
+				}
+				out = append(out, nb)
+			}
+			continue
+		}
 		for _, tuple := range rel.Probe(idxPos, vals) {
 			if skip != nil && skip[tuple.Key()] {
 				continue
@@ -307,6 +382,35 @@ func expand(src Source, bindings []Binding, atom Atom, skip map[string]bool, bou
 		}
 	}
 	return out
+}
+
+// probeExtensions computes the cached extensions for one join prefix: every
+// probed position (all constants and bound variables) already matches by
+// construction, so the unification only has to place the unbound variables —
+// checking internal consistency where one repeats within the atom.
+func probeExtensions(rel *relalg.Relation, atom Atom, idxPos []int, vals []relalg.Value, skip map[string]bool, extVars []string) []extension {
+	rep := Binding{}
+	for i, p := range idxPos {
+		if t := atom.Terms[p]; t.IsVar {
+			rep[t.Var] = vals[i]
+		}
+	}
+	var exts []extension
+	for _, tuple := range rel.Probe(idxPos, vals) {
+		if skip != nil && skip[tuple.Key()] {
+			continue
+		}
+		nb, ok := match(atom, tuple, rep)
+		if !ok {
+			continue
+		}
+		e := extension{vars: extVars, vals: make([]relalg.Value, len(extVars))}
+		for i, v := range extVars {
+			e.vals[i] = nb[v]
+		}
+		exts = append(exts, e)
+	}
+	return exts
 }
 
 // match unifies the atom with a tuple under binding b, returning the extended

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction of every table and figure
-// of the paper's evaluation (see DESIGN.md's experiment index, E1–E17). Each
+// of the paper's evaluation (see DESIGN.md's experiment index, E1–E18). Each
 // experiment builds its workload, runs the distributed algorithm, and
 // renders the same rows/series the paper reports. The cmd/p2pbench tool and
 // the repository-level benchmarks both drive this package.
@@ -63,6 +63,13 @@ type RunRecord struct {
 	// cost the batched protocol attacks (E16), and the metric the E5
 	// regression ceiling in CI watches.
 	MsgsPerTuple float64 `json:"msgs_per_tuple,omitempty"`
+	// Replication fail-over phase latencies (E18 only, omitted elsewhere):
+	// kill → a survivor promoted its mirror and hosts the dead node, kill →
+	// every member back on the reference fix-point, and kill → the adopter's
+	// under_replicated gauge back at zero (the re-replication window).
+	PromotionMS              float64 `json:"promotion_ms,omitempty"`
+	ConvergenceMS            float64 `json:"convergence_ms,omitempty"`
+	UnderReplicationWindowMS float64 `json:"under_replication_window_ms,omitempty"`
 }
 
 // runCollector accumulates the RunRecords of one Run invocation; execute
@@ -115,6 +122,17 @@ func (c *runCollector) add(def *rules.Network, opts core.Options, rs runStats) {
 	c.mu.Unlock()
 }
 
+// addRecord appends a hand-built record — for experiments whose unit of
+// measurement is not a protocol run (E18's fail-over phase latencies).
+func (c *runCollector) addRecord(rec RunRecord) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	c.mu.Unlock()
+}
+
 // stamped returns the collected records with the experiment id filled in.
 func (c *runCollector) stamped(experiment string) []RunRecord {
 	c.mu.Lock()
@@ -153,7 +171,7 @@ func (c Config) withDefaults() Config {
 
 // All runs every experiment in order.
 func All(cfg Config) ([]Result, error) {
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 	var out []Result
 	for _, id := range ids {
 		r, err := Run(id, cfg)
@@ -211,6 +229,8 @@ func dispatch(id string, cfg Config) (Result, error) {
 		return E16Batching(cfg)
 	case "E17":
 		return E17Failover(cfg)
+	case "E18":
+		return E18Replication(cfg)
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

@@ -170,6 +170,32 @@ func TestE17FailoverConverges(t *testing.T) {
 	}
 }
 
+// TestE18ReplicationZeroLoss pins the replication experiment's acceptance:
+// the kill of a fully-replicated primary must end in a promotion inside the
+// agreed placement, a reference-equal fix-point, and a closed
+// under-replication window — with the phase latencies in the BENCH record.
+func TestE18ReplicationZeroLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E18 spins a replicated TCP cluster; skipped in -short mode")
+	}
+	r, err := Run("E18", Config{RecordsPerNode: 6, Seed: 3, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mirror promoted", "under-replication window closed", "zero lost extensional tuples"} {
+		if !strings.Contains(r.Table, want) {
+			t.Errorf("E18 table missing %q:\n%s", want, r.Table)
+		}
+	}
+	if len(r.Runs) != 1 {
+		t.Fatalf("want 1 BENCH record, got %d", len(r.Runs))
+	}
+	rec := r.Runs[0]
+	if rec.PromotionMS <= 0 || rec.ConvergenceMS < rec.PromotionMS || rec.UnderReplicationWindowMS < rec.ConvergenceMS {
+		t.Fatalf("phase latencies out of order: %+v", rec)
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
 	if _, err := Run("E99", quick); err == nil {
 		t.Error("unknown experiment must error")
@@ -184,7 +210,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 17 {
+	if len(results) != 18 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/relalg"
+	"repro/internal/replica"
+	"repro/internal/rules"
+)
+
+// E18: k-way replication under a primary kill. The E17 chain runs again, but
+// every member mirrors its node's extensional relations on two rendezvous-
+// placed peers. After the baseline fix-point and a burst of new facts at the
+// source E, the experiment waits until both replicas' durable frontiers cover
+// E's write-ahead frontier, then kills E without a goodbye. The agreed member
+// view must escalate the continuous suspicion to a death, elect the live
+// replica with the highest durable frontier, re-home E's peer there, and
+// re-converge on the reference fix-point with zero lost extensional tuples.
+// The table (and the BENCH json record) reports the operator-visible phases:
+// replication catch-up, kill → promotion, kill → full convergence, and the
+// under-replication window — how long the cluster ran with fewer than k
+// durable copies of E's data.
+
+// e18Member is one in-process member with control plane and replica manager.
+type e18Member struct {
+	net *core.Network
+	tr  *cluster.Transport
+	cp  *cluster.ControlPlane
+	mgr *replica.Manager
+}
+
+func (m *e18Member) close() {
+	if m.cp != nil {
+		m.cp.Close()
+	}
+	if m.mgr != nil {
+		m.mgr.Close()
+	}
+	if m.net != nil {
+		_ = m.net.Close()
+	}
+}
+
+// crash kills the member without a goodbye: the listener dies first so the
+// network teardown cannot announce a clean leave.
+func (m *e18Member) crash() {
+	_ = m.tr.Abandon()
+	_ = m.net.Crash()
+	m.cp.Close()
+	m.mgr.Close()
+}
+
+// e18Boot starts one member with the full replication wiring of serve.go.
+func e18Boot(def *rules.Network, node string, book map[string]string, dataDir string, k int, deadAfter time.Duration) (*e18Member, error) {
+	seed := map[string]string{}
+	for kk, v := range book {
+		seed[kk] = v
+	}
+	tr, err := cluster.New(node, "127.0.0.1:0", seed, cluster.Options{
+		HeartbeatEvery: 25 * time.Millisecond,
+		SuspectAfter:   150 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n, err := core.Build(def, core.Options{
+		Delta:       true,
+		Hosted:      []string{node},
+		Transport:   tr,
+		DataDir:     dataDir,
+		ResendEvery: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.SetOnMemberUp(func(member string) {
+		if p := n.Peer(node); p != nil {
+			p.ResendUnackedTo(member)
+		}
+	})
+	var names []string
+	for _, d := range def.Nodes {
+		names = append(names, d.Name)
+	}
+	m := &e18Member{net: n, tr: tr}
+	mgrReady := make(chan struct{})
+	promote := func(dead string) {
+		<-mgrReady
+		if p := n.Peer(dead); p != nil {
+			m.mgr.BecomePrimary(dead, p.DB(), p.DurableState)
+			return
+		}
+		tr.AllowAlias(dead)
+		db, st, restore, err := m.mgr.Promote(dead)
+		if err != nil {
+			return
+		}
+		if err := n.Adopt(dead, db, st, restore); err != nil {
+			return
+		}
+		p := n.Peer(dead)
+		m.mgr.BecomePrimary(dead, p.DB(), p.DurableState)
+	}
+	cp, err := cluster.NewControlPlane(tr, n.Peer(node), names, cluster.ControlPlaneOptions{
+		PollEvery:      25 * time.Millisecond,
+		Settle:         2,
+		ReconcileEvery: 50 * time.Millisecond,
+		Consensus: consensus.Options{
+			Retry:     10 * time.Millisecond,
+			SyncEvery: 50 * time.Millisecond,
+			LogPath:   filepath.Join(dataDir, node+".control.log"),
+		},
+		Replication: cluster.ReplicationOptions{
+			K:         k,
+			DeadAfter: deadAfter,
+			Frontier: func(dead string) uint64 {
+				<-mgrReady
+				return m.mgr.Frontier(dead)
+			},
+			OnPromote: promote,
+			OnDeposed: func(string) {},
+		},
+	})
+	if err != nil {
+		_ = n.Close()
+		return nil, err
+	}
+	m.cp = cp
+	m.mgr = replica.New(cp, tr.Send, replica.Options{
+		Member:         node,
+		Nodes:          names,
+		K:              k,
+		DataDir:        dataDir,
+		FlushEvery:     10 * time.Millisecond,
+		ResendAfter:    250 * time.Millisecond,
+		ReconcileEvery: 50 * time.Millisecond,
+		SyncReqEvery:   250 * time.Millisecond,
+		StateEvery:     50 * time.Millisecond,
+	})
+	tr.SetReplica(m.mgr.Handle)
+	if p := n.Peer(node); p != nil {
+		m.mgr.BecomePrimary(node, p.DB(), p.DurableState)
+	}
+	close(mgrReady)
+	for _, dead := range cp.AdoptedNodes() {
+		promote(dead)
+	}
+	tr.Announce()
+	return m, nil
+}
+
+// E18Replication runs the primary-kill scenario and reports its phase costs.
+func E18Replication(cfg Config) (Result, error) {
+	const k = 2
+	const deadAfter = 400 * time.Millisecond
+	def, err := rules.ParseNetwork(e17Net)
+	if err != nil {
+		return Result{}, err
+	}
+	refDef, err := rules.ParseNetwork(e17Net)
+	if err != nil {
+		return Result{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+
+	ref, err := core.Build(refDef, core.Options{Delta: true})
+	if err != nil {
+		return Result{}, err
+	}
+	defer ref.Close()
+	if err := ref.RunToFixpoint(ctx); err != nil {
+		return Result{}, err
+	}
+
+	dataRoot, err := os.MkdirTemp("", "p2pdb-e18")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dataRoot)
+
+	names := []string{"A", "B", "C", "D", "E"}
+	book := map[string]string{}
+	members := map[string]*e18Member{}
+	defer func() {
+		for _, m := range members {
+			m.close()
+		}
+	}()
+	for _, node := range names {
+		m, err := e18Boot(def, node, book, filepath.Join(dataRoot, node), k, deadAfter)
+		if err != nil {
+			return Result{}, fmt.Errorf("E18: boot %s: %w", node, err)
+		}
+		members[node] = m
+		book[node] = m.tr.Addr()
+	}
+	coord, err := cluster.NewCoordinator(def, "127.0.0.1:0", book, cluster.CoordinatorOptions{
+		Membership: cluster.Options{HeartbeatEvery: 25 * time.Millisecond},
+		PollEvery:  25 * time.Millisecond,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer coord.Close()
+	if err := coord.WaitMembers(ctx, len(names)); err != nil {
+		return Result{}, fmt.Errorf("E18: join: %w", err)
+	}
+	t0 := time.Now()
+	if err := coord.Discover(ctx); err != nil {
+		return Result{}, fmt.Errorf("E18: discover: %w", err)
+	}
+	if err := coord.Update(ctx); err != nil {
+		return Result{}, fmt.Errorf("E18: baseline update: %w", err)
+	}
+	baseline := time.Since(t0)
+
+	// New facts at the source, mirrored into the reference.
+	extra := cfg.RecordsPerNode
+	if extra < 4 {
+		extra = 4
+	}
+	tInsert := time.Now()
+	for i := 0; i < extra; i++ {
+		tup := relalg.Tuple{relalg.S(fmt.Sprintf("k%d", i)), relalg.S("replicated")}
+		if _, err := members["E"].net.Peer("E").InsertLocal("e", tup); err != nil {
+			return Result{}, err
+		}
+		if _, err := ref.Peer("E").InsertLocal("e", tup); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := ref.Update(ctx); err != nil {
+		return Result{}, err
+	}
+
+	// Replication catch-up: both placement members' durable frontiers must
+	// cover E's write-ahead frontier — the zero-loss precondition.
+	placement, placementVer := members["A"].cp.PlacementFor("E")
+	if len(placement) != k {
+		return Result{}, fmt.Errorf("E18: placement for E = %v, want %d members", placement, k)
+	}
+	frontier := members["E"].mgr.Frontier("E")
+	if frontier == 0 {
+		return Result{}, fmt.Errorf("E18: E's primary frontier is zero")
+	}
+	if !e17Wait(30*time.Second, func() bool {
+		for _, p := range placement {
+			if members[p].mgr.Frontier("E") < frontier {
+				return false
+			}
+		}
+		return true
+	}) {
+		return Result{}, fmt.Errorf("E18: replicas never caught up to E's durable frontier")
+	}
+	catchup := time.Since(tInsert)
+
+	// Kill the primary without a goodbye.
+	tKill := time.Now()
+	members["E"].crash()
+	delete(members, "E")
+
+	// Promotion: the agreed death must re-home E onto one of its replicas.
+	var adopter string
+	if !e17Wait(30*time.Second, func() bool {
+		h := members["A"].cp.HostOf("E")
+		if h == "E" {
+			return false
+		}
+		m := members[h]
+		if m == nil || m.net.Peer("E") == nil {
+			return false
+		}
+		adopter = h
+		return true
+	}) {
+		return Result{}, fmt.Errorf("E18: no survivor ever adopted E after the kill")
+	}
+	promotion := time.Since(tKill)
+	inPlacement := false
+	for _, p := range placement {
+		if p == adopter {
+			inPlacement = true
+		}
+	}
+	if !inPlacement {
+		return Result{}, fmt.Errorf("E18: E re-homed to %s, outside its placement %v", adopter, placement)
+	}
+
+	// Zero lost tuples: the adopted E and every survivor land back on the
+	// reference fix-point.
+	survivors := []string{"A", "B", "C", "D"}
+	if !e17Wait(60*time.Second, func() bool {
+		if members[adopter].net.Peer("E").DB().Dump() != ref.Peer("E").DB().Dump() {
+			return false
+		}
+		for _, node := range survivors {
+			if members[node].net.Peer(node).DB().Dump() != ref.Peer(node).DB().Dump() {
+				return false
+			}
+		}
+		return true
+	}) {
+		return Result{}, fmt.Errorf("E18: cluster diverged from the reference fix-point after the promotion")
+	}
+	converge := time.Since(tKill)
+
+	// Under-replication window: the adopter must re-establish k durable
+	// copies of everything it now hosts (E re-placed over the survivors).
+	if !e17Wait(60*time.Second, func() bool {
+		return members[adopter].mgr.Metrics().UnderReplicated == 0
+	}) {
+		return Result{}, fmt.Errorf("E18: the under-replication window never closed")
+	}
+	window := time.Since(tKill)
+	am := members[adopter].mgr.Metrics()
+
+	cfg.collector.addRecord(RunRecord{
+		Mode:                     "delta",
+		Nodes:                    len(names),
+		Rules:                    len(def.Rules),
+		TuplesInserted:           uint64(extra),
+		UpdateMS:                 float64(baseline.Microseconds()) / 1000,
+		PromotionMS:              float64(promotion.Microseconds()) / 1000,
+		ConvergenceMS:            float64(converge.Microseconds()) / 1000,
+		UnderReplicationWindowMS: float64(window.Microseconds()) / 1000,
+	})
+
+	sort.Strings(placement)
+	tbl := table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "phase\tms")
+		fmt.Fprintf(w, "baseline discover+update\t%.1f\n", float64(baseline.Microseconds())/1000)
+		fmt.Fprintf(w, "insert -> replicas durably caught up\t%.1f\n", float64(catchup.Microseconds())/1000)
+		fmt.Fprintf(w, "kill -> mirror promoted (adopter %s)\t%.1f\n", adopter, float64(promotion.Microseconds())/1000)
+		fmt.Fprintf(w, "kill -> full data convergence\t%.1f\n", float64(converge.Microseconds())/1000)
+		fmt.Fprintf(w, "kill -> under-replication window closed\t%.1f\n", float64(window.Microseconds())/1000)
+		fmt.Fprintf(w, "\nreplicas per node (k)\t%d\n", k)
+		fmt.Fprintf(w, "placement of E\t%v (agreed view v%d)\n", placement, placementVer)
+		fmt.Fprintf(w, "adopter promotions\t%d\n", am.Promotions)
+		fmt.Fprintln(w, "\nnote:\tthe killed member was the source of the chain's facts; its mirror")
+		fmt.Fprintln(w, "\tre-homed the node with zero lost extensional tuples")
+	})
+	return Result{ID: "E18", Title: "k-way replication — primary kill, mirror promotion, zero-loss recovery", Table: tbl}, nil
+}

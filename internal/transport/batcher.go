@@ -78,15 +78,17 @@ type BatchStats struct {
 
 // batchBuf is the held traffic for one (from, to) pair.
 type batchBuf struct {
-	answers []wire.Answer
-	acks    []wire.AnswerAck
-	beat    *wire.Heartbeat
-	bytes   int
-	since   time.Time // when the oldest held message arrived
+	answers    []wire.Answer
+	acks       []wire.AnswerAck
+	beat       *wire.Heartbeat
+	repAppends []wire.ReplicaAppend
+	repAcks    []wire.ReplicaAck
+	bytes      int
+	since      time.Time // when the oldest held message arrived
 }
 
 func (b *batchBuf) held() int {
-	n := len(b.answers) + len(b.acks)
+	n := len(b.answers) + len(b.acks) + len(b.repAppends) + len(b.repAcks)
 	if b.beat != nil {
 		n++
 	}
@@ -184,6 +186,31 @@ func (b *Batcher) Send(from, to string, msg wire.Message) error {
 		buf.beat = &hb // latest wins: a heartbeat only asserts "still alive"
 		b.mu.Unlock()
 		return nil
+	case wire.ReplicaAppend:
+		// The replication stream batches like the answer stream it mirrors:
+		// a primary's flush round produces one append per relation per
+		// mirror, and they share a frame per destination.
+		buf := b.buf(key)
+		buf.repAppends = append(buf.repAppends, m)
+		buf.bytes += m.Size()
+		b.TrackWork(1)
+		var err error
+		if buf.bytes >= b.maxByte {
+			err = b.flushLocked(key)
+		}
+		b.mu.Unlock()
+		return err
+	case wire.ReplicaAck:
+		buf := b.buf(key)
+		buf.repAcks = append(buf.repAcks, m)
+		buf.bytes += m.Size()
+		b.TrackWork(1)
+		var err error
+		if buf.bytes >= b.maxByte {
+			err = b.flushLocked(key)
+		}
+		b.mu.Unlock()
+		return err
 	default:
 		err := b.flushLocked(key)
 		b.frames.Add(1)
@@ -228,8 +255,13 @@ func (b *Batcher) flushLocked(key [2]string) error {
 		msg = buf.acks[0]
 	case n == 1 && buf.beat != nil:
 		msg = *buf.beat
+	case n == 1 && len(buf.repAppends) == 1:
+		msg = buf.repAppends[0]
+	case n == 1 && len(buf.repAcks) == 1:
+		msg = buf.repAcks[0]
 	default:
-		ab := wire.AnswerBatch{Answers: buf.answers, Acks: buf.acks}
+		ab := wire.AnswerBatch{Answers: buf.answers, Acks: buf.acks,
+			RepAppends: buf.repAppends, RepAcks: buf.repAcks}
 		if buf.beat != nil {
 			ab.Beats = []wire.Heartbeat{*buf.beat}
 		}

@@ -153,6 +153,13 @@ func evictionExempt(msg wire.Message) bool {
 	switch msg.(type) {
 	case wire.AnswerAck, wire.Join, wire.JoinAck, wire.Heartbeat, wire.Goodbye:
 		return true
+	// The replication stream's control half: a dropped ReplicaAck forces a
+	// pointless rewind-and-reship, a dropped ReplicaSyncReq leaves a lagging
+	// mirror waiting a full retry cycle, and a dropped ReplicaState would let
+	// a promotion restore stale subscription marks. ReplicaAppend itself
+	// stays evictable — the ack frontier re-ships it like any data frame.
+	case wire.ReplicaAck, wire.ReplicaSyncReq, wire.ReplicaState:
+		return true
 	}
 	return wire.ControlKinds()[msg.Kind()]
 }

@@ -39,6 +39,25 @@ func FuzzDecodeEnvelope(f *testing.F) {
 			Text: "r: B:b(X,Y) -> A:a(X,Y)"}},
 		CatchUp{From: 5, Done: 4},
 		Snapshot{Through: 40, State: []byte("opaque fold"), Done: 40},
+		// Replication stream: the k-way replica vocabulary, alone and riding
+		// an AnswerBatch, plus a promotion bid as a replicated-log entry.
+		ReplicaAppend{Node: "A", Rel: "s", Base: 3, To: 5,
+			Tuples: []relalg.Tuple{{relalg.S("p"), relalg.S("q")}, {relalg.S("r")}}},
+		ReplicaAck{Node: "A", Rel: "s", To: 5, Durable: true},
+		ReplicaSyncReq{Node: "A", Frontier: map[string]uint64{"s": 3, "t": 0}},
+		ReplicaState{Node: "A", Epoch: 2, State: []byte("gob wal.State")},
+		ReplicaStatusRequest{},
+		ReplicaStatusReport{Member: "H1", K: 2, UnderReplicated: 1,
+			Entries: []ReplicaStatus{{Node: "A", Role: "primary", Peer: "H2", Applied: 4, Target: 5}}},
+		AnswerBatch{
+			RepAppends: []ReplicaAppend{{Node: "A", Rel: "s", Base: 0, To: 1,
+				Tuples: []relalg.Tuple{{relalg.S("v")}}}},
+			RepAcks: []ReplicaAck{{Node: "A", Rel: "s", To: 1, Durable: true}},
+		},
+		Learn{Instance: 12, Val: Command{Kind: "promoteBid", Origin: "H2", Seq: 3,
+			Node: "A", Ref: 41}, Done: 11},
+		Accept{Instance: 13, Ballot: 5, Val: Command{Kind: "member", Origin: "H3",
+			Seq: 4, Node: "H1", Status: 4}}, // StatusDead
 	}
 	for _, m := range seedMsgs {
 		if data, err := Encode(Envelope{From: "a", To: "b", Msg: m}); err == nil {
@@ -91,6 +110,43 @@ func FuzzAnswerAckRoundTrip(f *testing.F) {
 		}
 		if rel != "" && out.Seqs[rel] != seq {
 			t.Fatalf("frontier: got %v want %s=%d", out.Seqs, rel, seq)
+		}
+	})
+}
+
+// FuzzReplicaAppendRoundTrip round-trips replication stream frames: a
+// replica applies the carried range (Base, To] verbatim against its frontier,
+// so a lossy encoding would either open a silent gap (lost tuples surviving a
+// primary's death) or mis-align the replica's sequence space with the
+// primary's — the property promotion correctness rests on.
+func FuzzReplicaAppendRoundTrip(f *testing.F) {
+	f.Add("A", "s", uint64(0), uint64(2), "v", "w")
+	f.Add("", "", uint64(0), uint64(0), "", "")
+	f.Add("node-with-long-name", "rel\x00odd", uint64(1)<<63, uint64(1)<<62, "x", "x")
+	f.Fuzz(func(t *testing.T, node, rel string, base, to uint64, v1, v2 string) {
+		in := ReplicaAppend{Node: node, Rel: rel, Base: base, To: to,
+			Tuples: []relalg.Tuple{{relalg.S(v1)}, {relalg.S(v2), relalg.S(v1)}}}
+		data, err := Encode(Envelope{From: "p", To: "r", Msg: in})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		env, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out, ok := env.Msg.(ReplicaAppend)
+		if !ok {
+			t.Fatalf("decoded to %T", env.Msg)
+		}
+		if out.Node != node || out.Rel != rel || out.Base != base || out.To != to {
+			t.Fatalf("range identity: got %q/%q (%d,%d] want %q/%q (%d,%d]",
+				out.Node, out.Rel, out.Base, out.To, node, rel, base, to)
+		}
+		if len(out.Tuples) != 2 || len(out.Tuples[0]) != 1 || len(out.Tuples[1]) != 2 {
+			t.Fatalf("tuple shape: got %v", out.Tuples)
+		}
+		if out.Tuples[0][0] != relalg.S(v1) || out.Tuples[1][0] != relalg.S(v2) {
+			t.Fatalf("tuple values: got %v want [[%s] [%s %s]]", out.Tuples, v1, v2, v1)
 		}
 	})
 }

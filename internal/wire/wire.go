@@ -242,6 +242,12 @@ type AnswerBatch struct {
 	Answers []Answer
 	Acks    []AnswerAck
 	Beats   []Heartbeat
+	// Replication stream frames riding the same batching window: appends a
+	// primary owed this destination and acks a replica owed its primary.
+	// They are split off and dispatched before the protocol contents, in
+	// order, exactly as if each had paid its own frame.
+	RepAppends []ReplicaAppend
+	RepAcks    []ReplicaAck
 }
 
 // Kind implements Message.
@@ -258,6 +264,12 @@ func (m AnswerBatch) Size() int {
 	}
 	for _, b := range m.Beats {
 		n += b.Size()
+	}
+	for _, r := range m.RepAppends {
+		n += r.Size()
+	}
+	for _, r := range m.RepAcks {
+		n += r.Size()
 	}
 	return n
 }
@@ -448,7 +460,8 @@ func mapSize(m map[string]string) int {
 type Command struct {
 	// Kind discriminates the entry: "noop" (gap fill), "member" (agreed
 	// status change), "discover", "update", "updateDone", "addRule",
-	// "deleteRule", "setNetwork".
+	// "deleteRule", "setNetwork", "promoteBid" (a replica's claim to succeed
+	// a dead primary, carrying its durable replication frontier in Ref).
 	Kind string
 	// Origin is the proposing member; Seq its proposer-local sequence number.
 	// Origin#Seq identifies one submission across proposer retries.
@@ -598,6 +611,158 @@ func cmdSize(c Command) int {
 }
 
 // ---------------------------------------------------------------------------
+// Replication (internal/replica)
+//
+// Each node's extensional relations are replicated k-way across serve
+// members, with placement chosen deterministically from the consensus-agreed
+// member table (rendezvous hash over member IDs). The primary streams its
+// WAL-seq-stamped inserts to every placement replica and the replicas confirm
+// with the same durable-ack discipline the subscription handshake uses: an
+// append covers the per-relation sequence range (Base, To], a replica applies
+// it only as a contiguous extension of its frontier (a gap triggers
+// anti-entropy instead of a hole), and the primary's sent frontier rewinds to
+// the acked one on silence. Like membership and consensus frames, replica
+// frames are consumed below the peer runtime — the hosted peer never sees
+// them and they never touch the protocol counters quiescence polling reads.
+
+// ReplicaAppend streams one relation's inserts of a replicated peer from its
+// primary to a placement replica: Tuples are the primary's accepted inserts
+// with per-relation sequence numbers in (Base, To], in insertion order. A
+// replica applies the frame only when Base matches its applied frontier for
+// the relation (contiguity keeps the replica's own insert sequence aligned
+// with the primary's, which is what makes restored subscription marks valid
+// after a promotion); anything else is answered with a ReplicaSyncReq.
+type ReplicaAppend struct {
+	Node   string // the replicated peer whose relation this extends
+	Rel    string
+	Attrs  []string // the relation's schema attributes (lets a mirror declare it)
+	Base   uint64   // frontier the range starts from (exclusive)
+	To     uint64   // frontier the range reaches (inclusive)
+	Tuples []relalg.Tuple
+}
+
+// Kind implements Message.
+func (ReplicaAppend) Kind() string { return "replicaAppend" }
+
+// Size implements Message.
+func (m ReplicaAppend) Size() int {
+	n := 28 + len(m.Node) + len(m.Rel)
+	for _, a := range m.Attrs {
+		n += len(a) + 2
+	}
+	for _, t := range m.Tuples {
+		for _, v := range t {
+			n += v.EncodedSize()
+		}
+		n += 2
+	}
+	return n
+}
+
+// ReplicaAck confirms a replica applied (and, when Durable, persisted) one
+// relation of a replicated peer through sequence To. The primary extends the
+// destination's acked frontier monotonically — a replica only ever acks a
+// contiguous extension of what it holds, so max-merge is safe — and only the
+// durable frontier enters promotion bids.
+type ReplicaAck struct {
+	Node    string
+	Rel     string
+	To      uint64
+	Durable bool
+}
+
+// Kind implements Message.
+func (ReplicaAck) Kind() string { return "replicaAck" }
+
+// Size implements Message.
+func (m ReplicaAck) Size() int { return 21 + len(m.Node) + len(m.Rel) }
+
+// ReplicaSyncReq is the anti-entropy request: a replica (newly assigned,
+// restarted, or handed a gapped append) tells the primary its applied
+// frontier per relation, and the primary rewinds its sent frontier to it so
+// the stream re-ships everything above. Re-shipped overlap deduplicates at
+// the replica without disturbing sequence alignment.
+type ReplicaSyncReq struct {
+	Node     string
+	Frontier map[string]uint64
+}
+
+// Kind implements Message.
+func (ReplicaSyncReq) Kind() string { return "replicaSync" }
+
+// Size implements Message.
+func (m ReplicaSyncReq) Size() int {
+	n := 12 + len(m.Node)
+	for rel := range m.Frontier {
+		n += len(rel) + 9
+	}
+	return n
+}
+
+// ReplicaState ships the primary's protocol state (a gob-encoded wal.State:
+// epoch, source-side subscription marks, part results) to its replicas, so a
+// promoted replica restores the peer's standing subscriptions and re-joins
+// delta-only instead of re-answering the world. State is shipped through the
+// same stream as the data it describes, after the data of the flush round
+// that captured it — restored marks never run ahead of the mirrored
+// relations, and the peer clamps them to its recovered sequence numbers on
+// restore anyway.
+type ReplicaState struct {
+	Node  string
+	Epoch uint64
+	State []byte
+}
+
+// Kind implements Message.
+func (ReplicaState) Kind() string { return "replicaState" }
+
+// Size implements Message.
+func (m ReplicaState) Size() int { return 20 + len(m.Node) + len(m.State) }
+
+// ReplicaStatus is one row of a member's replication report: a replicated
+// peer, the role this member plays for it, the counterpart member, and the
+// summed per-relation frontier Applied has reached chasing Target.
+type ReplicaStatus struct {
+	Node    string // replicated peer the row is about
+	Role    string // "primary" or "replica"
+	Peer    string // counterpart member (destination replica, or the primary)
+	Applied uint64 // summed frontier applied (replica) or durably acked (primary view)
+	Target  uint64 // the primary's summed insert sequence the frontier chases
+}
+
+// ReplicaStatusRequest asks a member for its replication report (ctl status,
+// metrics collection).
+type ReplicaStatusRequest struct{}
+
+// Kind implements Message.
+func (ReplicaStatusRequest) Kind() string { return "replicaStatusRequest" }
+
+// Size implements Message.
+func (ReplicaStatusRequest) Size() int { return 8 }
+
+// ReplicaStatusReport carries a member's replication report: its placement
+// rows and the under-replication gauge (hosted peers whose live, caught-up
+// replica count is below K).
+type ReplicaStatusReport struct {
+	Member          string
+	K               int
+	UnderReplicated int
+	Entries         []ReplicaStatus
+}
+
+// Kind implements Message.
+func (ReplicaStatusReport) Kind() string { return "replicaStatusReport" }
+
+// Size implements Message.
+func (m ReplicaStatusReport) Size() int {
+	n := 20 + len(m.Member)
+	for _, e := range m.Entries {
+		n += len(e.Node) + len(e.Role) + len(e.Peer) + 18
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
 // Remote control plane (cluster coordinator verbs)
 //
 // A thin coordinator (cmd/p2pdb ctl) orchestrates live serve processes over
@@ -729,6 +894,7 @@ func ControlKinds() map[string]bool {
 		"discoverRequest": true, "updateRequest": true, "probeRequest": true,
 		"stateRequest": true, "stateReport": true,
 		"queryRequest": true, "queryResult": true,
+		"replicaStatusRequest": true, "replicaStatusReport": true,
 		KindPrepare: true, KindPromise: true, KindAccept: true,
 		KindAccepted: true, KindLearn: true, KindCatchUp: true,
 		KindSnapshot: true,
@@ -772,6 +938,12 @@ func init() {
 	gob.Register(StateReport{})
 	gob.Register(QueryRequest{})
 	gob.Register(QueryResult{})
+	gob.Register(ReplicaAppend{})
+	gob.Register(ReplicaAck{})
+	gob.Register(ReplicaSyncReq{})
+	gob.Register(ReplicaState{})
+	gob.Register(ReplicaStatusRequest{})
+	gob.Register(ReplicaStatusReport{})
 }
 
 // Encode serialises an envelope with gob.

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChurnScheduleInvariants pins the generator's contract: deterministic
+// for a seed, never more than MaxDown members down, crashed members restarted
+// within DownFor events, inserts only at up nodes, protected nodes never
+// crashed, and a final settle with everyone back up.
+func TestChurnScheduleInvariants(t *testing.T) {
+	spec := ChurnSpec{Events: 200, Seed: 42, CrashEvery: 5, MaxDown: 2, DownFor: 4, SettleEvery: 20, Protected: []string{NodeName(0)}}
+	evs := Churn(8, spec)
+	evs2 := Churn(8, spec)
+	if !reflect.DeepEqual(evs, evs2) {
+		t.Fatal("schedule not deterministic for a fixed seed")
+	}
+
+	down := map[string]bool{}
+	downSince := map[string]int{}
+	crashes, inserts := 0, 0
+	for i, ev := range evs {
+		switch ev.Op {
+		case ChurnCrash:
+			crashes++
+			if ev.Node == NodeName(0) {
+				t.Fatalf("event %d crashes the protected node", i)
+			}
+			if down[ev.Node] {
+				t.Fatalf("event %d crashes already-down %s", i, ev.Node)
+			}
+			down[ev.Node] = true
+			downSince[ev.Node] = i
+			if len(down) > spec.MaxDown {
+				t.Fatalf("event %d: %d members down, budget %d", i, len(down), spec.MaxDown)
+			}
+		case ChurnRestart:
+			if !down[ev.Node] {
+				t.Fatalf("event %d restarts up member %s", i, ev.Node)
+			}
+			delete(down, ev.Node)
+		case ChurnInsert:
+			inserts++
+			if down[ev.Node] {
+				t.Fatalf("event %d inserts at down node %s", i, ev.Node)
+			}
+			if len(ev.Facts) == 0 {
+				t.Fatalf("event %d: empty insert batch", i)
+			}
+		}
+	}
+	if len(down) != 0 {
+		t.Fatalf("schedule ends with %v still down", down)
+	}
+	if last := evs[len(evs)-1]; last.Op != ChurnSettle {
+		t.Fatalf("schedule ends with %v, want settle", last.Op)
+	}
+	if crashes == 0 || inserts == 0 {
+		t.Fatalf("vacuous schedule: %d crashes, %d inserts", crashes, inserts)
+	}
+
+	// Key uniqueness across the whole schedule (and against a plausible
+	// Generate seeding): every inserted fact is distinct.
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		for _, f := range ev.Facts {
+			k := f.Node + "/" + f.Rel + "/" + f.Tuple.String()
+			if seen[k] {
+				t.Fatalf("duplicate churn fact %s", k)
+			}
+			seen[k] = true
+		}
+	}
+}
