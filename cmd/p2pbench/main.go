@@ -5,7 +5,8 @@
 // wire protocol, frames per tuple with and without a batch window; E17:
 // replicated control plane, driver kill and agreed fail-over recovery;
 // E18: k-way replication, primary kill, mirror promotion and the
-// under-replication window).
+// under-replication window; E19: serving fan-out, concurrent
+// insert/watch/query load with shared delta extraction).
 //
 // Usage:
 //
@@ -16,10 +17,12 @@
 //	p2pbench -e E16          # batched vs unbatched wire protocol
 //	p2pbench -e E17          # control-plane driver kill and fail-over
 //	p2pbench -e E18          # replication primary kill and mirror promotion
+//	p2pbench -e E19          # serve-load: watch fan-out under mixed traffic
 //	p2pbench -records 1000   # paper-scale data (~1000 records per node)
 //	p2pbench -seed 7
 //	p2pbench -json BENCH_$(date +%Y%m%d).json   # machine-readable results
 //	p2pbench -e E5 -mpt-ceiling E5=60           # CI regression gate
+//	p2pbench -e E19 -p99-ceiling E19=250        # delivery-latency gate
 //
 // With -json, every protocol run's metrics (tuples/s, messages, bytes, wall
 // time) are written as one JSON document, so successive invocations
@@ -56,16 +59,22 @@ type benchExperiment struct {
 
 func main() {
 	var (
-		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E18) or 'all'")
+		ids      = flag.String("e", "all", "comma-separated experiment ids (E1..E19) or 'all'")
 		records  = flag.Int("records", 50, "records per node (paper used ~1000)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-experiment timeout")
 		jsonPath = flag.String("json", "", "write machine-readable per-run results to this path")
 		ceilings = flag.String("mpt-ceiling", "", "fail when an experiment's worst messages-per-tuple exceeds its limit; comma-separated ID=limit (e.g. E5=60)")
+		p99s     = flag.String("p99-ceiling", "", "fail when an experiment's worst p99 delivery latency (ms) exceeds its limit; comma-separated ID=limit (e.g. E19=250)")
 	)
 	flag.Parse()
 
 	limits, lerr := parseCeilings(*ceilings)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", lerr)
+		os.Exit(2)
+	}
+	p99Limits, lerr := parseCeilings(*p99s)
 	if lerr != nil {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", lerr)
 		os.Exit(2)
@@ -108,6 +117,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := checkCeilings(limits, results); err != nil {
+		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := checkP99Ceilings(p99Limits, results); err != nil {
 		fmt.Fprintf(os.Stderr, "p2pbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -154,6 +167,30 @@ func checkCeilings(limits map[string]float64, results []experiments.Result) erro
 			return fmt.Errorf("%s: messages-per-tuple regressed: worst run %.2f exceeds ceiling %.2f", r.ID, worst, lim)
 		}
 		fmt.Printf("%s messages-per-tuple ceiling ok: worst run %.2f <= %.2f\n", r.ID, worst, lim)
+	}
+	return nil
+}
+
+// checkP99Ceilings enforces the delivery-latency regression gate: the worst
+// p99 insert → watcher latency of each gated experiment must stay under its
+// checked-in ceiling, so a serving-path regression (a stalled pump, an
+// accidental per-watcher extraction) fails CI loudly.
+func checkP99Ceilings(limits map[string]float64, results []experiments.Result) error {
+	for _, r := range results {
+		lim, gated := limits[strings.ToUpper(r.ID)]
+		if !gated {
+			continue
+		}
+		worst := 0.0
+		for _, run := range r.Runs {
+			if run.DeliveryP99MS > worst {
+				worst = run.DeliveryP99MS
+			}
+		}
+		if worst > lim {
+			return fmt.Errorf("%s: p99 delivery latency regressed: worst run %.2fms exceeds ceiling %.2fms", r.ID, worst, lim)
+		}
+		fmt.Printf("%s p99 delivery-latency ceiling ok: worst run %.2fms <= %.2fms\n", r.ID, worst, lim)
 	}
 	return nil
 }

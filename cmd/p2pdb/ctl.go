@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -22,6 +24,7 @@ func cmdCtl(args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: p2pdb ctl <net-file> <verb> [args...]\n" +
 			"verbs: status | discover | update | quiesce | query <node> <conj> |\n" +
+			"       watch <node> <conj> [resume-token] |\n" +
 			"       stats | reset | broadcast <file> | addlink <rule> | dellink <node> <rule-id>")
 	}
 	def, err := loadNet(args[0])
@@ -37,12 +40,20 @@ func cmdCtl(args []string) error {
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
-	coord, err := cluster.NewCoordinator(def, listen, joins, cluster.CoordinatorOptions{
+	copts := cluster.CoordinatorOptions{
 		Membership: clusterOpts(),
 		// Without the replicated control plane a rule notice is consumed only
 		// by its head node, so the coordinator must not redirect it.
 		LegacyRouting: !*useConsensus,
-	})
+	}
+	if verb == "watch" {
+		// A watch session is long-lived: it must not share the default
+		// coordinator name, or the next one-shot ctl verb would overwrite its
+		// address in the members' books and the delta stream would route to a
+		// dead port.
+		copts.Name = fmt.Sprintf("@ctl-watch-%d", os.Getpid())
+	}
+	coord, err := cluster.NewCoordinator(def, listen, joins, copts)
 	if err != nil {
 		return err
 	}
@@ -95,6 +106,15 @@ func cmdCtl(args []string) error {
 			fmt.Println(r)
 		}
 		return nil
+	case "watch":
+		if len(rest) != 2 && len(rest) != 3 {
+			return fmt.Errorf("usage: p2pdb ctl <net-file> watch <node> <conj> [resume-token]")
+		}
+		token := ""
+		if len(rest) == 3 {
+			token = rest[2]
+		}
+		return ctlWatch(coord, rest[0], rest[1], token)
 	case "stats":
 		snaps, err := coord.CollectStats(ctx)
 		if err != nil {
@@ -133,6 +153,49 @@ func cmdCtl(args []string) error {
 	}
 }
 
+// ctlWatch streams a continuous query from a hosted member until interrupted
+// or the server ends the stream, then prints the resume token covering every
+// printed batch — handed back as the third argument, a new watch re-receives
+// exactly what was not printed.
+func ctlWatch(coord *cluster.Coordinator, node, body, token string) error {
+	conj, err := cq.ParseConjunction(body)
+	if err != nil {
+		return err
+	}
+	w, err := coord.Watch(node, body, conj.Vars(), cluster.WatchOptions{ResumeToken: token})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("-- watching %s @ %s over %v (interrupt to stop)\n", body, node, conj.Vars())
+	for {
+		d, err := w.Next(ctx)
+		if err != nil {
+			fmt.Printf("-- resume token: %s\n", w.Token())
+			return nil
+		}
+		if d.Closed {
+			if d.Err != "" {
+				fmt.Printf("-- stream closed by server: %s\n", d.Err)
+			} else {
+				fmt.Println("-- stream closed by server")
+			}
+			fmt.Printf("-- resume token: %s\n", w.Token())
+			return nil
+		}
+		label := "delta"
+		if d.Prime {
+			label = "prime"
+		}
+		fmt.Printf("-- %s #%d: %d rows\n", label, d.Seq, len(d.Tuples))
+		for _, t := range d.Tuples {
+			fmt.Println(t)
+		}
+	}
+}
+
 // ctlStatus prints the member table, the alive peers' polled protocol states
 // and — where members run with -replicas — their replication status: role,
 // placement streams, durable frontiers and the under_replicated gauge.
@@ -153,6 +216,12 @@ func ctlStatus(ctx context.Context, coord *cluster.Coordinator) error {
 			line += fmt.Sprintf("   epoch=%d state=%s paths_ready=%v tuples=%d", st.Epoch, state, st.PathsReady, st.Tuples)
 		}
 		fmt.Println(line)
+		if st, ok := states[m.Name]; ok && (st.Watchers > 0 || st.WatchExtracted > 0 ||
+			st.WatchDropped > 0 || st.WatchCanceled > 0) {
+			fmt.Printf("  serving: watchers=%d queued=%d extractions=%d saved=%d dropped=%d canceled=%d\n",
+				st.Watchers, st.WatchQueued, st.WatchExtracted, st.WatchSaved,
+				st.WatchDropped, st.WatchCanceled)
+		}
 	}
 	// The replica round is allowed to come back partial (members without
 	// -replicas never answer); print whatever arrived.

@@ -133,6 +133,16 @@ func cmdServe(args []string) error {
 			p.ResendUnackedTo(member)
 		}
 	})
+	// A member that died or left will never consume another watch delta: drop
+	// its wire watches now, so their queues stop accumulating. A client that
+	// merely blinked reconnects with its resume token and loses nothing.
+	tr.SetOnStatusChange(func(member string, st cluster.Status) {
+		if st == cluster.StatusDead || st == cluster.StatusLeft {
+			if p := n.Peer(node); p != nil {
+				p.CancelRemoteWatches(member)
+			}
+		}
+	})
 
 	// The replicated control plane: a consensus log over the net-file's
 	// fixed node set. Control verbs arriving at ANY member become agreed log

@@ -389,6 +389,24 @@ func (c *Transport) dispatch(env wire.Envelope) {
 				}
 			}
 		}
+		if len(m.WatchDeltas) > 0 {
+			// Watch-stream deltas riding the batch fan back out one by one
+			// through the normal chain (a coordinator handler consumes them
+			// by id), ahead of the protocol remainder like the other planes.
+			c.mu.Lock()
+			ic := c.intercept
+			h := c.handler
+			c.mu.Unlock()
+			for _, wd := range m.WatchDeltas {
+				one := wire.Envelope{From: env.From, To: env.To, Msg: wd}
+				if ic != nil && ic(one) {
+					continue
+				}
+				if h != nil {
+					h(one)
+				}
+			}
+		}
 		if len(m.Answers) == 0 && len(m.Acks) == 0 {
 			return
 		}
@@ -746,6 +764,21 @@ func (c *Transport) dispatchAlias(alias string, env wire.Envelope) {
 	case wire.AnswerBatch:
 		for _, hb := range m.Beats {
 			c.observe(hb.Node, hb.Addr)
+		}
+		if len(m.WatchDeltas) > 0 {
+			c.mu.Lock()
+			ic := c.intercept
+			h := c.aliases[alias]
+			c.mu.Unlock()
+			for _, wd := range m.WatchDeltas {
+				one := wire.Envelope{From: env.From, To: env.To, Msg: wd}
+				if ic != nil && ic(one) {
+					continue
+				}
+				if h != nil {
+					h(one)
+				}
+			}
 		}
 		if len(m.Answers) == 0 && len(m.Acks) == 0 {
 			return

@@ -29,6 +29,12 @@ type CoordinatorOptions struct {
 	Settle, SettleDeficit int
 	// Probes bounds the closure probes of Update (default 8).
 	Probes int
+	// Name is this coordinator's member name (default CoordinatorName). A
+	// long-lived session sharing a cluster with other coordinator processes
+	// — a `ctl watch` stream running beside one-shot ctl verbs — must pick a
+	// unique "@"-prefixed name, or the one-shot joins overwrite its address
+	// in every member's book and streamed frames route to a dead port.
+	Name string
 	// LegacyRouting marks a cluster whose serve members run WITHOUT the
 	// replicated control plane (-consensus=false). There a rule notice is
 	// consumed only by the head node itself, so AddLink/DeleteLink refuse to
@@ -52,6 +58,9 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	}
 	if o.Probes <= 0 {
 		o.Probes = 8
+	}
+	if o.Name == "" {
+		o.Name = CoordinatorName
 	}
 	return o
 }
@@ -79,6 +88,8 @@ type Coordinator struct {
 	replicas map[string]report[wire.ReplicaStatusReport]
 	queries  map[uint64]chan wire.QueryResult
 	qseq     uint64
+	watches  map[uint64]*RemoteWatch
+	wseq     uint64
 }
 
 // NewCoordinator joins the cluster as the control plane. The address book is
@@ -93,7 +104,7 @@ func NewCoordinator(def *rules.Network, listenAddr string, extra map[string]stri
 	for node, addr := range extra {
 		book[node] = addr
 	}
-	tr, err := New(CoordinatorName, listenAddr, book, opts.Membership)
+	tr, err := New(opts.Name, listenAddr, book, opts.Membership)
 	if err != nil {
 		return nil, err
 	}
@@ -105,8 +116,9 @@ func NewCoordinator(def *rules.Network, listenAddr string, extra map[string]stri
 		states:   map[string]report[wire.StateReport]{},
 		replicas: map[string]report[wire.ReplicaStatusReport]{},
 		queries:  map[uint64]chan wire.QueryResult{},
+		watches:  map[uint64]*RemoteWatch{},
 	}
-	if err := tr.Register(CoordinatorName, c.handle); err != nil {
+	if err := tr.Register(opts.Name, c.handle); err != nil {
 		_ = tr.Close()
 		return nil, err
 	}
@@ -143,6 +155,8 @@ func (c *Coordinator) handle(env wire.Envelope) {
 		if ch != nil {
 			ch <- m
 		}
+	case wire.WatchDelta:
+		c.handleWatchDelta(m)
 	}
 }
 
@@ -232,7 +246,7 @@ func round[T any](ctx context.Context, c *Coordinator, req wire.Message, table f
 	peers := c.alivePeers()
 	start := time.Now()
 	for _, p := range peers {
-		_ = c.tr.Send(CoordinatorName, p, req)
+		_ = c.tr.Send(c.opts.Name, p, req)
 	}
 	deadline := start.Add(c.opts.RoundTimeout)
 	for {
@@ -272,7 +286,7 @@ func (c *Coordinator) CollectStats(ctx context.Context) (map[string]stats.Snapsh
 // ResetStats zeroes every alive peer's counters.
 func (c *Coordinator) ResetStats() {
 	for _, p := range c.alivePeers() {
-		_ = c.tr.Send(CoordinatorName, p, wire.StatsReset{})
+		_ = c.tr.Send(c.opts.Name, p, wire.StatsReset{})
 	}
 }
 
@@ -359,7 +373,7 @@ func (c *Coordinator) Discover(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	if err := c.tr.Send(CoordinatorName, target, wire.DiscoverRequest{}); err != nil {
+	if err := c.tr.Send(c.opts.Name, target, wire.DiscoverRequest{}); err != nil {
 		return fmt.Errorf("cluster: discover kick-off: %w", err)
 	}
 	return c.Quiesce(ctx)
@@ -419,7 +433,7 @@ func (c *Coordinator) Update(ctx context.Context) error {
 		}
 		target := alive[attempt%len(alive)]
 		tried = append(tried, target)
-		if err := c.tr.Send(CoordinatorName, target, wire.UpdateRequest{}); err != nil {
+		if err := c.tr.Send(c.opts.Name, target, wire.UpdateRequest{}); err != nil {
 			return fmt.Errorf("cluster: update kick-off: %w", err)
 		}
 		kickDeadline := time.Now().Add(c.opts.RoundTimeout)
@@ -475,7 +489,7 @@ func (c *Coordinator) Update(ctx context.Context) error {
 			return fmt.Errorf("cluster: %d node(s) still open after %d closure probes: %v", len(open), c.opts.Probes, open)
 		}
 		for _, node := range open {
-			_ = c.tr.Send(CoordinatorName, node, wire.ProbeRequest{})
+			_ = c.tr.Send(c.opts.Name, node, wire.ProbeRequest{})
 		}
 	}
 }
@@ -490,7 +504,7 @@ func (c *Coordinator) Query(ctx context.Context, node, body string, outVars []st
 	ch := make(chan wire.QueryResult, 1)
 	c.queries[id] = ch
 	c.mu.Unlock()
-	if err := c.tr.Send(CoordinatorName, node, wire.QueryRequest{ID: id, Body: body, Cols: outVars}); err != nil {
+	if err := c.tr.Send(c.opts.Name, node, wire.QueryRequest{ID: id, Body: body, Cols: outVars}); err != nil {
 		c.mu.Lock()
 		delete(c.queries, id)
 		c.mu.Unlock()
@@ -523,7 +537,7 @@ func (c *Coordinator) Broadcast(text string) error {
 		return err
 	}
 	for _, p := range c.alivePeers() {
-		if err := c.tr.Send(CoordinatorName, p, wire.SetNetwork{Text: text}); err != nil {
+		if err := c.tr.Send(c.opts.Name, p, wire.SetNetwork{Text: text}); err != nil {
 			return err
 		}
 	}
@@ -543,7 +557,7 @@ func (c *Coordinator) AddLink(ruleText string) error {
 	if err != nil {
 		return err
 	}
-	return c.tr.Send(CoordinatorName, target, wire.AddRuleNotice{RuleText: ruleText})
+	return c.tr.Send(c.opts.Name, target, wire.AddRuleNotice{RuleText: ruleText})
 }
 
 // DeleteLink applies deleteLink(i,j,id) remotely: the head node is notified
@@ -555,5 +569,5 @@ func (c *Coordinator) DeleteLink(headNode, ruleID string) error {
 	if err != nil {
 		return err
 	}
-	return c.tr.Send(CoordinatorName, target, wire.DeleteRuleNotice{RuleID: ruleID})
+	return c.tr.Send(c.opts.Name, target, wire.DeleteRuleNotice{RuleID: ruleID})
 }

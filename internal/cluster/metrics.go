@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/replica"
+	"repro/internal/serving"
 	"repro/internal/stats"
 )
 
@@ -54,6 +55,10 @@ type NodeMetrics struct {
 	// agreed placement of its own node — the numbers an operator watches
 	// during a primary-kill to see the under-replication window close.
 	Replication *ReplicationMetrics `json:"replication,omitempty"`
+	// Serving is the fan-out hub's snapshot (nil while no watcher has ever
+	// registered): active watchers, per-policy queue depth and lag, and the
+	// extractions saved against the one-extraction-per-watcher model.
+	Serving *serving.Metrics `json:"serving,omitempty"`
 }
 
 // ReplicationMetrics joins the replica manager's counters with the agreed
@@ -107,6 +112,10 @@ func CollectNodeMetrics(n *core.Network, tr *Transport, cp *ControlPlane, node s
 		m.Watchers = p.WatcherCount()
 		m.Stats = p.Counters().Snapshot()
 		m.SendErrors = m.Stats.SendErrors
+		if sm := p.Serving().Metrics(); sm.Watchers > 0 || sm.Extractions > 0 ||
+			sm.Evaluations > 0 || sm.CanceledWatchers > 0 {
+			m.Serving = &sm
+		}
 	}
 	m.OutboxDrops, m.OutboxErrs = tr.TCP().OutboxStats()
 	if bs, ok := tr.BatchStats(); ok {

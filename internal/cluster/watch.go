@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/serving"
+	"repro/internal/wire"
+)
+
+// Remote watches: the coordinator's client half of the serving wire protocol.
+// Watch registers a continuous query at a hosted member; the member streams
+// WatchDelta frames back (riding the answer Batcher) and the RemoteWatch hands
+// them out one at a time through Next. Consuming a delta confirms it: the
+// watch folds the delta's frontier into its resume token, so after a crash or
+// disconnect a new Watch carrying Token() re-receives exactly the suffix Next
+// never returned.
+
+// WatchOptions tunes a coordinator watch registration.
+type WatchOptions struct {
+	// Policy is the server-side slow-consumer policy ("", "block",
+	// "drop-oldest", "cancel").
+	Policy string
+	// QueueCap bounds the server-side delivery queue (0 = server default).
+	QueueCap int
+	// ResumeToken, when non-empty, resumes from a previous watch's Token():
+	// the prime becomes the unconfirmed suffix past the token's frontier.
+	ResumeToken string
+}
+
+// RemoteWatch is one live watch against a hosted member.
+type RemoteWatch struct {
+	c    *Coordinator
+	node string
+	id   uint64
+	ch   chan wire.WatchDelta
+
+	mu    sync.Mutex
+	marks map[string]uint64
+	seq   uint64
+	done  bool
+}
+
+// Watch registers a continuous query at node. The first delta is the prime:
+// the query's current result, or — with a ResumeToken — the unconfirmed
+// suffix past the token's frontier.
+func (c *Coordinator) Watch(node, body string, cols []string, o WatchOptions) (*RemoteWatch, error) {
+	req := wire.WatchRequest{Body: body, Cols: cols, Policy: o.Policy, QueueCap: o.QueueCap}
+	var marks map[string]uint64
+	var seq uint64
+	if o.ResumeToken != "" {
+		var err error
+		marks, seq, err = serving.ParseToken(o.ResumeToken)
+		if err != nil {
+			return nil, err
+		}
+		req.Resume = true
+		req.Marks = marks
+	}
+	w := &RemoteWatch{c: c, node: node, ch: make(chan wire.WatchDelta, 1024), marks: marks, seq: seq}
+	if w.marks == nil {
+		w.marks = map[string]uint64{}
+	}
+	c.mu.Lock()
+	c.wseq++
+	w.id = c.wseq
+	c.watches[w.id] = w
+	c.mu.Unlock()
+	req.ID = w.id
+	if err := c.tr.Send(c.opts.Name, node, req); err != nil {
+		c.mu.Lock()
+		delete(c.watches, w.id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: watch %s: %w", node, err)
+	}
+	return w, nil
+}
+
+// handleWatchDelta routes one delta frame to its watch. It runs on transport
+// goroutines and never blocks: a watch whose client stopped consuming drops
+// frames here and repairs itself later by reconnecting with its token.
+func (c *Coordinator) handleWatchDelta(m wire.WatchDelta) {
+	c.mu.Lock()
+	w := c.watches[m.ID]
+	if w != nil {
+		select {
+		case w.ch <- m:
+		default:
+		}
+		if m.Closed {
+			delete(c.watches, m.ID)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Node returns the member the watch is registered at.
+func (w *RemoteWatch) Node() string { return w.node }
+
+// Next returns the next delta. Consuming a delta confirms it: the watch's
+// resume token advances to the delta's frontier. The terminal delta carries
+// Closed (with Err set when the server cancelled the stream); after it, or
+// when ctx expires, Next returns an error.
+func (w *RemoteWatch) Next(ctx context.Context) (wire.WatchDelta, error) {
+	w.mu.Lock()
+	done := w.done
+	w.mu.Unlock()
+	if done {
+		return wire.WatchDelta{}, fmt.Errorf("cluster: watch %d at %s is closed", w.id, w.node)
+	}
+	select {
+	case d := <-w.ch:
+		w.mu.Lock()
+		if d.Closed {
+			w.done = true
+		} else {
+			for rel, seqno := range d.Marks {
+				w.marks[rel] = seqno
+			}
+			w.seq = d.Seq
+		}
+		w.mu.Unlock()
+		return d, nil
+	case <-ctx.Done():
+		return wire.WatchDelta{}, ctx.Err()
+	}
+}
+
+// Token renders the resume token covering every delta Next has returned.
+func (w *RemoteWatch) Token() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return serving.FormatToken(w.marks, w.seq)
+}
+
+// Close cancels the watch at the member (best effort) and stops delivery.
+// Deltas not yet returned by Next stay unconfirmed: a later Watch with the
+// token re-receives them.
+func (w *RemoteWatch) Close() {
+	w.c.mu.Lock()
+	delete(w.c.watches, w.id)
+	w.c.mu.Unlock()
+	w.mu.Lock()
+	w.done = true
+	w.mu.Unlock()
+	_ = w.c.tr.Send(w.c.opts.Name, w.node, wire.WatchCancel{ID: w.id})
+}

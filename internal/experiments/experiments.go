@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction of every table and figure
-// of the paper's evaluation (see DESIGN.md's experiment index, E1–E18). Each
+// of the paper's evaluation (see DESIGN.md's experiment index, E1–E19). Each
 // experiment builds its workload, runs the distributed algorithm, and
 // renders the same rows/series the paper reports. The cmd/p2pbench tool and
 // the repository-level benchmarks both drive this package.
@@ -70,6 +70,20 @@ type RunRecord struct {
 	PromotionMS              float64 `json:"promotion_ms,omitempty"`
 	ConvergenceMS            float64 `json:"convergence_ms,omitempty"`
 	UnderReplicationWindowMS float64 `json:"under_replication_window_ms,omitempty"`
+	// Serving fan-out metrics (E19 only, omitted elsewhere): concurrent
+	// watchers, tuples the watch streams delivered, delivered-per-inserted
+	// amplification, the shared delta extractions actually paid vs the
+	// extractions the one-pump-per-watcher model would have paid, and the
+	// insert → watcher delivery latency distribution. The p99 is the metric
+	// the CI -p99-ceiling gate watches.
+	Watchers         int     `json:"watchers,omitempty"`
+	DeliveredTuples  uint64  `json:"delivered_tuples,omitempty"`
+	FanOut           float64 `json:"fan_out,omitempty"`
+	DeltaExtractions uint64  `json:"delta_extractions,omitempty"`
+	SavedExtractions uint64  `json:"saved_extractions,omitempty"`
+	DeliveryP50MS    float64 `json:"delivery_p50_ms,omitempty"`
+	DeliveryP95MS    float64 `json:"delivery_p95_ms,omitempty"`
+	DeliveryP99MS    float64 `json:"delivery_p99_ms,omitempty"`
 }
 
 // runCollector accumulates the RunRecords of one Run invocation; execute
@@ -171,7 +185,7 @@ func (c Config) withDefaults() Config {
 
 // All runs every experiment in order.
 func All(cfg Config) ([]Result, error) {
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 	var out []Result
 	for _, id := range ids {
 		r, err := Run(id, cfg)
@@ -231,6 +245,8 @@ func dispatch(id string, cfg Config) (Result, error) {
 		return E17Failover(cfg)
 	case "E18":
 		return E18Replication(cfg)
+	case "E19":
+		return E19ServeLoad(cfg)
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

@@ -196,6 +196,38 @@ func TestE18ReplicationZeroLoss(t *testing.T) {
 	}
 }
 
+// TestE19ServeLoadRecord pins the serve-load experiment's acceptance: every
+// watcher delivered in full (fan-out = watchers-weighted amplification of the
+// insert volume), extraction sharing actually saved work, and the BENCH
+// record carries an ordered latency distribution for the CI p99 gate.
+func TestE19ServeLoadRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E19 spins a TCP cluster under concurrent load; skipped in -short mode")
+	}
+	r, err := Run("E19", Config{RecordsPerNode: 20, Seed: 3, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 1 {
+		t.Fatalf("want 1 BENCH record, got %d", len(r.Runs))
+	}
+	rec := r.Runs[0]
+	if rec.Watchers != 20 || rec.TuplesInserted != 60 {
+		t.Fatalf("workload shape drifted: %+v", rec)
+	}
+	// 16 head watchers x 3N + 2 x 2N + 2 x N = 54N delivered for 3N inserted.
+	if rec.DeliveredTuples != 18*rec.TuplesInserted || rec.FanOut != 18 {
+		t.Fatalf("fan-out accounting wrong: delivered %d of %d (%.1fx)",
+			rec.DeliveredTuples, rec.TuplesInserted, rec.FanOut)
+	}
+	if rec.SavedExtractions == 0 || rec.DeltaExtractions == 0 {
+		t.Fatalf("extraction sharing unmeasured: %+v", rec)
+	}
+	if rec.DeliveryP50MS <= 0 || rec.DeliveryP95MS < rec.DeliveryP50MS || rec.DeliveryP99MS < rec.DeliveryP95MS {
+		t.Fatalf("latency percentiles out of order: %+v", rec)
+	}
+}
+
 func TestRunUnknownID(t *testing.T) {
 	if _, err := Run("E99", quick); err == nil {
 		t.Error("unknown experiment must error")
@@ -210,7 +242,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 18 {
+	if len(results) != 19 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

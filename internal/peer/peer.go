@@ -22,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/relalg"
 	"repro/internal/rules"
+	"repro/internal/serving"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -275,13 +276,16 @@ type Peer struct {
 	seenChanges  map[string]bool
 	statsReports map[string]stats.Snapshot // super-peer: collected reports
 
-	// Continuous-query watchers (watch.go). Guarded by wmu, not mu: the
-	// database's insert listener wakes watchers while mu may be held.
-	wmu            sync.Mutex
-	watchers       map[uint64]*Watcher
-	watchSeq       uint64
-	watchersClosed bool  // CloseWatchers ran: no further registrations
-	nwatchers      int32 // atomic fast path for the insert listener
+	// Continuous-query fan-out (watch.go, internal/serving): one shared
+	// extraction per change serves every watcher. The hub keeps its own
+	// registration lock — the database's insert listener wakes it while mu
+	// may be held.
+	hub *serving.Hub
+
+	// Remote watches served over the wire (remote_watch.go). Guarded by rwmu,
+	// not mu: registration runs off the actor goroutine.
+	rwmu          sync.Mutex
+	remoteWatches map[remoteWatchKey]*remoteWatch
 
 	// Ack-resend loop (Options.ResendEvery): stopped by CloseWatchers.
 	resendQuit chan struct{}
@@ -330,6 +334,8 @@ func New(id string, schemas []relalg.Schema, ruleSet []rules.Rule, tr transport.
 		seenChanges:  map[string]bool{},
 		statsReports: map[string]stats.Snapshot{},
 	}
+	p.hub = serving.NewHub(db, &p.mu, serving.Options{DedupCap: opts.WatchDedupCap})
+	p.remoteWatches = map[remoteWatchKey]*remoteWatch{}
 	for _, r := range ruleSet {
 		if r.HeadNode != id {
 			return nil, fmt.Errorf("peer %s: rule %s targets %s", id, r.ID, r.HeadNode)
@@ -967,17 +973,39 @@ func (p *Peer) dispatchLocked(env wire.Envelope) {
 			p.sendQueriesLocked(nil, false, nil)
 		}
 	case wire.StateRequest:
+		sm := p.hub.Metrics()
 		p.send(env.From, wire.StateReport{
-			Node:       p.id,
-			Epoch:      p.epoch,
-			Activated:  p.activated,
-			Closed:     p.stateU == Closed,
-			PathsReady: p.pathsReady,
-			Tuples:     p.db.TotalTuples(),
+			Node:           p.id,
+			Epoch:          p.epoch,
+			Activated:      p.activated,
+			Closed:         p.stateU == Closed,
+			PathsReady:     p.pathsReady,
+			Tuples:         p.db.TotalTuples(),
+			Watchers:       sm.Watchers,
+			WatchQueued:    servingDepth(sm),
+			WatchSaved:     sm.SavedExtractions,
+			WatchDropped:   sm.DroppedBatches,
+			WatchCanceled:  sm.CanceledWatchers,
+			WatchExtracted: sm.Extractions,
 		})
 	case wire.QueryRequest:
 		p.handleQueryRequest(env.From, m)
+	case wire.WatchRequest:
+		// Registration reaches the hub's pass lock and, through it, this
+		// peer's mutex — which Handle holds here. Serve it off the actor.
+		go p.serveRemoteWatch(env.From, m)
+	case wire.WatchCancel:
+		go p.cancelRemoteWatch(env.From, m.ID)
 	}
+}
+
+// servingDepth sums the queue depth across every watcher class.
+func servingDepth(m serving.Metrics) int {
+	depth := 0
+	for _, g := range m.Queues {
+		depth += g.Depth
+	}
+	return depth
 }
 
 // handleQueryRequest evaluates a remote local query (the coordinator's form
@@ -1002,11 +1030,7 @@ func (p *Peer) handleQueryRequest(from string, m wire.QueryRequest) {
 
 // WatcherCount reports the number of live continuous-query watchers (exposed
 // by the serve metrics endpoint).
-func (p *Peer) WatcherCount() int {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	return len(p.watchers)
-}
+func (p *Peer) WatcherCount() int { return p.hub.WatcherCount() }
 
 func subKey(dependent, ruleID string) string { return dependent + "\x00" + ruleID }
 

@@ -2,13 +2,10 @@ package peer
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/cq"
 	"repro/internal/relalg"
-	"repro/internal/storage"
+	"repro/internal/serving"
 )
 
 // Continuous queries (watchers) and online local writes: the live half of the
@@ -20,63 +17,33 @@ import (
 // conjunctive query whose result deltas stream over a channel as imported or
 // local tuples arrive).
 //
-// A watcher owns one goroutine. Insert listeners on the local database wake
-// it (a capacity-1 signal coalesces bursts); the goroutine extracts the
-// relation delta since its high-water marks, evaluates the conjunction
-// semi-naively over it, deduplicates against everything already streamed, and
-// ships the fresh result tuples as one batch. The accumulated batches of a
-// watcher therefore equal the query's result set at any quiescent moment —
-// the invariant the oracle tests pin down. With Options.WatchDedupCap set,
-// the dedup cache becomes a bounded window evicted after delivery: the
-// result-set invariant still holds, but tuples re-derived after leaving the
-// window may be streamed more than once.
+// Watchers are hosted by the peer's serving hub (internal/serving): one
+// extraction goroutine per peer shares each change's delta extraction and
+// per-class semi-naive evaluation across every watcher, and fans the results
+// out through bounded per-watcher queues. The accumulated batches of a
+// watcher equal the query's result set at any quiescent moment — the
+// invariant the oracle tests pin down. With Options.WatchDedupCap set, each
+// watcher's dedup cache becomes a bounded window: the result-set invariant
+// still holds, but tuples re-derived after leaving the window may stream
+// more than once.
 
-// Watcher is a continuous query registered at one peer. Consumers receive
-// result-delta batches from C until it is closed by Close. A consumer that
-// keeps draining C receives every batch including the final delta; after
-// Close, undelivered batches wait for a draining consumer only for a bounded
-// grace period, then are dropped so the channel always closes and the
-// delivery goroutine always exits, even when the consumer is gone.
-type Watcher struct {
-	p    *Peer
-	id   uint64
-	conj cq.Conjunction
-	cols []string
-	rels map[string]bool // relations the conjunction reads
-
-	ch   chan []relalg.Tuple
-	sig  chan struct{} // capacity 1: wake-up, coalescing
-	quit chan struct{}
-	once sync.Once
-
-	reprime atomic.Bool
-
-	// Pump-goroutine state (no locking needed).
-	marks  storage.Marks
-	primed bool
-	sent   map[string]bool
-	stash  []relalg.Tuple // batch whose delivery Close interrupted
-
-	// Dedup-cache bound (Options.WatchDedupCap). sentFIFO records insertion
-	// order; entries beyond the cap are evicted once their batch has been
-	// delivered, so the cache is a window, not a full history.
-	sentCap  int
-	sentFIFO []string
-	sentHead int
-}
-
-// closeDrainTimeout bounds how long a closed watcher waits for a consumer to
-// drain the final batches before dropping them (a variable so tests can
-// shorten the wait).
-var closeDrainTimeout = 5 * time.Second
+// Watcher is a continuous query registered at one peer; see serving.Watcher.
+type Watcher = serving.Watcher
 
 // Watch registers a continuous query over this peer's local database. The
 // first batch on the channel is the query's current result (possibly empty —
 // it is always sent, so it doubles as the registration sync point); every
 // later batch is the non-empty set of result tuples newly derivable from
 // tuples that arrived since (imported by the protocol or written locally),
-// each result tuple streamed exactly once.
+// each result tuple streamed exactly once within the dedup window.
 func (p *Peer) Watch(body string, outVars []string) (*Watcher, error) {
+	return p.WatchWith(body, outVars, serving.WatchOptions{})
+}
+
+// WatchWith registers a continuous query with an explicit slow-consumer
+// policy, queue bound, or resume frontier (the serving layer's remote-watch
+// entry point; Watch is the lossless default).
+func (p *Peer) WatchWith(body string, outVars []string, o serving.WatchOptions) (*Watcher, error) {
 	conj, err := cq.ParseConjunction(body)
 	if err != nil {
 		return nil, err
@@ -97,229 +64,27 @@ func (p *Peer) Watch(body string, outVars []string) (*Watcher, error) {
 				p.id, v, body)
 		}
 	}
-	w := &Watcher{
-		p:       p,
-		conj:    conj,
-		cols:    append([]string(nil), outVars...),
-		rels:    map[string]bool{},
-		ch:      make(chan []relalg.Tuple, 16),
-		sig:     make(chan struct{}, 1),
-		quit:    make(chan struct{}),
-		sent:    map[string]bool{},
-		sentCap: p.opts.WatchDedupCap,
+	w, err := p.hub.Register(conj, outVars, o)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", p.id, err)
 	}
-	for _, rel := range conjRels(conj) {
-		w.rels[rel] = true
-	}
-	p.wmu.Lock()
-	if p.watchersClosed {
-		p.wmu.Unlock()
-		return nil, fmt.Errorf("peer %s: watch after shutdown", p.id)
-	}
-	p.watchSeq++
-	w.id = p.watchSeq
-	if p.watchers == nil {
-		p.watchers = map[uint64]*Watcher{}
-	}
-	p.watchers[w.id] = w
-	p.wmu.Unlock()
-	atomic.AddInt32(&p.nwatchers, 1)
-	go w.pump()
 	return w, nil
 }
 
-// C returns the result-delta stream. It is closed after Close has drained
-// the final delta.
-func (w *Watcher) C() <-chan []relalg.Tuple { return w.ch }
+// Serving exposes the peer's fan-out hub (metrics, tests).
+func (p *Peer) Serving() *serving.Hub { return p.hub }
 
-// Close deregisters the watcher; the pump drains one final delta and closes
-// the channel. Safe to call more than once and concurrently with delivery.
-func (w *Watcher) Close() {
-	w.once.Do(func() {
-		w.p.wmu.Lock()
-		delete(w.p.watchers, w.id)
-		w.p.wmu.Unlock()
-		atomic.AddInt32(&w.p.nwatchers, -1)
-		close(w.quit)
-	})
-}
+// notifyWatchers wakes the serving hub for a relation change. It runs from
+// the database's insert listener — possibly while the peer's mutex is held —
+// and never blocks.
+func (p *Peer) notifyWatchers(rel string) { p.hub.Notify(rel) }
 
-// pump is the watcher's delivery goroutine.
-func (w *Watcher) pump() {
-	defer close(w.ch)
-	// Prime: the current full result is always the first batch, even when
-	// empty — the documented synchronisation point for consumers.
-	prime := w.collect()
-	if prime == nil {
-		prime = []relalg.Tuple{}
-	}
-	if !w.send(prime) {
-		w.finalDrain()
-		return
-	}
-	w.evictSent()
-	for {
-		select {
-		case <-w.sig:
-			if !w.deliver(w.collect()) {
-				w.finalDrain()
-				return
-			}
-			w.evictSent()
-		case <-w.quit:
-			w.finalDrain()
-			return
-		}
-	}
-}
-
-// evictSent trims the dedup cache to the configured window (Options.
-// WatchDedupCap) after a batch has been delivered. Entries are dropped in
-// insertion order; a result tuple re-derived after its entry left the window
-// streams again (at-least-once beyond the window), which is the documented
-// trade for bounded per-watcher memory.
-func (w *Watcher) evictSent() {
-	if w.sentCap <= 0 {
-		return
-	}
-	for len(w.sentFIFO)-w.sentHead > w.sentCap {
-		delete(w.sent, w.sentFIFO[w.sentHead])
-		w.sentFIFO[w.sentHead] = ""
-		w.sentHead++
-	}
-	if w.sentHead > len(w.sentFIFO)/2 {
-		w.sentFIFO = append(w.sentFIFO[:0], w.sentFIFO[w.sentHead:]...)
-		w.sentHead = 0
-	}
-}
-
-// deliver ships one non-empty batch, returning false when Close raced the
-// send; the batch is then stashed for the final drain, so a consumer that
-// keeps reading still receives it.
-func (w *Watcher) deliver(batch []relalg.Tuple) bool {
-	if len(batch) == 0 {
-		return true
-	}
-	return w.send(batch)
-}
-
-func (w *Watcher) send(batch []relalg.Tuple) bool {
-	select {
-	case w.ch <- batch:
-		return true
-	case <-w.quit:
-		w.stash = batch
-		return false
-	}
-}
-
-// finalDrain ships the interrupted batch and the final delta after Close,
-// waiting at most closeDrainTimeout overall: a draining consumer gets
-// everything, an absent one costs a bounded wait, never a leaked goroutine
-// or an unclosed channel.
-func (w *Watcher) finalDrain() {
-	var batches [][]relalg.Tuple
-	if len(w.stash) > 0 {
-		batches = append(batches, w.stash)
-	}
-	if final := w.collect(); len(final) > 0 {
-		batches = append(batches, final)
-	}
-	if len(batches) == 0 {
-		return
-	}
-	timer := time.NewTimer(closeDrainTimeout)
-	defer timer.Stop()
-	for _, b := range batches {
-		select {
-		case w.ch <- b:
-		case <-timer.C:
-			return // consumer gone: drop the tail, the channel still closes
-		}
-	}
-}
-
-// collect evaluates everything new since the last collect and returns it as
-// one batch. The first call (and any call after a reprime request) runs the
-// full conjunction; later calls join only the relation delta since the
-// marks. The sent-set deduplicates across both paths, so re-primes and the
-// occasional double derivation of semi-naive evaluation cost bytes of
-// bookkeeping, never duplicate deliveries. Evaluation runs under the peer
-// mutex (serialising with protocol inserts, like every other evaluation);
-// channel delivery happens after it is released, so a slow consumer blocks
-// only its own watcher, never the peer.
-func (w *Watcher) collect() []relalg.Tuple {
-	w.p.mu.Lock()
-	defer w.p.mu.Unlock()
-	rels := make([]string, 0, len(w.rels))
-	for r := range w.rels {
-		rels = append(rels, r)
-	}
-	var result []relalg.Tuple
-	if w.reprime.Swap(false) || !w.primed {
-		w.marks = w.p.db.MarksFor(rels)
-		w.primed = true
-		result, _ = cq.Eval(w.p.db, w.conj, w.cols)
-	} else {
-		delta, next := w.p.db.DeltaSince(w.marks, rels)
-		w.marks = next
-		if len(delta) == 0 {
-			return nil
-		}
-		result, _ = cq.EvalDelta(w.p.db, w.conj, w.cols, delta)
-	}
-	fresh := result[:0:0]
-	for _, t := range result {
-		k := t.Key()
-		if !w.sent[k] {
-			w.sent[k] = true
-			if w.sentCap > 0 {
-				w.sentFIFO = append(w.sentFIFO, k)
-			}
-			fresh = append(fresh, t)
-		}
-	}
-	return fresh
-}
-
-// notifyWatchers wakes every watcher reading the relation. It runs from the
-// database's insert listener — possibly while the peer's mutex is held — so
-// it must not lock p.mu; the capacity-1 signal never blocks.
-func (p *Peer) notifyWatchers(rel string) {
-	if atomic.LoadInt32(&p.nwatchers) == 0 {
-		return
-	}
-	p.wmu.Lock()
-	for _, w := range p.watchers {
-		if !w.rels[rel] {
-			continue
-		}
-		select {
-		case w.sig <- struct{}{}:
-		default:
-		}
-	}
-	p.wmu.Unlock()
-}
-
-// reprimeWatchers asks every watcher to re-run its full conjunction on the
-// next wake-up (rule redefinition may have changed what the local database
-// derives; the data itself is monotone, so this is robustness, and the
-// sent-set keeps deliveries exactly-once).
-func (p *Peer) reprimeWatchers() {
-	if atomic.LoadInt32(&p.nwatchers) == 0 {
-		return
-	}
-	p.wmu.Lock()
-	for _, w := range p.watchers {
-		w.reprime.Store(true)
-		select {
-		case w.sig <- struct{}{}:
-		default:
-		}
-	}
-	p.wmu.Unlock()
-}
+// reprimeWatchers asks every watcher class to re-run its full conjunction on
+// the next hub pass (rule redefinition may have changed what the local
+// database derives; the data itself is monotone, so this is robustness). One
+// shared evaluation per class serves all its re-primed watchers, and the
+// per-watcher dedup windows keep deliveries exactly-once.
+func (p *Peer) reprimeWatchers() { p.hub.Reprime() }
 
 // CloseWatchers closes every live watcher and rejects future registrations
 // (used by orchestration shutdown; a Watch racing it either joins this close
@@ -330,16 +95,7 @@ func (p *Peer) reprimeWatchers() {
 func (p *Peer) CloseWatchers() {
 	p.stopResend()
 	p.stopAck()
-	p.wmu.Lock()
-	p.watchersClosed = true
-	ws := make([]*Watcher, 0, len(p.watchers))
-	for _, w := range p.watchers {
-		ws = append(ws, w)
-	}
-	p.wmu.Unlock()
-	for _, w := range ws {
-		w.Close()
-	}
+	p.hub.Close()
 }
 
 // InsertLocal applies an online local write: the tuples enter the local

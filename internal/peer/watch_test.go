@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/relalg"
+	"repro/internal/serving"
 	"repro/internal/transport"
 )
 
@@ -54,9 +55,9 @@ func TestInsertLocalBatchIsAtomic(t *testing.T) {
 // channel close within the bounded drain grace period — no leaked goroutine,
 // no never-closing stream.
 func TestWatcherCloseWithAbandonedConsumer(t *testing.T) {
-	old := closeDrainTimeout
-	closeDrainTimeout = 50 * time.Millisecond
-	defer func() { closeDrainTimeout = old }()
+	old := serving.CloseDrainTimeout
+	serving.CloseDrainTimeout = 50 * time.Millisecond
+	defer func() { serving.CloseDrainTimeout = old }()
 
 	p := newWatchPeer(t)
 	w, err := p.Watch("p(X)", []string{"X"})
@@ -171,16 +172,10 @@ func TestWatcherDedupCapBoundsMemory(t *testing.T) {
 			t.Fatalf("tuple %s delivered %d times", k, n)
 		}
 	}
-	// The channel is closed, so the pump goroutine has exited: its state is
-	// safe to read. Eviction runs after delivery, so a full in-flight batch
-	// can briefly exceed the cap; after the final drain at most one batch's
-	// worth of slack remains.
-	if len(w.sent) > cap+total {
-		t.Fatalf("sent-set not bounded: %d entries", len(w.sent))
-	}
-	w.evictSent()
-	if len(w.sent) > cap {
-		t.Fatalf("sent-set holds %d entries after eviction, cap %d", len(w.sent), cap)
+	// The serving hub evicts at stage time, so the dedup window respects the
+	// cap whenever a pass is not mid-flight — and every pass is done here.
+	if n := w.DedupLen(); n > cap {
+		t.Fatalf("sent-set holds %d entries, cap %d", n, cap)
 	}
 }
 

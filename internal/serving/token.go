@@ -1,0 +1,67 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Resume tokens: the client-side half of the reconnect handshake. Every Batch
+// carries the per-relation high-water frontier (Marks) the consumer's
+// accumulated state covers once it applies the batch — the same seq-frontier
+// discipline the subscription ack handshake uses. A consumer that keeps the
+// frontier of the last batch it processed can re-register with it after a
+// crash or disconnect and receive, as its new prime, exactly the result
+// suffix derivable from tuples past that frontier — nothing it confirmed,
+// nothing missing.
+
+// FormatToken renders a resume token ("seq=12;a=3,b=7"; relations sorted).
+// Seq is the last processed batch sequence — diagnostic, not consumed by the
+// server, but kept in the token so gaps are visible to the operator.
+func FormatToken(marks map[string]uint64, seq uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq=%d", seq)
+	rels := make([]string, 0, len(marks))
+	for rel := range marks {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for i, rel := range rels {
+		if i == 0 {
+			b.WriteByte(';')
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", rel, marks[rel])
+	}
+	return b.String()
+}
+
+// ParseToken reads a token produced by FormatToken.
+func ParseToken(s string) (marks map[string]uint64, seq uint64, err error) {
+	head, rest, _ := strings.Cut(s, ";")
+	k, v, ok := strings.Cut(head, "=")
+	if !ok || k != "seq" {
+		return nil, 0, fmt.Errorf("serving: bad resume token %q: want seq=N first", s)
+	}
+	if seq, err = strconv.ParseUint(v, 10, 64); err != nil {
+		return nil, 0, fmt.Errorf("serving: bad resume token seq %q: %v", v, err)
+	}
+	marks = map[string]uint64{}
+	if rest == "" {
+		return marks, seq, nil
+	}
+	for _, part := range strings.Split(rest, ",") {
+		rel, mv, ok := strings.Cut(part, "=")
+		if !ok || rel == "" {
+			return nil, 0, fmt.Errorf("serving: bad resume token entry %q", part)
+		}
+		n, err := strconv.ParseUint(mv, 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("serving: bad resume token mark %q: %v", part, err)
+		}
+		marks[rel] = n
+	}
+	return marks, seq, nil
+}

@@ -1,0 +1,73 @@
+package serving
+
+import (
+	"testing"
+)
+
+func TestTokenRoundTrip(t *testing.T) {
+	cases := []struct {
+		marks map[string]uint64
+		seq   uint64
+		want  string
+	}{
+		{map[string]uint64{}, 0, "seq=0"},
+		{map[string]uint64{"p": 3}, 12, "seq=12;p=3"},
+		{map[string]uint64{"b": 7, "a": 3}, 5, "seq=5;a=3,b=7"},
+	}
+	for _, c := range cases {
+		got := FormatToken(c.marks, c.seq)
+		if got != c.want {
+			t.Fatalf("FormatToken(%v, %d) = %q, want %q", c.marks, c.seq, got, c.want)
+		}
+		marks, seq, err := ParseToken(got)
+		if err != nil {
+			t.Fatalf("ParseToken(%q): %v", got, err)
+		}
+		if seq != c.seq || len(marks) != len(c.marks) {
+			t.Fatalf("round trip of %q lost data: %v seq=%d", got, marks, seq)
+		}
+		for rel, n := range c.marks {
+			if marks[rel] != n {
+				t.Fatalf("round trip of %q: %s=%d, want %d", got, rel, marks[rel], n)
+			}
+		}
+	}
+}
+
+func TestTokenRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"", "p=3", "seq=x", "seq=1;=3", "seq=1;p", "seq=1;p=x", "seq=1;p=3,,"} {
+		if _, _, err := ParseToken(s); err == nil {
+			t.Errorf("ParseToken(%q) accepted malformed input", s)
+		}
+	}
+}
+
+// FuzzResumeTokenRoundTrip: any string either fails to parse or survives a
+// format/parse round trip unchanged — the wire contract a reconnecting client
+// relies on.
+func FuzzResumeTokenRoundTrip(f *testing.F) {
+	f.Add("seq=0")
+	f.Add("seq=12;a=3,b=7")
+	f.Add("seq=18446744073709551615;r=18446744073709551615")
+	f.Add("seq=1;p")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		marks, seq, err := ParseToken(s)
+		if err != nil {
+			return
+		}
+		out := FormatToken(marks, seq)
+		marks2, seq2, err := ParseToken(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", out, s, err)
+		}
+		if seq2 != seq || len(marks2) != len(marks) {
+			t.Fatalf("round trip of %q changed: %q", s, out)
+		}
+		for rel, n := range marks {
+			if marks2[rel] != n {
+				t.Fatalf("round trip of %q changed mark %s: %d != %d", s, rel, marks2[rel], n)
+			}
+		}
+	})
+}

@@ -83,12 +83,13 @@ type batchBuf struct {
 	beat       *wire.Heartbeat
 	repAppends []wire.ReplicaAppend
 	repAcks    []wire.ReplicaAck
+	deltas     []wire.WatchDelta
 	bytes      int
 	since      time.Time // when the oldest held message arrived
 }
 
 func (b *batchBuf) held() int {
-	n := len(b.answers) + len(b.acks) + len(b.repAppends) + len(b.repAcks)
+	n := len(b.answers) + len(b.acks) + len(b.repAppends) + len(b.repAcks) + len(b.deltas)
 	if b.beat != nil {
 		n++
 	}
@@ -211,6 +212,19 @@ func (b *Batcher) Send(from, to string, msg wire.Message) error {
 		}
 		b.mu.Unlock()
 		return err
+	case wire.WatchDelta:
+		// Watch-stream deliveries batch like the answer stream: a hot relation
+		// fanning out to many remote watchers of one client shares frames.
+		buf := b.buf(key)
+		buf.deltas = append(buf.deltas, m)
+		buf.bytes += m.Size()
+		b.TrackWork(1)
+		var err error
+		if buf.bytes >= b.maxByte {
+			err = b.flushLocked(key)
+		}
+		b.mu.Unlock()
+		return err
 	default:
 		err := b.flushLocked(key)
 		b.frames.Add(1)
@@ -259,9 +273,12 @@ func (b *Batcher) flushLocked(key [2]string) error {
 		msg = buf.repAppends[0]
 	case n == 1 && len(buf.repAcks) == 1:
 		msg = buf.repAcks[0]
+	case n == 1 && len(buf.deltas) == 1:
+		msg = buf.deltas[0]
 	default:
 		ab := wire.AnswerBatch{Answers: buf.answers, Acks: buf.acks,
-			RepAppends: buf.repAppends, RepAcks: buf.repAcks}
+			RepAppends: buf.repAppends, RepAcks: buf.repAcks,
+			WatchDeltas: buf.deltas}
 		if buf.beat != nil {
 			ab.Beats = []wire.Heartbeat{*buf.beat}
 		}

@@ -58,6 +58,21 @@ func FuzzDecodeEnvelope(f *testing.F) {
 			Node: "A", Ref: 41}, Done: 11},
 		Accept{Instance: 13, Ballot: 5, Val: Command{Kind: "member", Origin: "H3",
 			Seq: 4, Node: "H1", Status: 4}}, // StatusDead
+		// Serving wire watches: registration (fresh and resume), a delta with
+		// frontier marks, the terminal frame, a cancel, and deltas riding an
+		// AnswerBatch.
+		WatchRequest{ID: 1, Body: "s(X,Y)", Cols: []string{"X"}, Policy: "drop-oldest", QueueCap: 8},
+		WatchRequest{ID: 2, Body: "s(X,Y)", Cols: []string{"Y"}, Resume: true,
+			Marks: map[string]uint64{"s": 12}},
+		WatchDelta{ID: 1, Seq: 3, Tuples: []relalg.Tuple{{relalg.S("v")}},
+			Marks: map[string]uint64{"s": 13}},
+		WatchDelta{ID: 1, Seq: 4, Prime: true, Marks: map[string]uint64{"s": 13}},
+		WatchDelta{ID: 2, Closed: true, Err: "slow consumer: queue overflow"},
+		WatchCancel{ID: 1},
+		AnswerBatch{WatchDeltas: []WatchDelta{
+			{ID: 1, Seq: 5, Tuples: []relalg.Tuple{{relalg.S("w")}}, Marks: map[string]uint64{"s": 14}},
+			{ID: 2, Seq: 1, Prime: true, Marks: map[string]uint64{"s": 14}},
+		}},
 	}
 	for _, m := range seedMsgs {
 		if data, err := Encode(Envelope{From: "a", To: "b", Msg: m}); err == nil {

@@ -248,6 +248,10 @@ type AnswerBatch struct {
 	// order, exactly as if each had paid its own frame.
 	RepAppends []ReplicaAppend
 	RepAcks    []ReplicaAck
+	// Watch-stream deltas riding the window (internal/serving): split off and
+	// forwarded one by one ahead of the protocol contents, like the
+	// replication frames.
+	WatchDeltas []WatchDelta
 }
 
 // Kind implements Message.
@@ -270,6 +274,9 @@ func (m AnswerBatch) Size() int {
 	}
 	for _, r := range m.RepAcks {
 		n += r.Size()
+	}
+	for _, d := range m.WatchDeltas {
+		n += d.Size()
 	}
 	return n
 }
@@ -822,13 +829,21 @@ type StateReport struct {
 	Closed     bool
 	PathsReady bool
 	Tuples     int
+	// Serving gauges (internal/serving): live watchers, their summed queue
+	// depth, and the hub's sharing/loss counters since start.
+	Watchers       int
+	WatchQueued    int
+	WatchExtracted uint64 // shared delta extractions paid
+	WatchSaved     uint64 // extractions saved vs one-per-watcher
+	WatchDropped   uint64 // batches discarded by drop-oldest queues
+	WatchCanceled  uint64 // watchers closed by the cancel policy
 }
 
 // Kind implements Message.
 func (StateReport) Kind() string { return "stateReport" }
 
 // Size implements Message.
-func (m StateReport) Size() int { return 32 + len(m.Node) }
+func (m StateReport) Size() int { return 72 + len(m.Node) }
 
 // QueryRequest evaluates a conjunctive query against the receiver's local
 // database (Definition 4 through the wire; sound and complete globally once
@@ -877,6 +892,84 @@ func (m QueryResult) Size() int {
 	return n
 }
 
+// WatchRequest registers a continuous query at the receiver (the wire face of
+// internal/serving): the current result arrives as a Prime WatchDelta, then
+// every later delta streams as tuples arrive, until a WatchCancel, a
+// registration error, or the slow-consumer policy ends the stream. ID is
+// client-scoped — re-sending an id is a reconnect and replaces the old stream.
+type WatchRequest struct {
+	ID       uint64
+	Body     string   // conjunction source text
+	Cols     []string // output columns
+	Policy   string   // "", "block", "drop-oldest", "cancel"
+	QueueCap int      // 0 = server default
+	// Resume marks a reconnect: Marks is the per-relation frontier from the
+	// client's resume token and the prime becomes exactly the unconfirmed
+	// suffix past it. A flag rather than Marks != nil — gob flattens empty
+	// maps to nil, and resume-from-zero is not a fresh prime.
+	Resume bool
+	Marks  map[string]uint64
+}
+
+// Kind implements Message.
+func (WatchRequest) Kind() string { return "watchRequest" }
+
+// Size implements Message.
+func (m WatchRequest) Size() int {
+	n := 24 + len(m.Body) + len(m.Policy)
+	for _, c := range m.Cols {
+		n += len(c) + 1
+	}
+	for rel := range m.Marks {
+		n += len(rel) + 9
+	}
+	return n
+}
+
+// WatchDelta is one delivery on a wire watch: the batch's tuples plus the
+// per-relation frontier the client's accumulated state covers after applying
+// it (the resume-token payload). The terminal frame carries Closed — with Err
+// set when the server cancelled the stream rather than the client.
+type WatchDelta struct {
+	ID     uint64
+	Seq    uint64 // per-watch, contiguous from 1 (the prime)
+	Prime  bool
+	Tuples []relalg.Tuple
+	Marks  map[string]uint64
+	Closed bool
+	Err    string
+}
+
+// Kind implements Message.
+func (WatchDelta) Kind() string { return "watchDelta" }
+
+// Size implements Message.
+func (m WatchDelta) Size() int {
+	n := 26 + len(m.Err)
+	for _, t := range m.Tuples {
+		for _, v := range t {
+			n += v.EncodedSize()
+		}
+		n += 2
+	}
+	for rel := range m.Marks {
+		n += len(rel) + 9
+	}
+	return n
+}
+
+// WatchCancel ends a wire watch; the server still sends the terminal Closed
+// delta so the client can tell a drained stream from a lost one.
+type WatchCancel struct {
+	ID uint64
+}
+
+// Kind implements Message.
+func (WatchCancel) Kind() string { return "watchCancel" }
+
+// Size implements Message.
+func (m WatchCancel) Size() int { return 10 }
+
 // ControlKinds is the set of message kinds that belong to the remote control
 // plane rather than the distributed algorithm itself: statistics collection
 // and the coordinator verbs above. Quiescence detection by counter polling
@@ -894,6 +987,7 @@ func ControlKinds() map[string]bool {
 		"discoverRequest": true, "updateRequest": true, "probeRequest": true,
 		"stateRequest": true, "stateReport": true,
 		"queryRequest": true, "queryResult": true,
+		"watchRequest": true, "watchDelta": true, "watchCancel": true,
 		"replicaStatusRequest": true, "replicaStatusReport": true,
 		KindPrepare: true, KindPromise: true, KindAccept: true,
 		KindAccepted: true, KindLearn: true, KindCatchUp: true,
@@ -944,6 +1038,9 @@ func init() {
 	gob.Register(ReplicaState{})
 	gob.Register(ReplicaStatusRequest{})
 	gob.Register(ReplicaStatusReport{})
+	gob.Register(WatchRequest{})
+	gob.Register(WatchDelta{})
+	gob.Register(WatchCancel{})
 }
 
 // Encode serialises an envelope with gob.

@@ -41,6 +41,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		StateReport{Node: "A", Epoch: 4, Activated: true, Closed: true, PathsReady: true, Tuples: 12},
 		QueryRequest{ID: 7, Body: "a(X,Y)", Cols: []string{"X", "Y"}},
 		QueryResult{ID: 7, Columns: []string{"X"}, Tuples: []relalg.Tuple{{relalg.S("v")}}, Err: ""},
+		WatchRequest{ID: 2, Body: "a(X,Y)", Cols: []string{"X"}, Policy: "block", QueueCap: 16,
+			Resume: true, Marks: map[string]uint64{"a": 9}},
+		WatchDelta{ID: 2, Seq: 4, Tuples: []relalg.Tuple{{relalg.S("v")}}, Marks: map[string]uint64{"a": 10}},
+		WatchCancel{ID: 2},
 		Prepare{Instance: 3, Ballot: 12, Done: 2},
 		Promise{Instance: 3, Ballot: 12, OK: true, AccBallot: 5, HasVal: true,
 			Val: Command{Kind: "update", Origin: "A", Seq: 1, Node: "A"}, Done: 2},
@@ -109,6 +113,7 @@ func TestSizesArePositiveAndMonotone(t *testing.T) {
 		Join{}, JoinAck{}, Heartbeat{}, Goodbye{},
 		DiscoverRequest{}, UpdateRequest{}, ProbeRequest{},
 		StateRequest{}, StateReport{}, QueryRequest{}, QueryResult{},
+		WatchRequest{}, WatchDelta{}, WatchCancel{},
 		Prepare{}, Promise{}, Accept{}, Accepted{}, Learn{}, CatchUp{},
 	}
 	kinds := map[string]bool{}
@@ -131,6 +136,7 @@ func TestControlKindsCoverControlPlane(t *testing.T) {
 		StatsRequest{}, StatsReport{}, StatsReset{},
 		DiscoverRequest{}, UpdateRequest{}, ProbeRequest{},
 		StateRequest{}, StateReport{}, QueryRequest{}, QueryResult{},
+		WatchRequest{}, WatchDelta{}, WatchCancel{},
 		Prepare{}, Promise{}, Accept{}, Accepted{}, Learn{}, CatchUp{},
 	} {
 		if !ck[m.Kind()] {
