@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// allowMarker is the suppression comment prefix. Full syntax:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory: an exception without a recorded justification is reported as a
+// diagnostic of its own instead of silencing anything.
+const allowMarker = "//lint:allow"
+
+// applyAllows drops diagnostics covered by a well-formed allow comment and
+// converts malformed allows (missing reason) into diagnostics.
+func applyAllows(diags []Diagnostic) ([]Diagnostic, error) {
+	lines := map[string][]string{} // filename -> lines, lazily read
+	read := func(name string) ([]string, error) {
+		if l, ok := lines[name]; ok {
+			return l, nil
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: re-read %s for suppressions: %w", name, err)
+		}
+		l := strings.Split(string(data), "\n")
+		lines[name] = l
+		return l, nil
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		src, err := read(d.Pos.Filename)
+		if err != nil {
+			return nil, err
+		}
+		switch allowsOn(src, d.Pos.Line, d.Analyzer) {
+		case allowOK:
+			continue
+		case allowNoReason:
+			d.Message += " (a //lint:allow is present but carries no reason — explain the exception)"
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
+}
+
+type allowState int
+
+const (
+	allowNone allowState = iota
+	allowOK
+	allowNoReason
+)
+
+// allowsOn checks line and line-1 (1-based) for an allow of analyzer.
+func allowsOn(src []string, line int, analyzer string) allowState {
+	state := allowNone
+	for _, ln := range []int{line, line - 1} {
+		if ln < 1 || ln > len(src) {
+			continue
+		}
+		switch parseAllow(src[ln-1], analyzer) {
+		case allowOK:
+			return allowOK
+		case allowNoReason:
+			state = allowNoReason
+		}
+	}
+	return state
+}
+
+func parseAllow(line, analyzer string) allowState {
+	i := strings.Index(line, allowMarker)
+	if i < 0 {
+		return allowNone
+	}
+	rest := strings.TrimSpace(line[i+len(allowMarker):])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || fields[0] != analyzer {
+		return allowNone
+	}
+	if len(fields) < 2 {
+		return allowNoReason
+	}
+	return allowOK
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.AtomicMix,
+		"internal/atomica", "internal/atomicb")
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGoroShutdown(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.GoroShutdown,
+		"internal/work2", "internal/goro")
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockSend(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.LockSend, "internal/locky")
+}

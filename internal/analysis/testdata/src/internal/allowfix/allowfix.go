@@ -1,0 +1,10 @@
+// Fixture for the suppression convention itself: an allow without a reason
+// must not silence the diagnostic — it must call out the missing
+// justification instead.
+package allowfix
+
+import "time"
+
+func NoReason() {
+	time.Sleep(time.Second) //lint:allow baresleep
+}

@@ -1,0 +1,26 @@
+// Fixture for the atomicmix analyzer (declaration side): C.N is accessed
+// atomically here and plainly in internal/atomicb — the cross-package mix
+// the analyzer exists to catch. OK is atomic everywhere, M plain everywhere.
+package atomica
+
+import "sync/atomic"
+
+type C struct {
+	N  uint64
+	M  uint64
+	OK uint64
+}
+
+func (c *C) Bump() {
+	atomic.AddUint64(&c.N, 1)
+	atomic.AddUint64(&c.OK, 1)
+}
+
+func (c *C) ReadOK() uint64 {
+	return atomic.LoadUint64(&c.OK)
+}
+
+func (c *C) PlainOnly() uint64 {
+	c.M++
+	return c.M
+}

@@ -1,0 +1,14 @@
+// Fixture for the atomicmix analyzer (access side): a plain read of a field
+// another package updates atomically — the metrics-scraper bug shape.
+package atomicb
+
+import "internal/atomica"
+
+func Scrape(c *atomica.C) uint64 {
+	return c.N // want "plain access to internal/atomica.C.N"
+}
+
+func Allowed(c *atomica.C) uint64 {
+	//lint:allow atomicmix fixture: read under the owner's lock in the real code this models
+	return c.N
+}

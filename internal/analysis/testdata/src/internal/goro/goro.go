@@ -1,0 +1,73 @@
+// Fixture for the goroshutdown analyzer: launches with no visible stop
+// signal are flagged; selects on a quit channel, channel ranges, WaitGroup
+// registration, same-package declared loops, and audited allows are not.
+package goro
+
+import (
+	"sync"
+
+	"internal/work2"
+)
+
+type P struct {
+	quit chan struct{}
+	data chan int
+	wg   sync.WaitGroup
+}
+
+func (p *P) Bad() {
+	go func() { // want "no shutdown path"
+		for {
+			process(0)
+		}
+	}()
+}
+
+func (p *P) BadExternal() {
+	go work2.Spin() // want "declared outside this package"
+}
+
+func (p *P) GoodSelect() {
+	go func() {
+		for {
+			select {
+			case <-p.quit:
+				return
+			case v := <-p.data:
+				process(v)
+			}
+		}
+	}()
+}
+
+func (p *P) GoodRange() {
+	go func() {
+		for v := range p.data {
+			process(v)
+		}
+	}()
+}
+
+func (p *P) GoodWG() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		process(0)
+	}()
+}
+
+func (p *P) loop() {
+	for range p.quit {
+	}
+}
+
+func (p *P) GoodDeclared() {
+	go p.loop()
+}
+
+func (p *P) Allowed(ch chan int) {
+	//lint:allow goroshutdown bounded: one buffered send, then the goroutine exits
+	go func() { ch <- 1 }()
+}
+
+func process(int) {}

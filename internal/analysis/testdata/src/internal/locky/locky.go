@@ -1,0 +1,80 @@
+// Fixture for the locksend analyzer: blocking operations between Lock and
+// Unlock are flagged; the same operations after the unlock, behind a select
+// default, or under an audited allow are not.
+package locky
+
+import (
+	"net"
+	"sync"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (s *S) BadSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *S) BadRecvUnderDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while s.mu is held"
+}
+
+func (s *S) BadReadLock() {
+	s.rw.RLock()
+	s.wg.Wait() // want "WaitGroup.Wait while s.rw is held"
+	s.rw.RUnlock()
+}
+
+func (s *S) BadConnWrite(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = c.Write(nil) // want "net.Conn write while s.mu is held"
+}
+
+func (s *S) BadSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without default while s.mu is held"
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *S) GoodAfterUnlock() {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *S) GoodPolling() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+func (s *S) GoodBranchScoped(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	s.ch <- 1 // the branch's lock does not leak out
+}
+
+func (s *S) Allowed() {
+	s.mu.Lock()
+	//lint:allow locksend the channel is buffered and owned here; a send cannot park
+	s.ch <- 2
+	s.mu.Unlock()
+}

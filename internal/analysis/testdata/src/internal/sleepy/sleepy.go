@@ -1,0 +1,29 @@
+// Fixture for the baresleep analyzer: a raw sleep is flagged, a cancellable
+// timer wait is not, and an annotated backoff helper is suppressed.
+package sleepy
+
+import "time"
+
+func Bad() {
+	time.Sleep(time.Second) // want "raw time.Sleep"
+}
+
+func Good(quit chan struct{}) bool {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-quit:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func Allowed() {
+	//lint:allow baresleep designated backoff helper for the fixture
+	time.Sleep(time.Millisecond)
+}
+
+func AllowedSameLine() {
+	time.Sleep(time.Millisecond) //lint:allow baresleep designated backoff helper for the fixture
+}

@@ -1,0 +1,25 @@
+// Fixture registry for the wireexhaustive analyzer: a package that
+// gob.Registers its message structs in init(), like repro/internal/wire.
+// Orphan is registered but neither dispatched nor fuzz-seeded; everything
+// else is covered by internal/wiredisp and the fuzz harness in this package.
+package wirefix
+
+import "encoding/gob"
+
+type Ping struct{ N int }
+
+type Pong struct{ S string }
+
+type Orphan struct{ X int }
+
+type AnswerBatch struct {
+	Pings []Ping
+	Pongs []Pong
+}
+
+func init() {
+	gob.Register(Ping{})
+	gob.Register(Pong{})
+	gob.Register(Orphan{}) // want "not handled by any dispatch switch" "not seeded in FuzzDecodeEnvelope"
+	gob.Register(AnswerBatch{})
+}

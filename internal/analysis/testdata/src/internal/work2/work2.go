@@ -1,0 +1,8 @@
+// Sibling fixture: a long-running function declared outside the launching
+// package, so goroshutdown's out-of-package diagnostic has a target.
+package work2
+
+func Spin() {
+	for {
+	}
+}

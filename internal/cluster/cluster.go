@@ -765,6 +765,24 @@ func (c *Transport) dispatchAlias(alias string, env wire.Envelope) {
 		for _, hb := range m.Beats {
 			c.observe(hb.Node, hb.Addr)
 		}
+		if len(m.RepAppends) > 0 || len(m.RepAcks) > 0 {
+			// Replication frames ride batches to adopted names too: after a
+			// fail-over the surviving host keeps the dead member's replica
+			// streams alive under the alias, so dropping these here would
+			// stall the stream until its resend timer fired (or forever, for
+			// acks: the primary would re-ship already-durable ranges).
+			c.mu.Lock()
+			rep := c.replica
+			c.mu.Unlock()
+			if rep != nil {
+				for _, ra := range m.RepAcks {
+					rep(wire.Envelope{From: env.From, To: env.To, Msg: ra})
+				}
+				for _, ra := range m.RepAppends {
+					rep(wire.Envelope{From: env.From, To: env.To, Msg: ra})
+				}
+			}
+		}
 		if len(m.WatchDeltas) > 0 {
 			c.mu.Lock()
 			ic := c.intercept

@@ -379,11 +379,24 @@ func (cp *ControlPlane) intercept(env wire.Envelope) bool {
 
 // submitAsync proposes one command off the transport goroutine. A member cut
 // off with a minority blocks here until the partition heals — by design: a
-// minority must not start waves or change the member table.
+// minority must not start waves or change the member table. Close unparks a
+// blocked proposal by cancelling its context, so a shutdown never waits out
+// the quorum timeout.
 func (cp *ControlPlane) submitAsync(cmd wire.Command) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
-	_, _ = cp.cons.Submit(ctx, cmd)
+	done := make(chan struct{})
+	//lint:allow goroshutdown bounded: Submit returns once ctx is cancelled, which the select below guarantees on quit
+	go func() {
+		defer close(done)
+		_, _ = cp.cons.Submit(ctx, cmd)
+	}()
+	select {
+	case <-done:
+	case <-cp.quit:
+		cancel()
+		<-done
+	}
 }
 
 // applyEntry folds one agreed entry into the control state. Runs on the
@@ -452,6 +465,7 @@ func (cp *ControlPlane) applyEntry(instance uint64, cmd wire.Command) {
 		// A replayed discover already ran before the restart; re-folding it
 		// must not re-flood the cluster.
 		if starter == cp.self && !replay {
+			//lint:allow goroshutdown bounded kick: StartDiscovery floods the wave request and returns; answers flow back through the transport
 			go cp.peer.StartDiscovery()
 		}
 	case "update":
@@ -596,6 +610,7 @@ func (cp *ControlPlane) bidLocked(node string) {
 	// callback takes the replica manager's lock, and Submit blocks on quorum
 	// — a minority member parks here until the partition heals, which is the
 	// "minority replicas refuse promotion" rule falling out of consensus.
+	//lint:allow goroshutdown bounded: one frontier read, then submitAsync, which selects on quit
 	go func() {
 		var f uint64
 		if frontier != nil {
@@ -644,6 +659,7 @@ func (cp *ControlPlane) checkElectionLocked(node string) {
 	}
 	if !cp.replaying {
 		if winner == cp.self {
+			//lint:allow goroshutdown bounded: OnPromote adopts the node and returns, then submitAsync selects on quit
 			go cp.runPromotion(node)
 		}
 		if node == cp.self && winner != cp.self {
@@ -651,6 +667,7 @@ func (cp *ControlPlane) checkElectionLocked(node string) {
 			// partition outlasted DeadAfter. It must stop serving: a deposed
 			// primary that kept accepting inserts would fork the fix-point.
 			if fn := cp.opts.Replication.OnDeposed; fn != nil {
+				//lint:allow goroshutdown bounded callback: OnDeposed seals the local store and returns
 				go fn(node)
 			}
 		}
@@ -1006,10 +1023,12 @@ func (cp *ControlPlane) restoreState(_ uint64, data []byte) {
 	cp.mu.Unlock()
 	sort.Strings(promote)
 	for _, n := range promote {
+		//lint:allow goroshutdown bounded: OnPromote adopts the node and returns, then submitAsync selects on quit
 		go cp.runPromotion(n)
 	}
 	if deposed {
 		if fn := cp.opts.Replication.OnDeposed; fn != nil {
+			//lint:allow goroshutdown bounded callback: OnDeposed seals the local store and returns
 			go fn(cp.self)
 		}
 	}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -654,4 +655,33 @@ func TestControlPlaneRoutedRuleChange(t *testing.T) {
 		}
 		return true
 	}, "the rule entry never reached every member's applied log")
+}
+
+// TestAddLinkValidatesRule pins the ctl-addlink validation gap: a rule that
+// parses but is ill-formed — reading its own head node, or contradicting a
+// declared schema arity — must be rejected at the coordinator, before it
+// ships as a notice or a log entry no head node can apply (the failure mode
+// was a wedged update wave, diagnosable only from the head's log).
+func TestAddLinkValidatesRule(t *testing.T) {
+	coord, err := NewCoordinator(mustDef(t, chainNet3), "127.0.0.1:0", nil, fastCoordOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// Body atom at the head node: Definition 2 demands distinct indices.
+	if err := coord.AddLink("rz: A:a(X,Y) -> A:a(X,Y)"); err == nil ||
+		!strings.Contains(err.Error(), "reads its own head node") {
+		t.Fatalf("self-reading rule not rejected by validation: %v", err)
+	}
+	// Body arity contradicting the net-file schema (c is declared binary).
+	if err := coord.AddLink("rw: C:c(X) -> A:a(X,X)"); err == nil ||
+		!strings.Contains(err.Error(), "arity") {
+		t.Fatalf("schema-violating rule not rejected by validation: %v", err)
+	}
+	// A well-formed rule passes validation: with no members alive the error,
+	// if any, comes from routing — never from the rules checks.
+	if err := coord.AddLink("ry: C:c(X,Y) -> B:b(Y,X)"); err != nil &&
+		strings.Contains(err.Error(), "rules:") {
+		t.Fatalf("well-formed rule rejected by validation: %v", err)
+	}
 }

@@ -553,6 +553,13 @@ func (c *Coordinator) AddLink(ruleText string) error {
 	if err != nil {
 		return err
 	}
+	// Validate against the net-file schemas before anything ships: a rule
+	// that parses but is ill-formed (reads its own head node, wrong arity)
+	// would otherwise become an agreed log entry the head node can neither
+	// apply nor skip, wedging every later update wave.
+	if err := r.Validate(c.def.Lookup()); err != nil {
+		return err
+	}
 	target, err := c.ruleTarget(r.HeadNode)
 	if err != nil {
 		return err

@@ -170,6 +170,7 @@ func StartMetrics(listenAddr string, collect func() NodeMetrics) (string, func()
 		_ = enc.Encode(collect())
 	})
 	srv := &http.Server{Handler: mux}
+	//lint:allow goroshutdown Serve returns when the returned closer (srv.Close) shuts the listener
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -1109,6 +1109,7 @@ func (n *Node) syncLoop() {
 			n.mu.Lock()
 			n.noops++
 			n.mu.Unlock()
+			//lint:allow goroshutdown bounded by the 40×Retry context below; the filling guard caps it at one per instance
 			go func(i uint64) {
 				// A generous budget: a filler that dies mid-duel just forces
 				// its successor to an even higher ballot. The filling guard

@@ -233,6 +233,7 @@ func RunSchedule(n *core.Network, sched []Scheduled) []error {
 	var errs []error
 	for _, s := range sched {
 		if wait := time.Until(start.Add(s.After)); wait > 0 {
+			//lint:allow baresleep the schedule is wall-clock by contract (operations fire at fixed offsets); callers bound the whole run
 			time.Sleep(wait)
 		}
 		if err := Apply(n, s.Op); err != nil {

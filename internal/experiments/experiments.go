@@ -616,8 +616,10 @@ super A
 			return Result{}, err
 		}
 		done := make(chan error, 1)
+		//lint:allow goroshutdown bounded: Update returns by ctx deadline and done is buffered, so the send never parks
 		go func() { done <- n.Update(ctx) }()
 		for _, op := range ch {
+			//lint:allow baresleep deliberate scenario jitter: the change must land mid-update; the one-shot harness has nothing to cancel
 			time.Sleep(time.Duration(seed*137) * time.Microsecond)
 			_ = dynamic.Apply(n, op)
 		}
@@ -826,6 +828,7 @@ super A
 	}
 	stop := make(chan struct{})
 	churned := make(chan int, 1)
+	//lint:allow goroshutdown bounded: Churn returns when stop closes below and churned is buffered
 	go func() { churned <- dynamic.Churn(n, churnRule, "D", "rde", 100*time.Microsecond, stop) }()
 	t0 := time.Now()
 	errUpdate := n.Update(ctx)

@@ -116,6 +116,7 @@ func e17Wait(max time.Duration, cond func() bool) bool {
 		if cond() {
 			return true
 		}
+		//lint:allow baresleep designated poll helper: deadline-bounded, used only by one-shot experiment scenarios
 		time.Sleep(5 * time.Millisecond)
 	}
 	return false

@@ -748,7 +748,10 @@ func (p *Peer) Handle(env wire.Envelope) {
 			if p.tw != nil {
 				p.tw.TrackWork(1)
 			}
-			p.ackCh <- work
+			// The mutex exists solely to fence this send against Close's
+			// close(ackCh); the consumer (ackLoop) never takes ackMu, so a
+			// full queue delays Handle but cannot form a lock cycle.
+			p.ackCh <- work //lint:allow locksend ackMu only fences close(ackCh); ackLoop drains without taking it, so no cycle
 			p.ackMu.Unlock()
 			return
 		}
@@ -936,6 +939,7 @@ func (p *Peer) dispatchLocked(env wire.Envelope) {
 		p.handleAnswer(env.From, m)
 	case wire.AnswerAck:
 		p.handleAnswerAck(env.From, m)
+	//lint:allow wireexhaustive Beats/RepAppends/RepAcks/WatchDeltas are consumed by the cluster layer before a batch reaches a hosted peer; without a cluster those planes are never emitted
 	case wire.AnswerBatch:
 		// A coalesced frame applies exactly as its contents would have
 		// alone: acks first (they were owed before the answers were built),
@@ -993,8 +997,10 @@ func (p *Peer) dispatchLocked(env wire.Envelope) {
 	case wire.WatchRequest:
 		// Registration reaches the hub's pass lock and, through it, this
 		// peer's mutex — which Handle holds here. Serve it off the actor.
+		//lint:allow goroshutdown bounded: registers the watch and returns; the long-lived forwarder it spawns ranges over the watcher's channel, ended by Close
 		go p.serveRemoteWatch(env.From, m)
 	case wire.WatchCancel:
+		//lint:allow goroshutdown bounded: looks up the watch under rwmu and closes it
 		go p.cancelRemoteWatch(env.From, m.ID)
 	}
 }

@@ -447,6 +447,7 @@ func (m *Manager) syncReqLocked(mi *mirror) {
 	}
 	host := m.ctl.HostOf(mi.node)
 	m.syncReqs++
+	//lint:allow goroshutdown bounded: a single transport send, spawned only to get off m.mu
 	go func() { _ = m.send(m.opts.Member, host, req) }()
 }
 

@@ -228,7 +228,10 @@ func (b *Batcher) Send(from, to string, msg wire.Message) error {
 	default:
 		err := b.flushLocked(key)
 		b.frames.Add(1)
-		serr := b.inner.Send(from, to, msg)
+		// The lock must span flush + pass-through or another sender could
+		// interleave a frame between them and break FIFO per destination.
+		// Both inner transports enqueue or spawn without waiting on delivery.
+		serr := b.inner.Send(from, to, msg) //lint:allow locksend inner.Send enqueues/spawns (TCP outbox, Mem inbox) and never blocks on the network; the lock preserves flush-then-frame order
 		b.mu.Unlock()
 		if serr != nil {
 			return serr

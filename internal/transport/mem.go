@@ -217,6 +217,7 @@ func (m *Mem) StepAll(maxRounds int) (rounds int) {
 // context is cancelled.
 func (m *Mem) WaitQuiescent(ctx context.Context) error {
 	done := make(chan struct{})
+	//lint:allow goroshutdown exits when the net quiesces or Close broadcasts; a cancelled ctx broadcasts below to re-check
 	go func() {
 		m.mu.Lock()
 		for m.inflight != 0 && !m.closed {

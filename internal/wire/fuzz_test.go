@@ -4,11 +4,14 @@ import (
 	"testing"
 
 	"repro/internal/relalg"
+	"repro/internal/stats"
 )
 
 // FuzzDecodeEnvelope hardens the frame boundary: whatever bytes arrive off a
 // socket, Decode must either return a valid envelope or an error — never
-// panic. Seeds cover every update-phase message, including the ack handshake.
+// panic. Seeds cover the entire registered frame vocabulary — the
+// wireexhaustive analyzer fails the build if a newly registered frame has no
+// seed here.
 func FuzzDecodeEnvelope(f *testing.F) {
 	seedMsgs := []Message{
 		Query{Epoch: 2, RuleID: "r", Conj: "S:s(X,Y)", Cols: []string{"X"}, Path: []string{"H"}},
@@ -73,6 +76,39 @@ func FuzzDecodeEnvelope(f *testing.F) {
 			{ID: 1, Seq: 5, Tuples: []relalg.Tuple{{relalg.S("w")}}, Marks: map[string]uint64{"s": 14}},
 			{ID: 2, Seq: 1, Prime: true, Marks: map[string]uint64{"s": 14}},
 		}},
+		// Topology discovery wave (Section 3): request, streamed knowledge,
+		// and the branch-complete echo.
+		RequestNodes{Wave: "A#3"},
+		DiscoveryAnswer{Wave: "A#3", Finished: true,
+			Knowledge: []NodeEdges{{Node: "B", Version: 2, Targets: []string{"C", "D"}}}},
+		// Control plane: link add/delete notices, the topology-change flood,
+		// a full network broadcast, subscription teardown, and the stats verbs.
+		Unsubscribe{RuleID: "r"},
+		AddRuleNotice{RuleText: "r: B:b(X,Y) -> A:a(X,Y)"},
+		DeleteRuleNotice{RuleID: "r"},
+		TopoChanged{ChangeID: "A#9"},
+		SetNetwork{Text: "node A tcp\nnode B tcp\nr: B:b(X) -> A:a(X)\n"},
+		StatsRequest{},
+		StatsReport{Snapshot: stats.Snapshot{Node: "A", BytesSent: 64,
+			MsgsSent: map[string]uint64{"query": 3}, TuplesInserted: 7}},
+		StatsReset{},
+		// Cluster membership: the join handshake tail, liveness, clean leave.
+		JoinAck{Members: map[string]string{"A": "127.0.0.1:1", "B": "127.0.0.1:2"}},
+		Heartbeat{Node: "A", Addr: "127.0.0.1:1"},
+		Goodbye{Node: "B"},
+		// Remote orchestration verbs (empty-body requests still need decode
+		// coverage: a zero-length gob payload is its own corner).
+		DiscoverRequest{},
+		UpdateRequest{},
+		ProbeRequest{},
+		StateRequest{},
+		StateReport{Node: "A", Epoch: 2, Activated: true, Closed: true, PathsReady: true,
+			Tuples: 11, Watchers: 1, WatchQueued: 2, WatchExtracted: 5, WatchSaved: 3},
+		// Client query plane: request and both result shapes (rows / error).
+		QueryRequest{ID: 4, Body: "a(X,Y), b(Y,Z)", Cols: []string{"X", "Z"}},
+		QueryResult{ID: 4, Columns: []string{"X", "Z"},
+			Tuples: []relalg.Tuple{{relalg.S("u"), relalg.S("v")}}},
+		QueryResult{ID: 5, Err: "parse: unbound variable Z"},
 	}
 	for _, m := range seedMsgs {
 		if data, err := Encode(Envelope{From: "a", To: "b", Msg: m}); err == nil {
